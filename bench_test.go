@@ -1,0 +1,136 @@
+package mixedrel_test
+
+import (
+	"testing"
+
+	"mixedrel"
+)
+
+// Every paper table and figure has a benchmark that regenerates it.
+// Campaign sizes are reduced (Quick caps at 250 strikes/faults per
+// configuration) so a full -bench=. pass stays tractable; run
+// cmd/reproduce for paper-sized campaigns.
+
+func benchExperiment(b *testing.B, id string) {
+	cfg := mixedrel.DefaultReproConfig()
+	cfg.Quick = true
+	cfg.Trials = 100
+	cfg.Faults = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mixedrel.Reproduce(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1FPGAExec(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig2FPGAResources(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig3FPGABeam(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig4FPGATRE(b *testing.B)           { benchExperiment(b, "fig4") }
+func BenchmarkFig5FPGAMEBF(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkTable2PhiExec(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkFig6PhiBeam(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig7PhiPVF(b *testing.B)            { benchExperiment(b, "fig7") }
+func BenchmarkFig8PhiTRE(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkFig9PhiMEBF(b *testing.B)           { benchExperiment(b, "fig9") }
+func BenchmarkTable3GPUExec(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkFig10aGPUMicroBeam(b *testing.B)    { benchExperiment(b, "fig10a") }
+func BenchmarkFig10bGPUCodesBeam(b *testing.B)    { benchExperiment(b, "fig10b") }
+func BenchmarkFig10cGPUYOLOBeam(b *testing.B)     { benchExperiment(b, "fig10c") }
+func BenchmarkFig11aGPUMicroTRE(b *testing.B)     { benchExperiment(b, "fig11a") }
+func BenchmarkFig11bGPUCodesTRE(b *testing.B)     { benchExperiment(b, "fig11b") }
+func BenchmarkFig11cYOLOCriticality(b *testing.B) { benchExperiment(b, "fig11c") }
+func BenchmarkFig12GPUAVF(b *testing.B)           { benchExperiment(b, "fig12") }
+func BenchmarkFig13GPUMEBF(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkExtBF16(b *testing.B)               { benchExperiment(b, "ext-bf16") }
+func BenchmarkExtMBU(b *testing.B)                { benchExperiment(b, "ext-mbu") }
+func BenchmarkExtAccumulation(b *testing.B)       { benchExperiment(b, "ext-accum") }
+func BenchmarkExtMitigation(b *testing.B)         { benchExperiment(b, "ext-mitigation") }
+func BenchmarkExtSolver(b *testing.B)             { benchExperiment(b, "ext-solver") }
+
+// ---- substrate micro-benchmarks --------------------------------------
+
+func BenchmarkHalfArithmetic(b *testing.B) {
+	env := mixedrel.NewMachine(mixedrel.Half)
+	x := env.FromFloat64(1.5)
+	y := env.FromFloat64(0.75)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = env.FMA(x, y, y)
+		x = env.Mul(x, y)
+		x = env.Add(x, y)
+	}
+	benchSink = uint64(x)
+}
+
+func BenchmarkDoubleArithmetic(b *testing.B) {
+	env := mixedrel.NewMachine(mixedrel.Double)
+	x := env.FromFloat64(1.5)
+	y := env.FromFloat64(0.75)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = env.FMA(x, y, y)
+		x = env.Mul(x, y)
+		x = env.Add(x, y)
+	}
+	benchSink = uint64(x)
+}
+
+func BenchmarkGEMMGolden(b *testing.B) {
+	k := mixedrel.NewGEMM(32, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSinkSlice = mixedrel.Golden(k, mixedrel.Single)
+	}
+}
+
+func BenchmarkMNISTInference(b *testing.B) {
+	k := mixedrel.NewMNIST(1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkSlice = mixedrel.Golden(k, mixedrel.Half)
+	}
+}
+
+func BenchmarkYOLOInference(b *testing.B) {
+	k := mixedrel.NewYOLO(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSinkSlice = mixedrel.Golden(k, mixedrel.Half)
+	}
+}
+
+func BenchmarkInjectionCampaign(b *testing.B) {
+	k := mixedrel.NewGEMM(12, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := mixedrel.InjectionCampaign{Kernel: k, Format: mixedrel.Single,
+			Faults: 50, Seed: uint64(i)}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBeamCampaign(b *testing.B) {
+	gpu := mixedrel.NewGPU()
+	m, err := gpu.Map(mixedrel.NewWorkload(mixedrel.NewGEMM(12, 1), 1e6, 1e4), mixedrel.Half)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (mixedrel.BeamExperiment{Mapping: m, Trials: 50, Seed: uint64(i)}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	benchSink      uint64
+	benchSinkSlice []float64
+)

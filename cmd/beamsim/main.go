@@ -1,0 +1,146 @@
+// Command beamsim runs a single simulated neutron-beam campaign: pick a
+// device, a kernel, and a precision; get SDC/DUE FIT rates, the outcome
+// breakdown per resource class, and the TRE FIT-reduction curve.
+//
+// Example:
+//
+//	beamsim -device gpu -kernel mxm -format half -trials 5000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mixedrel"
+)
+
+func main() {
+	deviceName := flag.String("device", "gpu", "device model: fpga, xeonphi, gpu")
+	kernelName := flag.String("kernel", "mxm", "kernel: mxm, lavamd, lud, hotspot, cg, micro-add, micro-mul, micro-fma, mnist, yolo")
+	formatName := flag.String("format", "single", "precision: half, single, double")
+	trials := flag.Int("trials", 2000, "simulated strikes")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	size := flag.Int("size", 16, "kernel size parameter (matrix n, micro ops/thread)")
+	opScale := flag.Float64("opscale", 1e6, "paper-scale multiplier for dynamic operations")
+	dataScale := flag.Float64("datascale", 1e3, "paper-scale multiplier for resident data")
+	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
+	workers := flag.Int("workers", 1, "beam-trial goroutines")
+	flag.Parse()
+
+	device, err := pickDevice(*deviceName)
+	if err != nil {
+		fail(err)
+	}
+	kernel, err := pickKernel(*kernelName, *size, *seed)
+	if err != nil {
+		fail(err)
+	}
+	format, err := pickFormat(*formatName)
+	if err != nil {
+		fail(err)
+	}
+	if !device.Supports(format) {
+		fail(fmt.Errorf("%s does not implement %v", device.Name(), format))
+	}
+
+	m, err := device.Map(mixedrel.NewWorkload(kernel, *opScale, *dataScale), format)
+	if err != nil {
+		fail(err)
+	}
+	res, err := mixedrel.BeamExperiment{Mapping: m, Trials: *trials, Seed: *seed,
+		Workers: *workers}.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Device, Kernel, Format string
+			ExecSeconds            float64
+			MEBF                   float64
+			*mixedrel.BeamResult
+		}{device.Name(), kernel.Name(), format.String(), m.Time.Seconds(),
+			mixedrel.MEBF(res.FITSDC, m.Time), res}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("device    %s\nkernel    %s\nformat    %v\n", device.Name(), kernel.Name(), format)
+	fmt.Printf("exec time %v (paper scale)\n", m.Time)
+	fmt.Printf("exposure  %.4g bits x sigma (a.u.)\n", res.ExposureRate)
+	fmt.Printf("outcomes  SDC %d | DUE %d | masked %d of %d strikes\n",
+		res.SDC, res.DUE, res.Masked, res.Trials)
+	fmt.Printf("FIT-SDC   %.4g  [%.4g, %.4g] 95%% CI\n", res.FITSDC, res.FITSDCLo, res.FITSDCHi)
+	fmt.Printf("FIT-DUE   %.4g\n", res.FITDUE)
+	fmt.Printf("MEBF      %.4g\n", mixedrel.MEBF(res.FITSDC, m.Time))
+	fmt.Println("\nper resource class:")
+	for class, cc := range res.ByClass {
+		fmt.Printf("  %-16v strikes %5d  SDC %5d  DUE %4d  masked %5d\n",
+			class, cc.Strikes, cc.SDC, cc.DUE, cc.Masked)
+	}
+	fmt.Println("\nTRE curve:")
+	for _, p := range mixedrel.TRECurve(res.FITSDC, res.RelErrs, nil) {
+		fmt.Printf("  TRE %6.3g%%  FIT %.4g  (-%5.1f%%)\n", 100*p.TRE, p.FIT, 100*p.Reduction)
+	}
+}
+
+func pickDevice(name string) (mixedrel.Device, error) {
+	switch strings.ToLower(name) {
+	case "fpga", "zynq":
+		return mixedrel.NewFPGA(), nil
+	case "xeonphi", "phi", "knc":
+		return mixedrel.NewXeonPhi(), nil
+	case "gpu", "volta", "titanv":
+		return mixedrel.NewGPU(), nil
+	}
+	return nil, fmt.Errorf("unknown device %q", name)
+}
+
+func pickKernel(name string, size int, seed uint64) (mixedrel.Kernel, error) {
+	switch strings.ToLower(name) {
+	case "mxm", "gemm":
+		return mixedrel.NewGEMM(size, seed), nil
+	case "lavamd":
+		return mixedrel.NewLavaMD(2, size/4+1, seed), nil
+	case "lud":
+		return mixedrel.NewLUD(size, seed), nil
+	case "hotspot":
+		return mixedrel.NewHotspot(size, 8, seed), nil
+	case "cg":
+		return mixedrel.NewCG(size, size, seed), nil
+	case "micro-add":
+		return mixedrel.NewMicro(mixedrel.MicroADD, 4, size, seed), nil
+	case "micro-mul":
+		return mixedrel.NewMicro(mixedrel.MicroMUL, 4, size, seed), nil
+	case "micro-fma":
+		return mixedrel.NewMicro(mixedrel.MicroFMA, 4, size, seed), nil
+	case "mnist":
+		return mixedrel.NewMNIST(1, seed), nil
+	case "yolo", "yolov3":
+		return mixedrel.NewYOLO(seed), nil
+	}
+	return nil, fmt.Errorf("unknown kernel %q", name)
+}
+
+func pickFormat(name string) (mixedrel.Format, error) {
+	switch strings.ToLower(name) {
+	case "half", "fp16", "binary16":
+		return mixedrel.Half, nil
+	case "single", "float", "fp32", "binary32":
+		return mixedrel.Single, nil
+	case "double", "fp64", "binary64":
+		return mixedrel.Double, nil
+	}
+	return 0, fmt.Errorf("unknown format %q", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "beamsim:", err)
+	os.Exit(1)
+}

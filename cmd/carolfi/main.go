@@ -1,0 +1,151 @@
+// Command carolfi runs a CAROL-FI-style statistical fault-injection
+// campaign: N single-bit flips into a kernel's live values, one per
+// execution, reporting the PVF and the error-magnitude distribution.
+//
+// Example:
+//
+//	carolfi -kernel lavamd -format double -faults 2000 -sites operand,memory
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mixedrel"
+)
+
+func main() {
+	kernelName := flag.String("kernel", "mxm", "kernel: mxm, lavamd, lud, hotspot, cg, micro-add, micro-mul, micro-fma, mnist, yolo")
+	formatName := flag.String("format", "single", "precision: half, single, double")
+	faults := flag.Int("faults", 2000, "injected faults (one per execution)")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	size := flag.Int("size", 16, "kernel size parameter")
+	sitesFlag := flag.String("sites", "operand,memory", "comma-separated fault sites: operation, operand, memory")
+	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
+	workers := flag.Int("workers", 1, "injection goroutines")
+	flag.Parse()
+
+	kernel, err := pickKernel(*kernelName, *size, *seed)
+	if err != nil {
+		fail(err)
+	}
+	format, err := pickFormat(*formatName)
+	if err != nil {
+		fail(err)
+	}
+	sites, err := pickSites(*sitesFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	c := mixedrel.InjectionCampaign{
+		Kernel:  kernel,
+		Format:  format,
+		Faults:  *faults,
+		Seed:    *seed,
+		Sites:   sites,
+		Workers: *workers,
+	}
+	res, err := c.Run()
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Kernel, Format string
+			*mixedrel.InjectionResult
+		}{kernel.Name(), format.String(), res}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("kernel  %s\nformat  %v\nfaults  %d\n", kernel.Name(), format, res.Faults)
+	fmt.Printf("SDCs    %d\nmasked  %d\nPVF     %.4f\n", res.SDCs, res.Masked, res.PVF)
+
+	if len(res.RelErrs) > 0 {
+		errs := append([]float64(nil), res.RelErrs...)
+		sort.Float64s(errs)
+		q := func(p float64) float64 { return errs[int(p*float64(len(errs)-1))] }
+		fmt.Println("\nSDC relative-error quantiles:")
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			fmt.Printf("  p%-3.0f %.4g\n", 100*p, q(p))
+		}
+		fmt.Println("\nTRE curve:")
+		for _, pt := range mixedrel.TRECurve(res.PVF, res.RelErrs, nil) {
+			fmt.Printf("  TRE %6.3g%%  residual PVF %.4f  (-%5.1f%%)\n",
+				100*pt.TRE, pt.FIT, 100*pt.Reduction)
+		}
+	}
+}
+
+func pickKernel(name string, size int, seed uint64) (mixedrel.Kernel, error) {
+	switch strings.ToLower(name) {
+	case "mxm", "gemm":
+		return mixedrel.NewGEMM(size, seed), nil
+	case "lavamd":
+		return mixedrel.NewLavaMD(2, size/4+1, seed), nil
+	case "lud":
+		return mixedrel.NewLUD(size, seed), nil
+	case "hotspot":
+		return mixedrel.NewHotspot(size, 8, seed), nil
+	case "cg":
+		return mixedrel.NewCG(size, size, seed), nil
+	case "micro-add":
+		return mixedrel.NewMicro(mixedrel.MicroADD, 4, size, seed), nil
+	case "micro-mul":
+		return mixedrel.NewMicro(mixedrel.MicroMUL, 4, size, seed), nil
+	case "micro-fma":
+		return mixedrel.NewMicro(mixedrel.MicroFMA, 4, size, seed), nil
+	case "mnist":
+		return mixedrel.NewMNIST(1, seed), nil
+	case "yolo", "yolov3":
+		return mixedrel.NewYOLO(seed), nil
+	}
+	return nil, fmt.Errorf("unknown kernel %q", name)
+}
+
+func pickFormat(name string) (mixedrel.Format, error) {
+	switch strings.ToLower(name) {
+	case "half", "fp16", "binary16":
+		return mixedrel.Half, nil
+	case "single", "float", "fp32", "binary32":
+		return mixedrel.Single, nil
+	case "double", "fp64", "binary64":
+		return mixedrel.Double, nil
+	}
+	return 0, fmt.Errorf("unknown format %q", name)
+}
+
+func pickSites(s string) ([]mixedrel.Site, error) {
+	var sites []mixedrel.Site
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "operation":
+			sites = append(sites, mixedrel.SiteOperation)
+		case "operand":
+			sites = append(sites, mixedrel.SiteOperand)
+		case "memory":
+			sites = append(sites, mixedrel.SiteMemory)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown fault site %q", part)
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("no fault sites given")
+	}
+	return sites, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "carolfi:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command sweep runs a precision-reliability sweep: one beam campaign
+// per (kernel size, precision) point, reporting FIT, MEBF and modeled
+// execution time so the precision trade-off can be plotted as a curve
+// rather than read from a single configuration.
+//
+// Example:
+//
+//	sweep -device gpu -kernel mxm -sizes 8,12,16,24 -trials 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mixedrel"
+)
+
+func main() {
+	deviceName := flag.String("device", "gpu", "device model: fpga, xeonphi, gpu")
+	kernelName := flag.String("kernel", "mxm", "kernel: mxm, lud, hotspot, lavamd")
+	sizesFlag := flag.String("sizes", "8,12,16,24", "comma-separated kernel sizes")
+	formatsFlag := flag.String("formats", "", "comma-separated precisions (default: all the device supports)")
+	trials := flag.Int("trials", 1000, "beam strikes per point")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	opScale := flag.Float64("opscale", 1e6, "paper-scale multiplier for ops at the smallest size")
+	workers := flag.Int("workers", 4, "beam-trial goroutines")
+	flag.Parse()
+
+	device, err := pickDevice(*deviceName)
+	if err != nil {
+		fail(err)
+	}
+	sizes, err := parseInts(*sizesFlag)
+	if err != nil {
+		fail(err)
+	}
+	formats, err := parseFormats(*formatsFlag, device)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%-6s  %-9s  %-12s  %-12s  %-12s  %-10s\n",
+		"size", "format", "exec time", "FIT-SDC", "FIT-DUE", "MEBF")
+	base := float64(sizes[0])
+	for _, n := range sizes {
+		kernel, scalePow, err := pickKernel(*kernelName, n, *seed)
+		if err != nil {
+			fail(err)
+		}
+		// Keep the modeled machine workload a constant multiple of the
+		// executed instance: ops grow as size^scalePow.
+		ratio := pow(float64(n)/base, scalePow)
+		w := mixedrel.NewWorkload(kernel, *opScale*ratio, *opScale/100*ratio)
+		for _, f := range formats {
+			m, err := device.Map(w, f)
+			if err != nil {
+				fail(err)
+			}
+			res, err := mixedrel.BeamExperiment{
+				Mapping: m, Trials: *trials, Seed: *seed, Workers: *workers,
+			}.Run()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-6d  %-9v  %-12v  %-12.4g  %-12.4g  %-10.4g\n",
+				n, f, m.Time.Round(1e6), res.FITSDC, res.FITDUE,
+				mixedrel.MEBF(res.FITSDC, m.Time))
+		}
+	}
+}
+
+func pow(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}
+
+func pickDevice(name string) (mixedrel.Device, error) {
+	switch strings.ToLower(name) {
+	case "fpga", "zynq":
+		return mixedrel.NewFPGA(), nil
+	case "xeonphi", "phi", "knc":
+		return mixedrel.NewXeonPhi(), nil
+	case "gpu", "volta", "titanv":
+		return mixedrel.NewGPU(), nil
+	}
+	return nil, fmt.Errorf("unknown device %q", name)
+}
+
+// pickKernel returns the kernel plus the exponent relating size to
+// dynamic operation count (n^3 for the dense solvers, n^2 for the
+// stencil and particle grids).
+func pickKernel(name string, size int, seed uint64) (mixedrel.Kernel, int, error) {
+	switch strings.ToLower(name) {
+	case "mxm", "gemm":
+		return mixedrel.NewGEMM(size, seed), 3, nil
+	case "lud":
+		return mixedrel.NewLUD(size, seed), 3, nil
+	case "hotspot":
+		return mixedrel.NewHotspot(size, 8, seed), 2, nil
+	case "lavamd":
+		return mixedrel.NewLavaMD(2, size, seed), 2, nil
+	}
+	return nil, 0, fmt.Errorf("unknown kernel %q", name)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+func parseFormats(s string, device mixedrel.Device) ([]mixedrel.Format, error) {
+	if s == "" {
+		var out []mixedrel.Format
+		for _, f := range mixedrel.Formats {
+			if device.Supports(f) {
+				out = append(out, f)
+			}
+		}
+		return out, nil
+	}
+	var out []mixedrel.Format
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "half", "fp16":
+			out = append(out, mixedrel.Half)
+		case "bfloat16", "bf16":
+			out = append(out, mixedrel.BFloat16)
+		case "single", "fp32":
+			out = append(out, mixedrel.Single)
+		case "double", "fp64":
+			out = append(out, mixedrel.Double)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown format %q", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no formats given")
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package mixedrel_test
+
+import (
+	"fmt"
+	"time"
+
+	"mixedrel"
+)
+
+// MEBF combines an error rate with an execution time: halving the
+// execution time doubles the number of executions completed between
+// failures.
+func ExampleMEBF() {
+	fit := 2.0 // failures per unit time (a.u.)
+	fmt.Println(mixedrel.MEBF(fit, 500*time.Millisecond))
+	fmt.Println(mixedrel.MEBF(fit, 250*time.Millisecond))
+	// Output:
+	// 1
+	// 2
+}
+
+// TRECurve reclassifies silent data corruptions as tolerable once their
+// worst relative error fits inside the tolerated margin.
+func ExampleTRECurve() {
+	relErrs := []float64{0.0001, 0.02, 5.0} // one per observed SDC
+	for _, p := range mixedrel.TRECurve(30, relErrs, []float64{0, 0.001, 0.1}) {
+		fmt.Printf("TRE %g%%: FIT %.0f\n", 100*p.TRE, p.FIT)
+	}
+	// Output:
+	// TRE 0%: FIT 30
+	// TRE 0.1%: FIT 20
+	// TRE 10%: FIT 10
+}
+
+// Golden runs a kernel fault-free; the microbenchmarks' invertible
+// operation chains return each thread's seed value exactly, in every
+// precision.
+func ExampleGolden() {
+	k := mixedrel.NewMicro(mixedrel.MicroMUL, 2, 100, 7)
+	for _, f := range []mixedrel.Format{mixedrel.Half, mixedrel.Double} {
+		out := mixedrel.Golden(k, f)
+		fmt.Println(f, out[0] == mixedrel.Golden(k, mixedrel.Single)[0])
+	}
+	// Output:
+	// half true
+	// double true
+}
+
+// A beam experiment is deterministic in its seed.
+func ExampleBeamExperiment() {
+	gpu := mixedrel.NewGPU()
+	m, _ := gpu.Map(mixedrel.NewWorkload(mixedrel.NewGEMM(8, 1), 1e6, 1e3), mixedrel.Half)
+	a, _ := mixedrel.BeamExperiment{Mapping: m, Trials: 100, Seed: 42}.Run()
+	b, _ := mixedrel.BeamExperiment{Mapping: m, Trials: 100, Seed: 42}.Run()
+	fmt.Println(a.SDC == b.SDC, a.FITSDC == b.FITSDC)
+	// Output:
+	// true true
+}

@@ -1,0 +1,53 @@
+// Mitigation cost-benefit: how much silent-data-corruption risk do TMR
+// and ABFT remove from a matrix multiplication, at what compute
+// overhead, and how does the answer change with precision? This extends
+// the paper's measurement study toward the mitigation work its group
+// published separately.
+//
+//	go run ./examples/mitigation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixedrel"
+)
+
+func main() {
+	g := mixedrel.NewGEMM(16, 7)
+	schemes := []struct {
+		name string
+		k    mixedrel.Kernel
+	}{
+		{"unprotected", g},
+		{"TMR (vote of 3)", mixedrel.NewTMR(g)},
+		{"ABFT (checksums)", mixedrel.NewABFTGEMM(g)},
+	}
+
+	fmt.Println("1000 injected faults per configuration, uniform over")
+	fmt.Println("operation / operand / input-memory sites:")
+	fmt.Println()
+	for _, f := range []mixedrel.Format{mixedrel.Double, mixedrel.Single, mixedrel.Half} {
+		fmt.Printf("-- %v --\n", f)
+		fmt.Printf("%-18s  %-13s  %-10s  %-10s  %-9s\n",
+			"scheme", "residual PVF", "corrected", "detected", "overhead")
+		for _, s := range schemes {
+			rep, err := mixedrel.EvaluateMitigation(s.k, g, f, 1000, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s  %-13.3f  %-10d  %-10d  %.2fx\n",
+				s.name, rep.ResidualPVF, rep.Corrected, rep.Detected, rep.OverheadOps)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Observations: TMR removes every single-replica fault at a flat 3x")
+	fmt.Println("cost but cannot vote away corrupted inputs. ABFT repairs located")
+	fmt.Println("single-element errors for a fraction of the cost — but its checksum")
+	fmt.Println("tolerance must widen as precision shrinks, so at half precision")
+	fmt.Println("small corruptions slip under the threshold and its residual PVF")
+	fmt.Println("rises: mitigation and precision interact, just like FIT and")
+	fmt.Println("precision do in the paper.")
+}

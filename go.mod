@@ -1,0 +1,3 @@
+module mixedrel
+
+go 1.22

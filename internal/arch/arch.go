@@ -1,0 +1,249 @@
+// Package arch defines the abstractions shared by the three device
+// models (internal/fpga, internal/xeonphi, internal/gpu): sensitive
+// resource accounting, compiled kernel mappings with analytic timing,
+// and the device interface the beam and injection campaigns consume.
+//
+// The central quantity is the exposure of a mapping: for every class of
+// hardware resource, the number of radiation-sensitive bits it keeps
+// live during an execution, times a per-bit upset cross-section. Beam
+// FIT is the product of exposure and the probability that a strike on
+// that resource corrupts the output — the first factor comes from the
+// device model, the second from actually executing the workload with an
+// injected fault. This is exactly the decomposition the paper uses when
+// it combines beam data (exposure x propagation) with fault-injection
+// data (propagation only); see Section 3.3.
+package arch
+
+import (
+	"fmt"
+	"time"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// ResourceClass identifies a kind of radiation-sensitive hardware.
+type ResourceClass int
+
+const (
+	// ConfigMemory is FPGA configuration SRAM: faults are persistent —
+	// the implemented circuit stays corrupted until reprogramming.
+	ConfigMemory ResourceClass = iota
+	// RegisterFile is architectural register state.
+	RegisterFile
+	// FunctionalUnit is datapath logic (adders, multipliers, FMA trees).
+	FunctionalUnit
+	// ControlLogic is schedulers, sequencers, and address paths; strikes
+	// there cause DUEs (crashes/hangs) rather than data corruption.
+	ControlLogic
+	// MemorySRAM is on-chip data memory: caches, shared memory, BRAM.
+	MemorySRAM
+	numResourceClasses
+)
+
+// NumResourceClasses is the number of distinct resource classes.
+const NumResourceClasses = int(numResourceClasses)
+
+func (c ResourceClass) String() string {
+	switch c {
+	case ConfigMemory:
+		return "config-memory"
+	case RegisterFile:
+		return "register-file"
+	case FunctionalUnit:
+		return "functional-unit"
+	case ControlLogic:
+		return "control-logic"
+	case MemorySRAM:
+		return "memory-sram"
+	}
+	return "resource?"
+}
+
+// Exposure is the sensitive-bit accounting for one resource class of one
+// mapping.
+type Exposure struct {
+	Class ResourceClass
+	// Bits is the time-averaged number of sensitive bits live during an
+	// execution (fractional values arise from residency weighting).
+	Bits float64
+	// CrossSection is the per-bit upset probability per unit fluence,
+	// in arbitrary units consistent across devices.
+	CrossSection float64
+	// Protected marks ECC/parity-corrected state (e.g. the Xeon Phi
+	// register file under MCA): strikes are corrected and masked.
+	Protected bool
+	// DUEFraction is the probability that a strike on this class kills
+	// the execution outright (control logic). The remainder is masked.
+	DUEFraction float64
+	// VulnFraction is the probability that a strike on this class
+	// reaches architectural state at all (e.g. the fraction of a
+	// functional unit's latches that are live for the executing
+	// operation). Zero means the default of 1. This is what makes a
+	// double-precision core — bigger, more live state per op — more
+	// vulnerable per operation than the single/half core (paper Fig 12).
+	VulnFraction float64
+	// OpWeights distributes FunctionalUnit strikes over operation kinds
+	// proportionally to each kind's activity x unit complexity. Unused
+	// for other classes.
+	OpWeights [fp.NumOps]float64
+	// IntStateWeight is the per-site weight of the workload's integer
+	// sequencing state (software-routine table indices and shift
+	// counts), in the same units as OpWeights. FunctionalUnit strikes
+	// land on integer state with probability proportional to
+	// IntStateWeight x the mapping's counted IntSites.
+	IntStateWeight float64
+}
+
+// Rate returns the exposure rate contribution Bits x CrossSection.
+func (e Exposure) Rate() float64 { return e.Bits * e.CrossSection }
+
+// Vuln returns the effective VulnFraction (1 when unset).
+func (e Exposure) Vuln() float64 {
+	if e.VulnFraction <= 0 {
+		return 1
+	}
+	return e.VulnFraction
+}
+
+// Mapping is a kernel compiled onto a device in one precision. It holds
+// everything a campaign needs: the executable (small-scale) kernel, the
+// paper-scale exposure and timing models, and the fault-translation
+// parameters.
+type Mapping struct {
+	// DeviceName and Kernel identify the configuration.
+	DeviceName string
+	Kernel     kernels.Kernel
+	Format     fp.Format
+
+	// Exposures lists sensitive resources at paper scale.
+	Exposures []Exposure
+
+	// Time is the modeled execution time at paper scale.
+	Time time.Duration
+
+	// UnrollFactor is the number of hardware instances each operation
+	// kind is time-multiplexed over. Persistent (FPGA) faults corrupt
+	// one instance, i.e. every UnrollFactor-th dynamic operation.
+	// Zero means persistent faults are not applicable.
+	UnrollFactor uint64
+
+	// Counts is the executable kernel's dynamic op profile in Format,
+	// with Wrap applied (software transcendentals appear as their
+	// constituent operations).
+	Counts fp.OpCounts
+
+	// Wrap, when non-nil, transforms the arithmetic environment the
+	// kernel runs against — e.g. installing the platform's software exp
+	// so its intermediate steps become fault sites. Campaigns must
+	// apply it between the kernel and the (possibly fault-injecting)
+	// base environment.
+	Wrap func(fp.Env) fp.Env
+
+	// Resources holds device-specific synthesis results (FPGA LUT/DSP/
+	// BRAM, Phi register allocation, GPU occupancy) for reporting.
+	Resources map[string]float64
+}
+
+// TotalRate returns the summed exposure rate of unprotected resources —
+// the scale factor that converts outcome fractions into FIT (a.u.).
+func (m *Mapping) TotalRate() float64 {
+	var r float64
+	for _, e := range m.Exposures {
+		if !e.Protected {
+			r += e.Rate()
+		}
+	}
+	return r
+}
+
+// Env applies the mapping's Wrap (if any) to a base environment.
+func (m *Mapping) Env(base fp.Env) fp.Env {
+	if m.Wrap != nil {
+		return m.Wrap(base)
+	}
+	return base
+}
+
+// ExposureFor returns the exposure entry for a class, or a zero Exposure
+// if the mapping has none.
+func (m *Mapping) ExposureFor(c ResourceClass) Exposure {
+	for _, e := range m.Exposures {
+		if e.Class == c {
+			return e
+		}
+	}
+	return Exposure{Class: c}
+}
+
+// Validate checks internal consistency; device model tests call it.
+func (m *Mapping) Validate() error {
+	if m.Kernel == nil {
+		return fmt.Errorf("arch: mapping %s has no kernel", m.DeviceName)
+	}
+	if m.Time <= 0 {
+		return fmt.Errorf("arch: mapping %s/%s/%v has non-positive time %v",
+			m.DeviceName, m.Kernel.Name(), m.Format, m.Time)
+	}
+	if len(m.Exposures) == 0 {
+		return fmt.Errorf("arch: mapping %s/%s/%v has no exposures",
+			m.DeviceName, m.Kernel.Name(), m.Format)
+	}
+	for _, e := range m.Exposures {
+		if e.Bits < 0 || e.CrossSection < 0 {
+			return fmt.Errorf("arch: mapping %s/%s/%v has negative exposure %+v",
+				m.DeviceName, m.Kernel.Name(), m.Format, e)
+		}
+		if e.DUEFraction < 0 || e.DUEFraction > 1 {
+			return fmt.Errorf("arch: mapping %s/%s/%v has DUEFraction %v",
+				m.DeviceName, m.Kernel.Name(), m.Format, e.DUEFraction)
+		}
+	}
+	if m.TotalRate() <= 0 {
+		return fmt.Errorf("arch: mapping %s/%s/%v has zero unprotected exposure",
+			m.DeviceName, m.Kernel.Name(), m.Format)
+	}
+	return nil
+}
+
+// Workload pairs an executable kernel instance with the scale factors
+// that relate it to the paper-sized run. Fault-propagation behavior is
+// measured on the executable instance; exposure and timing are reported
+// at paper scale: dynamic operation counts are multiplied by OpScale and
+// resident data sizes by DataScale (they differ — GEMM ops grow as n^3
+// but data as n^2). Scale-invariance of the propagation probability is
+// the standard assumption behind every sampling fault-injection
+// methodology.
+type Workload struct {
+	Kernel    kernels.Kernel
+	OpScale   float64
+	DataScale float64
+}
+
+// NewWorkload builds a Workload; non-positive scales default to 1.
+func NewWorkload(k kernels.Kernel, opScale, dataScale float64) Workload {
+	if opScale <= 0 {
+		opScale = 1
+	}
+	if dataScale <= 0 {
+		dataScale = 1
+	}
+	return Workload{Kernel: k, OpScale: opScale, DataScale: dataScale}
+}
+
+// Device is a hardware model that can compile (map) a workload at a
+// given precision.
+type Device interface {
+	// Name returns the device's name as used in the paper's tables.
+	Name() string
+	// Supports reports whether the device implements format f (the Xeon
+	// Phi has no half-precision hardware).
+	Supports(f fp.Format) bool
+	// Map compiles the workload for format f, returning exposure and
+	// timing at paper scale. It returns an error for unsupported
+	// formats.
+	Map(w Workload, f fp.Format) (*Mapping, error)
+}
+
+// ErrUnsupported is returned (wrapped) by Map for unsupported formats.
+var ErrUnsupported = fmt.Errorf("arch: format not supported by device")

@@ -1,0 +1,123 @@
+package arch
+
+import (
+	"testing"
+	"time"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+func testMapping() *Mapping {
+	return &Mapping{
+		DeviceName: "test",
+		Kernel:     kernels.NewGEMM(4, 1),
+		Format:     fp.Single,
+		Time:       time.Second,
+		Exposures: []Exposure{
+			{Class: FunctionalUnit, Bits: 100, CrossSection: 1},
+			{Class: RegisterFile, Bits: 50, CrossSection: 2, Protected: true},
+		},
+	}
+}
+
+func TestResourceClassStrings(t *testing.T) {
+	names := map[ResourceClass]string{
+		ConfigMemory: "config-memory", RegisterFile: "register-file",
+		FunctionalUnit: "functional-unit", ControlLogic: "control-logic",
+		MemorySRAM: "memory-sram",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if ResourceClass(99).String() != "resource?" {
+		t.Error("unknown class should stringify to resource?")
+	}
+}
+
+func TestExposureRateAndVuln(t *testing.T) {
+	e := Exposure{Bits: 10, CrossSection: 0.5}
+	if e.Rate() != 5 {
+		t.Errorf("Rate = %v", e.Rate())
+	}
+	if e.Vuln() != 1 {
+		t.Errorf("default Vuln = %v, want 1", e.Vuln())
+	}
+	e.VulnFraction = 0.25
+	if e.Vuln() != 0.25 {
+		t.Errorf("Vuln = %v", e.Vuln())
+	}
+}
+
+func TestMappingTotalRateSkipsProtected(t *testing.T) {
+	m := testMapping()
+	if got := m.TotalRate(); got != 100 {
+		t.Errorf("TotalRate = %v, want 100 (protected excluded)", got)
+	}
+}
+
+func TestMappingExposureFor(t *testing.T) {
+	m := testMapping()
+	if e := m.ExposureFor(FunctionalUnit); e.Bits != 100 {
+		t.Errorf("ExposureFor(FU).Bits = %v", e.Bits)
+	}
+	if e := m.ExposureFor(ControlLogic); e.Bits != 0 || e.Class != ControlLogic {
+		t.Errorf("missing class should return zero exposure, got %+v", e)
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	if err := testMapping().Validate(); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+
+	m := testMapping()
+	m.Kernel = nil
+	if m.Validate() == nil {
+		t.Error("nil kernel accepted")
+	}
+
+	m = testMapping()
+	m.Time = 0
+	if m.Validate() == nil {
+		t.Error("zero time accepted")
+	}
+
+	m = testMapping()
+	m.Exposures = nil
+	if m.Validate() == nil {
+		t.Error("no exposures accepted")
+	}
+
+	m = testMapping()
+	m.Exposures[0].Bits = -1
+	if m.Validate() == nil {
+		t.Error("negative bits accepted")
+	}
+
+	m = testMapping()
+	m.Exposures[0].DUEFraction = 1.5
+	if m.Validate() == nil {
+		t.Error("DUEFraction > 1 accepted")
+	}
+
+	m = testMapping()
+	m.Exposures[0].Protected = true
+	if m.Validate() == nil {
+		t.Error("all-protected mapping accepted")
+	}
+}
+
+func TestNewWorkloadDefaults(t *testing.T) {
+	k := kernels.NewGEMM(4, 1)
+	w := NewWorkload(k, 0, -3)
+	if w.OpScale != 1 || w.DataScale != 1 {
+		t.Errorf("scales = %v/%v, want 1/1", w.OpScale, w.DataScale)
+	}
+	w = NewWorkload(k, 64, 16)
+	if w.OpScale != 64 || w.DataScale != 16 {
+		t.Errorf("scales = %v/%v", w.OpScale, w.DataScale)
+	}
+}

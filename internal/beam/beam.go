@@ -1,0 +1,422 @@
+// Package beam simulates an accelerated-neutron-beam campaign like the
+// paper's ChipIR runs: strikes are sampled over the device's sensitive
+// resources proportionally to bits x cross-section, each strike is
+// translated into a concrete fault in an actual execution of the
+// workload, and the outcome (masked / SDC / DUE) is classified against
+// the golden output.
+//
+// The FIT rate follows as
+//
+//	FIT_outcome = (Σ unprotected bits x σ) x P(outcome | strike)
+//
+// in the same arbitrary units the paper reports. This is the standard
+// decomposition of beam results into exposure (which only the device
+// model knows) and propagation (which only running the workload with the
+// fault can tell) — combining the two is exactly how the paper relates
+// its beam and fault-injection data (Section 3.3).
+//
+// Strike translation per resource class:
+//
+//	ConfigMemory   -> persistent corruption of one hardware operator
+//	                  instance (every UnrollFactor-th dynamic op of one
+//	                  kind), until "reprogramming" — i.e. for the whole
+//	                  observed execution
+//	FunctionalUnit -> with probability VulnFraction, a single dynamic
+//	                  operation's result bit flips
+//	RegisterFile   -> a single dynamic operation's input operand bit
+//	                  flips (if unprotected)
+//	MemorySRAM     -> an input-array element bit flips before the run
+//	ControlLogic   -> DUE with probability DUEFraction, else masked
+package beam
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/inject"
+	"mixedrel/internal/kernels"
+	"mixedrel/internal/rng"
+	"mixedrel/internal/stats"
+)
+
+// MBU models multi-bit upsets: the probability that a strike on an SRAM
+// resource upsets 2 or 3 adjacent cells instead of one (Quinn et al.,
+// the paper's [8], measured exactly this growth with technology
+// scaling). The zero value disables MBUs, which is the paper's baseline
+// single-bit analysis.
+type MBU struct {
+	P2, P3 float64
+}
+
+// Enabled reports whether any multi-bit probability is set.
+func (m MBU) Enabled() bool { return m.P2 > 0 || m.P3 > 0 }
+
+// sampleWidth draws an upset width (1, 2, or 3 adjacent bits).
+func (m MBU) sampleWidth(r *rng.Rand) int {
+	u := r.Float64()
+	switch {
+	case u < m.P3:
+		return 3
+	case u < m.P3+m.P2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// sramClass reports whether strikes on this class hit SRAM cells (where
+// adjacent-bit MBUs are physically meaningful).
+func sramClass(c arch.ResourceClass) bool {
+	switch c {
+	case arch.RegisterFile, arch.MemorySRAM, arch.ConfigMemory:
+		return true
+	}
+	return false
+}
+
+// Experiment is one beam campaign: a mapped workload plus the number of
+// simulated strikes.
+type Experiment struct {
+	Mapping *arch.Mapping
+	// Trials is the number of simulated strikes. The paper's 100+ hours
+	// per configuration collect O(100) errors; a few thousand simulated
+	// strikes give comparable statistics.
+	Trials int
+	Seed   uint64
+	// KeepOutputs retains decoded faulty outputs of SDC trials (for CNN
+	// criticality post-processing).
+	KeepOutputs bool
+	// Workers, when above 1, runs trials on that many goroutines with
+	// per-trial random streams: deterministic in Seed and independent
+	// of scheduling, but a different (equally valid) sample than the
+	// default sequential mode.
+	Workers int
+	// MBU enables multi-bit upsets on SRAM resources. With MBUs
+	// enabled, SECDED-protected resources (Protected exposures) join
+	// the campaign: single-bit strikes are corrected (masked) but
+	// double-bit strikes are detected-uncorrectable, i.e. DUEs —
+	// exactly how the Xeon Phi MCA turns register-file MBUs into
+	// machine checks.
+	MBU MBU
+}
+
+// ClassCounts tallies outcomes attributed to one resource class.
+type ClassCounts struct {
+	Strikes, SDC, DUE, Masked int
+}
+
+// Result summarizes a beam campaign.
+type Result struct {
+	Trials             int
+	SDC, DUE, Masked   int
+	ExposureRate       float64
+	FITSDC, FITDUE     float64
+	FITSDCLo, FITSDCHi float64 // 95% Poisson CI on FITSDC
+	RelErrs            []float64
+	Outputs            [][]float64
+	ByClass            map[arch.ResourceClass]*ClassCounts
+}
+
+// Run executes the campaign. Results are deterministic in Experiment.Seed.
+func (e Experiment) Run() (*Result, error) {
+	m := e.Mapping
+	if m == nil {
+		return nil, fmt.Errorf("beam: experiment has no mapping")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Trials <= 0 {
+		return nil, fmt.Errorf("beam: %d trials", e.Trials)
+	}
+
+	// Only unprotected resources can produce observable events in the
+	// single-bit baseline; with MBUs enabled, SECDED-protected SRAM
+	// joins the campaign (double-bit upsets defeat the correction).
+	var exposures []arch.Exposure
+	var rate float64
+	for _, x := range m.Exposures {
+		if x.Rate() <= 0 {
+			continue
+		}
+		if x.Protected && !e.MBU.Enabled() {
+			continue
+		}
+		exposures = append(exposures, x)
+		rate += x.Rate()
+	}
+	if len(exposures) == 0 {
+		return nil, fmt.Errorf("beam: mapping has no unprotected exposure")
+	}
+
+	golden := kernels.Decode(m.Format, kernels.GoldenWith(m.Kernel, m.Format, m.Wrap))
+	var arrayLens []int
+	for _, a := range m.Kernel.Inputs(m.Format) {
+		arrayLens = append(arrayLens, len(a))
+	}
+
+	res := &Result{Trials: e.Trials, ExposureRate: rate,
+		ByClass: make(map[arch.ResourceClass]*ClassCounts)}
+	for _, x := range exposures {
+		res.ByClass[x.Class] = &ClassCounts{}
+	}
+
+	ctx := &trialCtx{exp: e, exposures: exposures, rate: rate,
+		golden: golden, arrayLens: arrayLens}
+
+	if e.Workers > 1 {
+		// Parallel mode: every trial draws from its own stream derived
+		// from the campaign seed, so the outcome is deterministic in
+		// Seed and independent of scheduling (but a different — equally
+		// valid — sample than the sequential mode's single stream).
+		outs := make([]trialOutcome, e.Trials)
+		master := rng.New(e.Seed)
+		seeds := make([]uint64, e.Trials)
+		for t := range seeds {
+			seeds[t] = master.Uint64()
+		}
+		var wg sync.WaitGroup
+		next := int64(-1)
+		for w := 0; w < e.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(atomic.AddInt64(&next, 1))
+					if t >= e.Trials {
+						return
+					}
+					outs[t] = ctx.runTrial(rng.New(seeds[t]))
+				}
+			}()
+		}
+		wg.Wait()
+		for _, o := range outs {
+			res.record(o, e.KeepOutputs)
+		}
+	} else {
+		r := rng.New(e.Seed)
+		for t := 0; t < e.Trials; t++ {
+			res.record(ctx.runTrial(r), e.KeepOutputs)
+		}
+	}
+
+	res.FITSDC = rate * float64(res.SDC) / float64(res.Trials)
+	res.FITDUE = rate * float64(res.DUE) / float64(res.Trials)
+	lo, hi := stats.PoissonCI(int64(res.SDC), 0.95)
+	res.FITSDCLo = rate * lo / float64(res.Trials)
+	res.FITSDCHi = rate * hi / float64(res.Trials)
+	return res, nil
+}
+
+// trialOutcome is the classified result of one simulated strike.
+type trialOutcome struct {
+	class   arch.ResourceClass
+	outcome int // 0 masked, 1 SDC, 2 DUE
+	relErr  float64
+	output  []float64
+}
+
+const (
+	outMasked = iota
+	outSDC
+	outDUE
+)
+
+// record folds one trial into the aggregate result.
+func (res *Result) record(o trialOutcome, keep bool) {
+	cc := res.ByClass[o.class]
+	cc.Strikes++
+	switch o.outcome {
+	case outSDC:
+		res.SDC++
+		cc.SDC++
+		res.RelErrs = append(res.RelErrs, o.relErr)
+		if keep {
+			res.Outputs = append(res.Outputs, o.output)
+		}
+	case outDUE:
+		res.DUE++
+		cc.DUE++
+	default:
+		res.Masked++
+		cc.Masked++
+	}
+}
+
+// trialCtx holds the immutable campaign state shared by trials.
+type trialCtx struct {
+	exp       Experiment
+	exposures []arch.Exposure
+	rate      float64
+	golden    []float64
+	arrayLens []int
+}
+
+// runTrial simulates one strike, drawing all randomness from r.
+func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
+	e := c.exp
+	m := e.Mapping
+	x := sampleExposure(r, c.exposures, c.rate)
+	out := trialOutcome{class: x.Class}
+
+	width := 1
+	if e.MBU.Enabled() && sramClass(x.Class) {
+		width = e.MBU.sampleWidth(r)
+	}
+	if x.Protected {
+		// SECDED: single-bit corrected; multi-bit detected
+		// uncorrectable -> machine check (DUE).
+		if width >= 2 {
+			out.outcome = outDUE
+		}
+		return out
+	}
+
+	var rr inject.RunResult
+	switch x.Class {
+	case arch.ControlLogic:
+		if r.Float64() < x.DUEFraction {
+			out.outcome = outDUE
+		}
+		return out
+
+	case arch.ConfigMemory:
+		kind := sampleOpKind(r, x.OpWeights, m.Counts)
+		mod := m.UnrollFactor
+		if mod == 0 {
+			mod = 1
+		}
+		fault := inject.OpFault{
+			Kind:   kind,
+			Index:  r.Uint64n(mod),
+			Modulo: mod,
+			Bit:    r.Intn(m.Format.Width()),
+			Width:  width,
+			Target: inject.TargetResult,
+		}
+		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+
+	case arch.FunctionalUnit:
+		if r.Float64() >= x.Vuln() {
+			return out
+		}
+		// A functional-unit strike lands either on the floating-point
+		// datapath or — proportionally to the weighted integer
+		// sequencing state of software routines — on an integer
+		// decision (table index / shift count).
+		intW := x.IntStateWeight * float64(m.Counts.IntSites)
+		var opW float64
+		for op, w := range x.OpWeights {
+			if m.Counts.ByOp[op] > 0 {
+				opW += w
+			}
+		}
+		if intW > 0 && r.Float64() < intW/(intW+opW) {
+			fault := inject.OpFault{
+				Index:  r.Uint64n(m.Counts.IntSites),
+				Bit:    r.Intn(5),
+				Target: inject.TargetIntState,
+			}
+			rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+			break
+		}
+		kind := sampleOpKind(r, x.OpWeights, m.Counts)
+		fault := inject.OpFault{
+			Kind:   kind,
+			Index:  r.Uint64n(m.Counts.ByOp[kind]),
+			Bit:    r.Intn(m.Format.Width()),
+			Width:  width,
+			Target: inject.TargetResult,
+		}
+		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+
+	case arch.RegisterFile:
+		fault := inject.SampleOpFault(r, m.Counts, m.Format, 0, true, inject.TargetOperand)
+		fault.Width = width
+		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+
+	case arch.MemorySRAM:
+		mf := inject.SampleMemFault(r, c.arrayLens, m.Format)
+		mf.Width = width
+		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, nil, []inject.MemFault{mf}, e.KeepOutputs, m.Wrap)
+
+	default:
+		panic(fmt.Sprintf("beam: unhandled resource class %v", x.Class))
+	}
+
+	if rr.Outcome == inject.SDC {
+		out.outcome = outSDC
+		out.relErr = rr.MaxRelErr
+		out.output = rr.Output
+	}
+	return out
+}
+
+// sampleExposure picks an exposure proportionally to its rate.
+func sampleExposure(r *rng.Rand, exposures []arch.Exposure, total float64) arch.Exposure {
+	u := r.Float64() * total
+	for _, x := range exposures {
+		u -= x.Rate()
+		if u < 0 {
+			return x
+		}
+	}
+	return exposures[len(exposures)-1]
+}
+
+// sampleOpKind picks an operation kind proportionally to weights,
+// restricted to kinds the kernel actually executed.
+func sampleOpKind(r *rng.Rand, weights [fp.NumOps]float64, counts fp.OpCounts) fp.Op {
+	var total float64
+	for op, w := range weights {
+		if counts.ByOp[op] > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		// Fall back to uniform over executed kinds.
+		var kinds []fp.Op
+		for op := fp.Op(0); int(op) < fp.NumOps; op++ {
+			if counts.ByOp[op] > 0 {
+				kinds = append(kinds, op)
+			}
+		}
+		return kinds[r.Intn(len(kinds))]
+	}
+	u := r.Float64() * total
+	for op, w := range weights {
+		if counts.ByOp[op] == 0 {
+			continue
+		}
+		u -= w
+		if u < 0 {
+			return fp.Op(op)
+		}
+	}
+	for op := fp.NumOps - 1; op >= 0; op-- {
+		if counts.ByOp[op] > 0 {
+			return fp.Op(op)
+		}
+	}
+	panic("beam: no executed operations")
+}
+
+// MarshalJSON encodes the result with non-finite relative errors (and
+// output values) clamped to +-MaxFloat64, since JSON has no Inf/NaN.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type alias Result
+	safe := alias(*r)
+	safe.RelErrs = stats.ClampNonFinite(r.RelErrs)
+	if r.Outputs != nil {
+		safe.Outputs = make([][]float64, len(r.Outputs))
+		for i, o := range r.Outputs {
+			safe.Outputs[i] = stats.ClampNonFinite(o)
+		}
+	}
+	return json.Marshal(safe)
+}

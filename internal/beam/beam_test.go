@@ -1,0 +1,168 @@
+package beam
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/fpga"
+	"mixedrel/internal/gpu"
+	"mixedrel/internal/kernels"
+	"mixedrel/internal/xeonphi"
+)
+
+func mustMap(t *testing.T, d arch.Device, k kernels.Kernel, f fp.Format) *arch.Mapping {
+	t.Helper()
+	m, err := d.Map(arch.NewWorkload(k, 1e6, 1), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := (Experiment{}).Run(); err == nil {
+		t.Error("nil mapping accepted")
+	}
+	m := mustMap(t, gpu.New(), kernels.NewGEMM(8, 1), fp.Single)
+	if _, err := (Experiment{Mapping: m, Trials: 0}).Run(); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	m := mustMap(t, gpu.New(), kernels.NewGEMM(8, 1), fp.Single)
+	e := Experiment{Mapping: m, Trials: 200, Seed: 5}
+	a, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SDC != b.SDC || a.DUE != b.DUE || a.FITSDC != b.FITSDC {
+		t.Errorf("beam campaign not deterministic")
+	}
+}
+
+func TestOutcomeCountsConsistent(t *testing.T) {
+	m := mustMap(t, gpu.New(), kernels.NewGEMM(8, 1), fp.Single)
+	res, err := Experiment{Mapping: m, Trials: 300, Seed: 7}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SDC+res.DUE+res.Masked != res.Trials {
+		t.Errorf("outcomes %d+%d+%d != %d trials", res.SDC, res.DUE, res.Masked, res.Trials)
+	}
+	var strikes int
+	for _, cc := range res.ByClass {
+		strikes += cc.Strikes
+		if cc.SDC+cc.DUE+cc.Masked != cc.Strikes {
+			t.Errorf("class counts inconsistent: %+v", cc)
+		}
+	}
+	if strikes != res.Trials {
+		t.Errorf("per-class strikes %d != %d trials", strikes, res.Trials)
+	}
+	if len(res.RelErrs) != res.SDC {
+		t.Errorf("one rel-err per SDC: %d vs %d", len(res.RelErrs), res.SDC)
+	}
+}
+
+func TestFITBounds(t *testing.T) {
+	m := mustMap(t, gpu.New(), kernels.NewGEMM(8, 1), fp.Half)
+	res, err := Experiment{Mapping: m, Trials: 400, Seed: 11}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FITSDC < 0 || res.FITSDC > res.ExposureRate {
+		t.Errorf("FITSDC %v outside [0, exposure %v]", res.FITSDC, res.ExposureRate)
+	}
+	if res.SDC > 0 && !(res.FITSDCLo < res.FITSDC && res.FITSDC < res.FITSDCHi) {
+		t.Errorf("CI [%v, %v] does not bracket FIT %v", res.FITSDCLo, res.FITSDCHi, res.FITSDC)
+	}
+}
+
+// Protected resources must never produce events: on the Xeon Phi the
+// register file is ECC'd, so no RegisterFile strikes appear.
+func TestProtectedResourcesExcluded(t *testing.T) {
+	m := mustMap(t, xeonphi.New(), kernels.NewGEMM(8, 1), fp.Single)
+	res, err := Experiment{Mapping: m, Trials: 300, Seed: 13}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.ByClass[arch.RegisterFile]; ok {
+		t.Error("protected register file received strikes")
+	}
+}
+
+// The FPGA mapping has no control logic: a beam campaign must observe
+// zero DUEs, matching the paper's FPGA observation.
+func TestFPGANoDUE(t *testing.T) {
+	d := fpga.New()
+	m, err := d.Map(arch.NewWorkload(kernels.NewGEMM(12, 3), 512, 64), fp.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Experiment{Mapping: m, Trials: 300, Seed: 17}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DUE != 0 {
+		t.Errorf("FPGA campaign observed %d DUEs", res.DUE)
+	}
+	if res.SDC == 0 {
+		t.Error("FPGA campaign observed no SDCs at all")
+	}
+}
+
+// GPU campaigns on control-heavy kernels must observe DUEs.
+func TestGPUObservesDUE(t *testing.T) {
+	m := mustMap(t, gpu.New(), kernels.NewLavaMD(2, 3, 3), fp.Single)
+	res, err := Experiment{Mapping: m, Trials: 500, Seed: 19}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DUE == 0 {
+		t.Error("no DUEs observed on a GPU LavaMD campaign")
+	}
+	if res.FITDUE <= 0 {
+		t.Error("FITDUE should be positive")
+	}
+}
+
+func TestKeepOutputs(t *testing.T) {
+	m := mustMap(t, gpu.New(), kernels.NewGEMM(6, 5), fp.Single)
+	res, err := Experiment{Mapping: m, Trials: 200, Seed: 23, KeepOutputs: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != res.SDC {
+		t.Errorf("outputs %d != SDCs %d", len(res.Outputs), res.SDC)
+	}
+}
+
+// Cross-device, same workload: FIT in consistent units. The FPGA's
+// config memory is orders of magnitude more exposed per useful op than
+// the GPU's logic — sanity-check only that both produce finite values.
+func TestFITFinite(t *testing.T) {
+	for _, tc := range []struct {
+		d arch.Device
+		f fp.Format
+	}{
+		{fpga.New(), fp.Half},
+		{xeonphi.New(), fp.Double},
+		{gpu.New(), fp.Single},
+	} {
+		m := mustMap(t, tc.d, kernels.NewGEMM(8, 1), tc.f)
+		res, err := Experiment{Mapping: m, Trials: 150, Seed: 29}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(res.FITSDC) || math.IsInf(res.FITSDC, 0) {
+			t.Errorf("%s: FIT not finite", tc.d.Name())
+		}
+	}
+}

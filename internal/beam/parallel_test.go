@@ -1,0 +1,97 @@
+package beam
+
+import (
+	"testing"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/gpu"
+	"mixedrel/internal/kernels"
+)
+
+// Parallel campaigns must be deterministic in the seed regardless of
+// worker count.
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, err := gpu.New().Map(arch.NewWorkload(kernels.NewGEMM(8, 1), 1e6, 1e3), fp.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		res, err := Experiment{Mapping: m, Trials: 300, Seed: 9, Workers: workers,
+			KeepOutputs: true}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(2), run(4), run(8)
+	if a.SDC != b.SDC || b.SDC != c.SDC || a.DUE != b.DUE || b.DUE != c.DUE {
+		t.Fatalf("worker counts disagree: %d/%d vs %d/%d vs %d/%d",
+			a.SDC, a.DUE, b.SDC, b.DUE, c.SDC, c.DUE)
+	}
+	// Order-sensitive artifacts must match too.
+	if len(a.RelErrs) != len(b.RelErrs) {
+		t.Fatal("rel-err counts differ")
+	}
+	for i := range a.RelErrs {
+		if a.RelErrs[i] != b.RelErrs[i] {
+			t.Fatalf("rel-err order differs at %d", i)
+		}
+	}
+	for i := range a.Outputs {
+		for j := range a.Outputs[i] {
+			if a.Outputs[i][j] != b.Outputs[i][j] {
+				t.Fatalf("outputs differ at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+// The parallel and sequential estimators must agree statistically: same
+// exposure, outcome fractions within sampling error.
+func TestParallelAgreesWithSequential(t *testing.T) {
+	m, err := gpu.New().Map(arch.NewWorkload(kernels.NewGEMM(10, 2), 1e6, 1e3), fp.Half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 1500
+	seq, err := Experiment{Mapping: m, Trials: trials, Seed: 4}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Experiment{Mapping: m, Trials: trials, Seed: 4, Workers: 4}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.ExposureRate != par.ExposureRate {
+		t.Fatal("exposure rate should be identical")
+	}
+	// Fractions within 5 sigma of each other.
+	ps := float64(seq.SDC) / trials
+	pp := float64(par.SDC) / trials
+	sigma := 5 * 0.5 / 38.7 // 5*sqrt(p(1-p)/n) upper bound
+	if diff := ps - pp; diff > sigma || diff < -sigma {
+		t.Errorf("SDC fraction %v (seq) vs %v (par) differ beyond noise", ps, pp)
+	}
+}
+
+func TestParallelCountsConsistent(t *testing.T) {
+	m, err := gpu.New().Map(arch.NewWorkload(kernels.NewLavaMD(2, 3, 1), 1e6, 1e3), fp.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Experiment{Mapping: m, Trials: 400, Seed: 6, Workers: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SDC+res.DUE+res.Masked != res.Trials {
+		t.Errorf("outcomes do not sum to trials: %+v", res)
+	}
+	strikes := 0
+	for _, cc := range res.ByClass {
+		strikes += cc.Strikes
+	}
+	if strikes != res.Trials {
+		t.Errorf("per-class strikes %d != trials %d", strikes, res.Trials)
+	}
+}

@@ -1,0 +1,245 @@
+package fp
+
+import (
+	"math"
+	"math/bits"
+)
+
+// BFloat16 is the bfloat16 format: 1 sign, 8 exponent, 7 significand
+// bits — the same exponent range as binary32 in half the width. The
+// paper's architectures predate hardware bfloat16, but the format is the
+// natural "future work" point on the precision-reliability curve the
+// paper sweeps: same storage cost as binary16 with a different
+// mantissa/exponent split, which changes both which bit flips are
+// critical and how often faults push values to Inf/NaN. The extension
+// experiments (cmd/reproduce -only ext-bf16) quantify exactly that.
+const BFloat16 Format = 3
+
+// AllFormats lists every supported format, narrowest first, including
+// the bfloat16 extension. Formats remains the paper's three.
+var AllFormats = []Format{Half, BFloat16, Single, Double}
+
+// bfloatFromFloat64 rounds v to bfloat16 with round-to-nearest-even.
+// bfloat16 shares binary32's exponent field, so the conversion rounds
+// the binary64 significand from 52 to 7 bits and rebases the exponent,
+// handling subnormals (below 2^-126) and overflow past ~3.39e38.
+func bfloatFromFloat64(v float64) uint16 {
+	b := math.Float64bits(v)
+	sign := uint16(b>>48) & 0x8000
+	exp := int(b>>52) & 0x7ff
+	mant := b & 0xfffffffffffff
+
+	if exp == 0x7ff { // Inf or NaN
+		if mant == 0 {
+			return sign | 0x7f80
+		}
+		return sign | 0x7fc0 // canonical quiet NaN
+	}
+
+	e := exp - 1023
+	sig := mant
+	if exp != 0 {
+		sig |= 1 << 52
+	} else {
+		// binary64 subnormals are below bfloat16's subnormal range.
+		return sign
+	}
+
+	switch {
+	case e > 127:
+		return sign | 0x7f80 // overflow to infinity
+	case e >= -126:
+		// Normal range: keep 7 explicit significand bits.
+		s := rneShift(sig, 52-7)
+		if s >= 1<<8 {
+			s >>= 1
+			e++
+			if e > 127 {
+				return sign | 0x7f80
+			}
+		}
+		return sign | uint16(e+127)<<7 | uint16(s&0x7f)
+	case e >= -134:
+		// Subnormal range (including the half-ulp below the smallest
+		// subnormal, which can round up): value = mant7 * 2^-133.
+		mant7 := rneShift(sig, 52-7+(-126-e))
+		return sign | uint16(mant7)
+	default:
+		return sign
+	}
+}
+
+// bfloatToFloat64 decodes a bfloat16 encoding exactly.
+func bfloatToFloat64(h uint16) float64 {
+	sign := uint64(h>>15) & 1
+	exp := int(h>>7) & 0xff
+	mant := uint64(h) & 0x7f
+
+	var bits64 uint64
+	switch {
+	case exp == 0xff:
+		if mant == 0 {
+			bits64 = 0x7ff << 52
+		} else {
+			bits64 = 0x7ff<<52 | mant<<45 | 1<<51
+		}
+	case exp == 0:
+		if mant == 0 {
+			bits64 = 0
+		} else {
+			// Normalize: value is mant * 2^-133; after k shifts the
+			// implicit bit sits at position 7 and the unbiased
+			// exponent is -126-k.
+			e := -126
+			for mant&0x80 == 0 {
+				mant <<= 1
+				e--
+			}
+			mant &= 0x7f
+			bits64 = uint64(e+1023)<<52 | mant<<45
+		}
+	default:
+		bits64 = uint64(exp-127+1023)<<52 | mant<<45
+	}
+	return math.Float64frombits(bits64 | sign<<63)
+}
+
+// The following mirrors soft16.go for bfloat16: an independent
+// integer-only addition and multiplication used to cross-check the
+// via-binary64 path in the tests.
+
+func decodeBF(h uint16) dec16 {
+	d := dec16{neg: h&0x8000 != 0}
+	e := int(h>>7) & 0xff
+	m := uint64(h) & 0x7f
+	if e == 0 {
+		d.sig = m
+		d.exp = -133
+		return d
+	}
+	d.sig = m | 1<<7
+	d.exp = e - 127 - 7
+	return d
+}
+
+// encodeBF rounds the exact value ±sig*2^exp to bfloat16 (RNE).
+func encodeBF(neg bool, sig uint64, exp int) uint16 {
+	var sign uint16
+	if neg {
+		sign = 0x8000
+	}
+	if sig == 0 {
+		return sign
+	}
+	p := bits.Len64(sig) - 1
+	e := p + exp
+	if e > 127 {
+		return sign | 0x7f80
+	}
+	if e >= -126 {
+		s := rneShift(sig, p-7)
+		if s >= 1<<8 {
+			s >>= 1
+			e++
+			if e > 127 {
+				return sign | 0x7f80
+			}
+		}
+		return sign | uint16(e+127)<<7 | uint16(s&0x7f)
+	}
+	mant := rneShift(sig, -(exp + 133))
+	return sign | uint16(mant)
+}
+
+func isNaNBF(h uint16) bool { return h&0x7f80 == 0x7f80 && h&0x7f != 0 }
+func isInfBF(h uint16) bool { return h&0x7fff == 0x7f80 }
+
+// softAddBF returns a+b in bfloat16 using integer-only arithmetic.
+func softAddBF(a, b uint16) uint16 {
+	if isNaNBF(a) || isNaNBF(b) {
+		return 0x7fc0
+	}
+	ai, bi := isInfBF(a), isInfBF(b)
+	switch {
+	case ai && bi:
+		if a == b {
+			return a
+		}
+		return 0x7fc0
+	case ai:
+		return a
+	case bi:
+		return b
+	}
+	da, db := decodeBF(a), decodeBF(b)
+	if da.sig == 0 && db.sig == 0 {
+		if da.neg && db.neg {
+			return 0x8000
+		}
+		return 0
+	}
+	// Exponents lie in [-133, 120]; with 8-bit significands the largest
+	// alignment shift (253 bits) would overflow int64. Beyond 45 bits
+	// the smaller operand is far below the final rounding position and
+	// only matters as a sticky contribution, so collapse it to one.
+	if da.exp-db.exp > 45 {
+		db.exp = da.exp - 45
+		if db.sig != 0 {
+			db.sig = 1
+		}
+	}
+	if db.exp-da.exp > 45 {
+		da.exp = db.exp - 45
+		if da.sig != 0 {
+			da.sig = 1
+		}
+	}
+	e := da.exp
+	if db.exp < e {
+		e = db.exp
+	}
+	va := int64(da.sig) << uint(da.exp-e)
+	vb := int64(db.sig) << uint(db.exp-e)
+	if da.neg {
+		va = -va
+	}
+	if db.neg {
+		vb = -vb
+	}
+	sum := va + vb
+	if sum == 0 {
+		return 0
+	}
+	neg := sum < 0
+	if neg {
+		sum = -sum
+	}
+	return encodeBF(neg, uint64(sum), e)
+}
+
+// softMulBF returns a*b in bfloat16 using integer-only arithmetic.
+func softMulBF(a, b uint16) uint16 {
+	if isNaNBF(a) || isNaNBF(b) {
+		return 0x7fc0
+	}
+	neg := (a^b)&0x8000 != 0
+	ai, bi := isInfBF(a), isInfBF(b)
+	az, bz := a&0x7fff == 0, b&0x7fff == 0
+	if ai || bi {
+		if az || bz {
+			return 0x7fc0
+		}
+		if neg {
+			return 0xff80
+		}
+		return 0x7f80
+	}
+	if az || bz {
+		if neg {
+			return 0x8000
+		}
+		return 0
+	}
+	da, db := decodeBF(a), decodeBF(b)
+	return encodeBF(neg, da.sig*db.sig, da.exp+db.exp)
+}

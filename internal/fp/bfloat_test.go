@@ -1,0 +1,187 @@
+package fp
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/rng"
+)
+
+var bfKnown = []struct {
+	bits uint16
+	val  float64
+}{
+	{0x0000, 0},
+	{0x3f80, 1},
+	{0xbf80, -1},
+	{0x4000, 2},
+	{0x3f00, 0.5},
+	{0x4049, 3.140625}, // pi rounded to bfloat16
+	{0x7f7f, 0x1.FEp127},
+	{0x0080, math.Ldexp(1, -126)}, // min normal
+	{0x0001, math.Ldexp(1, -133)}, // min subnormal
+	{0x007f, math.Ldexp(127, -133)},
+	{0x7f80, math.Inf(1)},
+	{0xff80, math.Inf(-1)},
+}
+
+func TestBFloatKnownValues(t *testing.T) {
+	for _, k := range bfKnown {
+		if got := bfloatToFloat64(k.bits); got != k.val {
+			t.Errorf("bfloatToFloat64(%#04x) = %v, want %v", k.bits, got, k.val)
+		}
+		if got := bfloatFromFloat64(k.val); got != k.bits {
+			t.Errorf("bfloatFromFloat64(%v) = %#04x, want %#04x", k.val, got, k.bits)
+		}
+	}
+}
+
+func TestBFloatFormatFields(t *testing.T) {
+	f := BFloat16
+	if f.Width() != 16 || f.MantBits() != 7 || f.ExpBits() != 8 || f.Bias() != 127 {
+		t.Errorf("bfloat16 fields: w=%d m=%d e=%d b=%d",
+			f.Width(), f.MantBits(), f.ExpBits(), f.Bias())
+	}
+	if f.String() != "bfloat16" {
+		t.Errorf("name %q", f.String())
+	}
+	if !f.IsNaN(f.QuietNaN()) || !f.IsInf(f.Inf(false)) {
+		t.Error("bfloat16 classifiers broken")
+	}
+}
+
+// Exhaustive round trip over all 65536 encodings.
+func TestBFloatRoundTripExhaustive(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		h := uint16(i)
+		v := bfloatToFloat64(h)
+		back := bfloatFromFloat64(v)
+		want := h
+		if isNaNBF(h) {
+			want = h&0x8000 | 0x7fc0
+		}
+		if back != want {
+			t.Fatalf("round trip %#04x -> %v -> %#04x (want %#04x)", h, v, back, want)
+		}
+	}
+}
+
+// Truncating a float32 to its top 16 bits is the classic cheap bfloat16
+// conversion; RNE must agree with it whenever the dropped bits are zero.
+func TestBFloatAgreesWithFloat32Truncation(t *testing.T) {
+	r := rng.New(7)
+	for i := 0; i < 20000; i++ {
+		raw := uint32(r.Uint64()) & 0xffff0000 // exact bfloat16 values
+		v := float64(math.Float32frombits(raw))
+		if math.IsNaN(v) {
+			continue
+		}
+		if got := bfloatFromFloat64(v); got != uint16(raw>>16) {
+			t.Fatalf("exact value %v encoded as %#04x, want %#04x", v, got, raw>>16)
+		}
+	}
+}
+
+func TestBFloatOverflowUnderflow(t *testing.T) {
+	if got := bfloatFromFloat64(3.5e38); got != 0x7f80 {
+		t.Errorf("3.5e38 -> %#04x, want +Inf", got)
+	}
+	if got := bfloatFromFloat64(-3.5e38); got != 0xff80 {
+		t.Errorf("-3.5e38 -> %#04x, want -Inf", got)
+	}
+	// Exactly halfway past max finite rounds to Inf under RNE.
+	if got := bfloatFromFloat64(0x1.FFp127); got != 0x7f80 {
+		t.Errorf("midpoint above max -> %#04x", got)
+	}
+	if got := bfloatFromFloat64(math.Ldexp(1, -134)); got != 0 {
+		t.Errorf("half min subnormal -> %#04x, want 0 (ties to even)", got)
+	}
+	if got := bfloatFromFloat64(math.Ldexp(1.5, -134)); got != 0x0001 {
+		t.Errorf("0.75 ulp -> %#04x, want min subnormal", got)
+	}
+}
+
+func TestBFloatSoftCrossCheck(t *testing.T) {
+	r := rng.New(20190217)
+	n := 200000
+	if testing.Short() {
+		n = 20000
+	}
+	m := NewMachine(BFloat16)
+	for i := 0; i < n; i++ {
+		a := uint16(r.Uint64())
+		b := uint16(r.Uint64())
+		ga := softAddBF(a, b)
+		wa := uint16(m.Add(Bits(a), Bits(b)))
+		if !(isNaNBF(ga) && isNaNBF(wa)) && ga != wa {
+			t.Fatalf("add(%#04x, %#04x): soft=%#04x machine=%#04x", a, b, ga, wa)
+		}
+		gm := softMulBF(a, b)
+		wm := uint16(m.Mul(Bits(a), Bits(b)))
+		if !(isNaNBF(gm) && isNaNBF(wm)) && gm != wm {
+			t.Fatalf("mul(%#04x, %#04x): soft=%#04x machine=%#04x", a, b, gm, wm)
+		}
+	}
+}
+
+func TestBFloatMachineArithmetic(t *testing.T) {
+	m := NewMachine(BFloat16)
+	two, three := m.FromFloat64(2), m.FromFloat64(3)
+	if got := m.ToFloat64(m.Mul(two, three)); got != 6 {
+		t.Errorf("2*3 = %v", got)
+	}
+	if got := m.ToFloat64(m.FMA(two, three, three)); got != 9 {
+		t.Errorf("2*3+3 = %v", got)
+	}
+	// Same dynamic range as single: 1e30 is representable...
+	if b := m.FromFloat64(1e30); BFloat16.IsInf(b) {
+		t.Error("1e30 should be finite in bfloat16")
+	}
+	// ...unlike in binary16.
+	if b := Half.FromFloat64(1e30); !Half.IsInf(b) {
+		t.Error("1e30 should overflow binary16")
+	}
+}
+
+// The reliability-relevant contrast with binary16: bfloat16 has coarser
+// precision (flips move values further) but far wider range (fewer
+// faults saturate to Inf).
+func TestBFloatVsHalfFlipCharacter(t *testing.T) {
+	// A low-mantissa flip in bfloat16 is ~8x coarser than in binary16.
+	one := 1.0
+	bfFlip := BFloat16.ToFloat64(BFloat16.FlipBit(BFloat16.FromFloat64(one), 0)) - one
+	hFlip := Half.ToFloat64(Half.FlipBit(Half.FromFloat64(one), 0)) - one
+	if bfFlip/hFlip < 7.9 || bfFlip/hFlip > 8.1 {
+		t.Errorf("LSB flip ratio %v, want 8 (2^10/2^7)", bfFlip/hFlip)
+	}
+	// A top-exponent-bit flip of a modest value overflows binary16's
+	// conversion of the result but stays finite in bfloat16.
+	v := 3.0
+	hb := Half.FlipBit(Half.FromFloat64(v), Half.MantBits()+Half.ExpBits()-1)
+	bb := BFloat16.FlipBit(BFloat16.FromFloat64(v), BFloat16.MantBits()+BFloat16.ExpBits()-1)
+	if math.IsInf(Half.ToFloat64(hb), 0) {
+		t.Error("half top-exponent flip of 3.0 should be finite (downward flip)")
+	}
+	if math.IsInf(BFloat16.ToFloat64(bb), 0) {
+		t.Error("bfloat16 top-exponent flip of 3.0 should be finite")
+	}
+}
+
+func TestAllFormatsIncludesBFloat(t *testing.T) {
+	if len(AllFormats) != 4 {
+		t.Fatalf("AllFormats has %d entries", len(AllFormats))
+	}
+	seen := map[Format]bool{}
+	for _, f := range AllFormats {
+		seen[f] = true
+	}
+	for _, f := range []Format{Half, BFloat16, Single, Double} {
+		if !seen[f] {
+			t.Errorf("AllFormats missing %v", f)
+		}
+	}
+	// Formats (the paper's set) must stay at three.
+	if len(Formats) != 3 {
+		t.Errorf("Formats must remain the paper's three, got %d", len(Formats))
+	}
+}

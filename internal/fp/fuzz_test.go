@@ -1,0 +1,90 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets for the format conversion machinery. `go test` runs the
+// seed corpus; `go test -fuzz=FuzzHalfRoundTrip ./internal/fp` explores
+// further.
+
+func FuzzHalfRoundTrip(f *testing.F) {
+	for _, seed := range []uint16{0, 1, 0x3c00, 0x7bff, 0x7c00, 0x7e01, 0x8000, 0xfc00} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, h uint16) {
+		v := halfToFloat64(h)
+		back := halfFromFloat64(v)
+		want := h
+		if isNaN16(h) {
+			want = h&0x8000 | 0x7e00
+		}
+		if back != want {
+			t.Fatalf("%#04x -> %v -> %#04x", h, v, back)
+		}
+	})
+}
+
+func FuzzBFloatRoundTrip(f *testing.F) {
+	for _, seed := range []uint16{0, 1, 0x3f80, 0x7f7f, 0x7f80, 0x7fc1, 0x8000} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, h uint16) {
+		v := bfloatToFloat64(h)
+		back := bfloatFromFloat64(v)
+		want := h
+		if isNaNBF(h) {
+			want = h&0x8000 | 0x7fc0
+		}
+		if back != want {
+			t.Fatalf("%#04x -> %v -> %#04x", h, v, back)
+		}
+	})
+}
+
+func FuzzSoft16AgreesWithMachine(f *testing.F) {
+	f.Add(uint16(0x3c00), uint16(0x3c00))
+	f.Add(uint16(0x0001), uint16(0x83ff))
+	f.Add(uint16(0x7bff), uint16(0x7bff))
+	f.Fuzz(func(t *testing.T, a, b uint16) {
+		m := NewMachine(Half)
+		ga, wa := softAdd16(a, b), uint16(m.Add(Bits(a), Bits(b)))
+		if !(isNaN16(ga) && isNaN16(wa)) && ga != wa {
+			t.Fatalf("add(%#04x,%#04x): %#04x vs %#04x", a, b, ga, wa)
+		}
+		gm, wm := softMul16(a, b), uint16(m.Mul(Bits(a), Bits(b)))
+		if !(isNaN16(gm) && isNaN16(wm)) && gm != wm {
+			t.Fatalf("mul(%#04x,%#04x): %#04x vs %#04x", a, b, gm, wm)
+		}
+	})
+}
+
+func FuzzHalfEncodeNearest(f *testing.F) {
+	f.Add(1.0)
+	f.Add(-65504.0)
+	f.Add(6.1e-5)
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) {
+			return
+		}
+		b := halfFromFloat64(v)
+		got := halfToFloat64(b)
+		if math.IsInf(got, 0) || got == 0 {
+			return // saturated or underflowed: nearest-check needs neighbors
+		}
+		// No representable value may be strictly closer than the chosen one.
+		for _, nb := range []uint16{b + 1, b - 1} {
+			if isNaN16(nb) || isInf16(nb) {
+				continue
+			}
+			if (nb^b)&0x8000 != 0 {
+				continue // crossed the sign boundary
+			}
+			nv := halfToFloat64(nb)
+			if math.Abs(nv-v) < math.Abs(got-v) {
+				t.Fatalf("%v rounds to %v but %v is closer", v, got, nv)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package fp
+
+import "math"
+
+// halfToFloat64 decodes an IEEE-754 binary16 encoding to float64. The
+// conversion is exact.
+func halfToFloat64(h uint16) float64 {
+	sign := uint64(h>>15) & 1
+	exp := int(h>>10) & 0x1f
+	mant := uint64(h) & 0x3ff
+
+	var bits64 uint64
+	switch {
+	case exp == 0x1f: // Inf or NaN
+		if mant == 0 {
+			bits64 = 0x7ff << 52
+		} else {
+			// Preserve the payload in the top of the binary64
+			// significand and force the quiet bit.
+			bits64 = 0x7ff<<52 | mant<<42 | 1<<51
+		}
+	case exp == 0: // zero or subnormal
+		if mant == 0 {
+			bits64 = 0
+		} else {
+			// Normalize: value is mant * 2^-24. After k left shifts
+			// the implicit bit sits at position 10 and the unbiased
+			// exponent is -14-k.
+			e := -14
+			for mant&0x400 == 0 {
+				mant <<= 1
+				e--
+			}
+			mant &= 0x3ff // drop the implicit bit
+			bits64 = uint64(e+1023)<<52 | mant<<42
+		}
+	default: // normal
+		bits64 = uint64(exp-15+1023)<<52 | mant<<42
+	}
+	return math.Float64frombits(bits64 | sign<<63)
+}
+
+// halfFromFloat64 rounds v to binary16 with round-to-nearest-even,
+// handling subnormals, overflow to infinity, and NaN canonicalization.
+func halfFromFloat64(v float64) uint16 {
+	b := math.Float64bits(v)
+	sign := uint16(b>>48) & 0x8000
+	exp := int(b>>52) & 0x7ff
+	mant := b & 0xfffffffffffff
+
+	if exp == 0x7ff { // Inf or NaN
+		if mant == 0 {
+			return sign | 0x7c00
+		}
+		return sign | 0x7e00 // canonical quiet NaN
+	}
+
+	// Unbiased exponent and 53-bit significand with implicit bit.
+	e := exp - 1023
+	sig := mant
+	if exp != 0 {
+		sig |= 1 << 52
+	} else if mant == 0 {
+		return sign // signed zero
+	} else {
+		// binary64 subnormals are far below the binary16 subnormal
+		// range (< 2^-1022); they round to zero.
+		return sign
+	}
+
+	switch {
+	case e > 15:
+		return sign | 0x7c00 // overflow to infinity
+	case e >= -14:
+		// Normal binary16 range: keep 10 explicit significand bits,
+		// round the remaining 42.
+		return sign | roundPack16(uint16(e+15), sig, 42)
+	case e >= -25:
+		// Subnormal range: shift the significand so the value is
+		// sig * 2^-24 with the leading bit at position 10+extra.
+		// Total right shift from the 52-bit alignment: 42 + (-14 - e).
+		shift := uint(42 + (-14 - e))
+		return sign | roundPack16(0, sig, shift)
+	default:
+		// Too small for even the smallest subnormal's rounding range,
+		// except exactly half of the smallest subnormal, which rounds
+		// to zero under round-to-nearest-even anyway.
+		return sign
+	}
+}
+
+// roundPack16 rounds a significand right by shift bits with
+// round-to-nearest-even and assembles a binary16 from the biased exponent
+// and rounded significand, propagating significand overflow into the
+// exponent (including subnormal -> normal and normal -> infinity).
+func roundPack16(biasedExp uint16, sig uint64, shift uint) uint16 {
+	if shift >= 64 {
+		return 0
+	}
+	kept := sig >> shift
+	round := sig >> (shift - 1) & 1
+	sticky := uint64(0)
+	if shift >= 2 && sig&(1<<(shift-1)-1) != 0 {
+		sticky = 1
+	}
+	if round == 1 && (sticky == 1 || kept&1 == 1) {
+		kept++
+	}
+	// kept holds implicit bit + 10 significand bits for normals
+	// (biasedExp > 0), or a pure subnormal significand (biasedExp == 0).
+	if biasedExp == 0 {
+		if kept >= 1<<10 {
+			// Rounded up into the normal range.
+			return uint16(kept) // exponent becomes 1, mant = kept-2^10
+		}
+		return uint16(kept)
+	}
+	if kept >= 1<<11 {
+		kept >>= 1
+		biasedExp++
+	}
+	if biasedExp >= 0x1f {
+		return 0x7c00 // overflow to infinity
+	}
+	return biasedExp<<10 | uint16(kept&0x3ff)
+}

@@ -1,0 +1,185 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+// Known binary16 encodings.
+var halfKnown = []struct {
+	bits uint16
+	val  float64
+}{
+	{0x0000, 0},
+	{0x3c00, 1},
+	{0xbc00, -1},
+	{0x4000, 2},
+	{0xc000, -2},
+	{0x3800, 0.5},
+	{0x3555, 0.333251953125}, // nearest half to 1/3
+	{0x7bff, 65504},          // max finite
+	{0xfbff, -65504},
+	{0x0400, math.Ldexp(1, -14)},    // min normal
+	{0x0001, math.Ldexp(1, -24)},    // min subnormal
+	{0x03ff, math.Ldexp(1023, -24)}, // max subnormal
+	{0x7c00, math.Inf(1)},
+	{0xfc00, math.Inf(-1)},
+}
+
+func TestHalfKnownDecodings(t *testing.T) {
+	for _, k := range halfKnown {
+		if got := halfToFloat64(k.bits); got != k.val {
+			t.Errorf("halfToFloat64(%#04x) = %v, want %v", k.bits, got, k.val)
+		}
+	}
+}
+
+func TestHalfKnownEncodings(t *testing.T) {
+	for _, k := range halfKnown {
+		if got := halfFromFloat64(k.val); got != k.bits {
+			t.Errorf("halfFromFloat64(%v) = %#04x, want %#04x", k.val, got, k.bits)
+		}
+	}
+}
+
+func TestHalfNegativeZero(t *testing.T) {
+	if got := halfFromFloat64(math.Copysign(0, -1)); got != 0x8000 {
+		t.Errorf("halfFromFloat64(-0) = %#04x, want 0x8000", got)
+	}
+	v := halfToFloat64(0x8000)
+	if v != 0 || !math.Signbit(v) {
+		t.Errorf("halfToFloat64(0x8000) = %v (signbit %v), want -0", v, math.Signbit(v))
+	}
+}
+
+func TestHalfNaN(t *testing.T) {
+	if !math.IsNaN(halfToFloat64(0x7e00)) {
+		t.Error("halfToFloat64(0x7e00) is not NaN")
+	}
+	if !math.IsNaN(halfToFloat64(0x7c01)) {
+		t.Error("halfToFloat64(0x7c01) (signaling payload) is not NaN")
+	}
+	if got := halfFromFloat64(math.NaN()); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("halfFromFloat64(NaN) = %#04x is not a NaN encoding", got)
+	}
+}
+
+func TestHalfOverflowToInf(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{65536, 0x7c00},
+		{-65536, 0xfc00},
+		{1e300, 0x7c00},
+		{math.MaxFloat64, 0x7c00},
+		// 65520 is the midpoint between 65504 and the first value past
+		// the format (2^16); round-to-even sends it to infinity.
+		{65520, 0x7c00},
+		// Just under the midpoint rounds down to max finite.
+		{65519.999, 0x7bff},
+	}
+	for _, c := range cases {
+		if got := halfFromFloat64(c.in); got != c.want {
+			t.Errorf("halfFromFloat64(%v) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHalfUnderflow(t *testing.T) {
+	minSub := math.Ldexp(1, -24)
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{minSub, 0x0001},
+		{minSub / 2, 0x0000},       // exactly half the min subnormal: ties-to-even -> 0
+		{minSub/2 + 1e-12, 0x0001}, // just above half rounds up
+		{minSub * 1.5, 0x0002},     // tie between 1 and 2 ulps: even -> 2
+		{minSub * 2.4999, 0x0002},
+		{5e-324, 0x0000}, // smallest binary64 subnormal
+	}
+	for _, c := range cases {
+		if got := halfFromFloat64(c.in); got != c.want {
+			t.Errorf("halfFromFloat64(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHalfRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1.0 (0x3c00) and 1+2^-10 (0x3c01):
+	// ties-to-even picks 0x3c00.
+	if got := halfFromFloat64(1 + math.Ldexp(1, -11)); got != 0x3c00 {
+		t.Errorf("tie at 1+2^-11 rounded to %#04x, want 0x3c00", got)
+	}
+	// (1 + 3*2^-11) is between 0x3c01 and 0x3c02: even is 0x3c02.
+	if got := halfFromFloat64(1 + 3*math.Ldexp(1, -11)); got != 0x3c02 {
+		t.Errorf("tie at 1+3*2^-11 rounded to %#04x, want 0x3c02", got)
+	}
+	// Anything past the tie rounds up.
+	if got := halfFromFloat64(1 + math.Ldexp(1, -11) + 1e-9); got != 0x3c01 {
+		t.Errorf("1+2^-11+eps rounded to %#04x, want 0x3c01", got)
+	}
+}
+
+// Exhaustive: every one of the 65536 encodings round-trips through
+// float64 (NaNs canonicalize, preserving sign).
+func TestHalfRoundTripExhaustive(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		h := uint16(i)
+		v := halfToFloat64(h)
+		back := halfFromFloat64(v)
+		want := h
+		if isNaN16(h) {
+			want = h&0x8000 | 0x7e00
+		}
+		if back != want {
+			t.Fatalf("round trip %#04x -> %v -> %#04x (want %#04x)", h, v, back, want)
+		}
+	}
+}
+
+// Exhaustive: decoding is monotone over non-NaN encodings, i.e. the
+// ordered-integer scale maps to non-decreasing float64 values.
+func TestHalfDecodeMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	// Walk negative encodings from 0xfc00 (-Inf) down to 0x8000 (-0),
+	// then positives 0x0000..0x7c00.
+	for h := 0xfc00; h >= 0x8000; h-- {
+		v := halfToFloat64(uint16(h))
+		if v < prev {
+			t.Fatalf("non-monotone at %#04x: %v < %v", h, v, prev)
+		}
+		prev = v
+	}
+	for h := 0; h <= 0x7c00; h++ {
+		v := halfToFloat64(uint16(h))
+		if v < prev {
+			t.Fatalf("non-monotone at %#04x: %v < %v", h, v, prev)
+		}
+		prev = v
+	}
+}
+
+// Exhaustive: conversion is faithful — converting any encoding's exact
+// value plus/minus a quarter ulp still rounds back to the same encoding.
+func TestHalfFaithfulRounding(t *testing.T) {
+	for i := 0x0001; i < 0x7c00; i++ { // positive finite nonzero
+		h := uint16(i)
+		v := halfToFloat64(h)
+		if h+1 < 0x7c00 { // upward check needs a finite neighbor
+			next := halfToFloat64(h + 1)
+			quarter := (next - v) / 4
+			if got := halfFromFloat64(v + quarter); got != h {
+				t.Fatalf("%#04x + 1/4 ulp encoded as %#04x", h, got)
+			}
+		}
+		if i > 1 {
+			prevV := halfToFloat64(h - 1)
+			quarterDown := (v - prevV) / 4
+			if got := halfFromFloat64(v - quarterDown); got != h {
+				t.Fatalf("%#04x - 1/4 ulp encoded as %#04x", h, got)
+			}
+		}
+	}
+}

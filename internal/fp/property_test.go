@@ -1,0 +1,119 @@
+package fp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mixedrel/internal/rng"
+)
+
+// Property: for every format, decoding an arbitrary well-formed encoding
+// to float64 and re-encoding is the identity (up to NaN
+// canonicalization).
+func TestRoundTripPropertyAllFormats(t *testing.T) {
+	for _, f := range AllFormats {
+		f := f
+		prop := func(raw uint64) bool {
+			b := Bits(raw) & f.Mask()
+			if f.IsNaN(b) {
+				return f.IsNaN(f.FromFloat64(f.ToFloat64(b)))
+			}
+			return f.FromFloat64(f.ToFloat64(b)) == b
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+// Property: rounding is monotone — a larger float64 never encodes to a
+// smaller representable value.
+func TestRoundingMonotoneProperty(t *testing.T) {
+	r := rng.New(83)
+	for _, f := range AllFormats {
+		for i := 0; i < 3000; i++ {
+			x := r.NormFloat64() * math.Exp(r.NormFloat64()*4)
+			y := x * (1 + r.Float64()*0.1)
+			if x > y {
+				x, y = y, x
+			}
+			vx := f.ToFloat64(f.FromFloat64(x))
+			vy := f.ToFloat64(f.FromFloat64(y))
+			if vx > vy {
+				t.Fatalf("%v: rounding not monotone at %v <= %v (%v > %v)", f, x, y, vx, vy)
+			}
+		}
+	}
+}
+
+// Property: rounding never moves a value by more than half an ulp of the
+// result (round-to-nearest), for in-range inputs.
+func TestRoundingNearestProperty(t *testing.T) {
+	r := rng.New(89)
+	for _, f := range AllFormats {
+		for i := 0; i < 3000; i++ {
+			x := r.NormFloat64() * 100
+			v := f.ToFloat64(f.FromFloat64(x))
+			// Nearest: no other representable value is closer.
+			b := f.FromFloat64(x)
+			if f.IsInf(b) || f.IsZero(b) {
+				continue
+			}
+			up := f.ToFloat64(b + 1)
+			if math.Abs(up-x) < math.Abs(v-x) && !math.IsInf(up, 0) {
+				t.Fatalf("%v: %v rounds to %v but %v is closer", f, x, v, up)
+			}
+			if f.Mantissa(b) != 0 { // b-1 stays in the same binade family
+				down := f.ToFloat64(b - 1)
+				if math.Abs(down-x) < math.Abs(v-x) {
+					t.Fatalf("%v: %v rounds to %v but %v is closer", f, x, v, down)
+				}
+			}
+		}
+	}
+}
+
+// Property: a narrower format's value set is contained in every wider
+// IEEE format with at least as many mantissa and exponent bits
+// (half ⊂ single ⊂ double; bfloat16 ⊂ single ⊂ double).
+func TestFormatContainmentProperty(t *testing.T) {
+	pairs := [][2]Format{{Half, Single}, {Half, Double}, {Single, Double}, {BFloat16, Single}, {BFloat16, Double}}
+	for _, pair := range pairs {
+		narrow, wide := pair[0], pair[1]
+		prop := func(raw uint16) bool {
+			b := Bits(raw) & narrow.Mask()
+			if narrow.IsNaN(b) {
+				return true
+			}
+			v := narrow.ToFloat64(b)
+			// Representable exactly in the wider format.
+			return wide.ToFloat64(wide.FromFloat64(v)) == v
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 1500}); err != nil {
+			t.Errorf("%v in %v: %v", narrow, wide, err)
+		}
+	}
+}
+
+// Property: arithmetic closure — every machine operation on well-formed
+// encodings yields a well-formed encoding of the same format.
+func TestArithmeticClosureProperty(t *testing.T) {
+	r := rng.New(97)
+	for _, f := range AllFormats {
+		m := NewMachine(f)
+		for i := 0; i < 2000; i++ {
+			a := Bits(r.Uint64()) & f.Mask()
+			b := Bits(r.Uint64()) & f.Mask()
+			for _, res := range []Bits{m.Add(a, b), m.Mul(a, b), m.FMA(a, b, a)} {
+				if res&^f.Mask() != 0 {
+					t.Fatalf("%v: out-of-format result %#x", f, res)
+				}
+				// Round trip must hold (the result is representable).
+				if !f.IsNaN(res) && f.FromFloat64(f.ToFloat64(res)) != res {
+					t.Fatalf("%v: unrepresentable result %#x", f, res)
+				}
+			}
+		}
+	}
+}

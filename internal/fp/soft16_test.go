@@ -1,0 +1,138 @@
+package fp
+
+import (
+	"testing"
+
+	"mixedrel/internal/rng"
+)
+
+// interesting16 is a set of encodings that exercises every special case:
+// zeros, subnormals, normals around 1, large values, infinities, NaNs.
+var interesting16 = []uint16{
+	0x0000, 0x8000, // +-0
+	0x0001, 0x8001, // min subnormals
+	0x03ff, 0x83ff, // max subnormals
+	0x0400, 0x8400, // min normals
+	0x3bff, 0x3c00, 0x3c01, // around 1
+	0xbc00,         // -1
+	0x4000, 0x4200, // 2, 3
+	0x7bff, 0xfbff, // +-max finite
+	0x7c00, 0xfc00, // +-Inf
+	0x7e00, 0x7c01, 0xfe00, // NaNs
+	0x5640, 0xd640, // 100, -100
+	0x1400, 0x9400, // small normals
+}
+
+func sameHalf(a, b uint16) bool {
+	if isNaN16(a) && isNaN16(b) {
+		return true // any NaN encoding is acceptable
+	}
+	return a == b
+}
+
+// machineAdd16/machineMul16 run the via-binary64 Machine path.
+func machineAdd16(a, b uint16) uint16 {
+	m := NewMachine(Half)
+	return uint16(m.Add(Bits(a), Bits(b)))
+}
+
+func machineMul16(a, b uint16) uint16 {
+	m := NewMachine(Half)
+	return uint16(m.Mul(Bits(a), Bits(b)))
+}
+
+func TestSoft16AddMatchesMachineOnSpecials(t *testing.T) {
+	for _, a := range interesting16 {
+		for _, b := range interesting16 {
+			got, want := softAdd16(a, b), machineAdd16(a, b)
+			if !sameHalf(got, want) {
+				t.Errorf("add(%#04x, %#04x): soft=%#04x machine=%#04x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSoft16MulMatchesMachineOnSpecials(t *testing.T) {
+	for _, a := range interesting16 {
+		for _, b := range interesting16 {
+			got, want := softMul16(a, b), machineMul16(a, b)
+			if !sameHalf(got, want) {
+				t.Errorf("mul(%#04x, %#04x): soft=%#04x machine=%#04x", a, b, got, want)
+			}
+		}
+	}
+}
+
+// Cross-check the two fully independent implementations on a large
+// random sample of the 2^32 input space.
+func TestSoft16CrossCheckRandom(t *testing.T) {
+	r := rng.New(20190216) // HPCA'19 conference date as seed
+	n := 200000
+	if testing.Short() {
+		n = 20000
+	}
+	for i := 0; i < n; i++ {
+		a := uint16(r.Uint64())
+		b := uint16(r.Uint64())
+		if ga, wa := softAdd16(a, b), machineAdd16(a, b); !sameHalf(ga, wa) {
+			t.Fatalf("add(%#04x, %#04x): soft=%#04x machine=%#04x", a, b, ga, wa)
+		}
+		if gm, wm := softMul16(a, b), machineMul16(a, b); !sameHalf(gm, wm) {
+			t.Fatalf("mul(%#04x, %#04x): soft=%#04x machine=%#04x", a, b, gm, wm)
+		}
+	}
+}
+
+// Exhaustive sweep of one operand against a fixed set of the other: this
+// covers every encoding of one input including all subnormals.
+func TestSoft16ExhaustiveOneOperand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short")
+	}
+	partners := []uint16{0x0000, 0x0001, 0x3c00, 0x7bff, 0x0400, 0xbc00, 0x7c00}
+	for a := 0; a <= 0xffff; a++ {
+		for _, b := range partners {
+			ua := uint16(a)
+			if ga, wa := softAdd16(ua, b), machineAdd16(ua, b); !sameHalf(ga, wa) {
+				t.Fatalf("add(%#04x, %#04x): soft=%#04x machine=%#04x", ua, b, ga, wa)
+			}
+			if gm, wm := softMul16(ua, b), machineMul16(ua, b); !sameHalf(gm, wm) {
+				t.Fatalf("mul(%#04x, %#04x): soft=%#04x machine=%#04x", ua, b, gm, wm)
+			}
+		}
+	}
+}
+
+func TestSoft16KnownSums(t *testing.T) {
+	cases := []struct{ a, b, want uint16 }{
+		{0x3c00, 0x3c00, 0x4000}, // 1+1 = 2
+		{0x3c00, 0xbc00, 0x0000}, // 1-1 = +0
+		{0x8000, 0x8000, 0x8000}, // -0 + -0 = -0
+		{0x8000, 0x0000, 0x0000}, // -0 + +0 = +0
+		{0x7bff, 0x7bff, 0x7c00}, // max+max overflows to Inf
+		{0x0001, 0x0001, 0x0002}, // subnormal + subnormal
+		{0x3c00, 0x0001, 0x3c00}, // 1 + min_subnormal rounds to 1
+	}
+	for _, c := range cases {
+		if got := softAdd16(c.a, c.b); got != c.want {
+			t.Errorf("softAdd16(%#04x, %#04x) = %#04x, want %#04x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSoft16KnownProducts(t *testing.T) {
+	cases := []struct{ a, b, want uint16 }{
+		{0x3c00, 0x3c00, 0x3c00}, // 1*1
+		{0x4000, 0x4200, 0x4600}, // 2*3 = 6
+		{0x7bff, 0x4000, 0x7c00}, // max*2 overflows
+		{0x0400, 0x3800, 0x0200}, // min_normal * 0.5 = subnormal
+		{0x0001, 0x3800, 0x0000}, // min_subnormal * 0.5 ties to even -> 0
+		{0xbc00, 0xbc00, 0x3c00}, // -1*-1 = 1
+		{0x7c00, 0x0000, 0x7e00}, // Inf*0 = NaN
+	}
+	for _, c := range cases {
+		if got := softMul16(c.a, c.b); !sameHalf(got, c.want) || (!isNaN16(c.want) && got != c.want) {
+			t.Errorf("softMul16(%#04x, %#04x) = %#04x, want %#04x", c.a, c.b, got, c.want)
+		}
+	}
+}

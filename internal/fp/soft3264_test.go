@@ -1,0 +1,153 @@
+package fp
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/rng"
+)
+
+// interestingWide builds special-case encodings for a wide format.
+func interestingWide(f Format) []Bits {
+	vals := []Bits{
+		0, f.signMask(), // +-0
+		1, f.signMask() | 1, // min subnormals
+		f.mantMask(),                     // max subnormal
+		f.mantMask() + 1,                 // min normal
+		f.FromFloat64(1),                 // 1
+		f.FromFloat64(1) + 1,             // nextafter(1)
+		f.FromFloat64(-1),                //
+		f.FromFloat64(2),                 //
+		f.FromFloat64(math.Pi),           //
+		f.FromFloat64(f.MaxFinite()) - 0, // max finite
+		f.Inf(false), f.Inf(true),        //
+		f.QuietNaN(), //
+		f.FromFloat64(1e-30), f.FromFloat64(-1e30),
+	}
+	return vals
+}
+
+// hardware reference for add/mul in format f.
+func hwAdd(f Format, a, b Bits) Bits {
+	if f == Single {
+		return Bits(math.Float32bits(math.Float32frombits(uint32(a)) + math.Float32frombits(uint32(b))))
+	}
+	return Bits(math.Float64bits(math.Float64frombits(uint64(a)) + math.Float64frombits(uint64(b))))
+}
+
+func hwMul(f Format, a, b Bits) Bits {
+	if f == Single {
+		return Bits(math.Float32bits(math.Float32frombits(uint32(a)) * math.Float32frombits(uint32(b))))
+	}
+	return Bits(math.Float64bits(math.Float64frombits(uint64(a)) * math.Float64frombits(uint64(b))))
+}
+
+func sameWide(f Format, a, b Bits) bool {
+	if f.IsNaN(a) && f.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func TestSoftWideMatchesHardwareOnSpecials(t *testing.T) {
+	for _, f := range []Format{Single, Double} {
+		vals := interestingWide(f)
+		for _, a := range vals {
+			for _, b := range vals {
+				if ga, wa := softAddWide(f, a, b), hwAdd(f, a, b); !sameWide(f, ga, wa) {
+					t.Errorf("%v add(%#x, %#x): soft=%#x hw=%#x", f, a, b, ga, wa)
+				}
+				if gm, wm := softMulWide(f, a, b), hwMul(f, a, b); !sameWide(f, gm, wm) {
+					t.Errorf("%v mul(%#x, %#x): soft=%#x hw=%#x", f, a, b, gm, wm)
+				}
+			}
+		}
+	}
+}
+
+// Large random cross-check against the host FPU — the strongest ground
+// truth available for the rounding machinery.
+func TestSoftWideCrossCheckRandom(t *testing.T) {
+	r := rng.New(20190218)
+	n := 200000
+	if testing.Short() {
+		n = 20000
+	}
+	for _, f := range []Format{Single, Double} {
+		mask := f.Mask()
+		for i := 0; i < n; i++ {
+			a := Bits(r.Uint64()) & mask
+			b := Bits(r.Uint64()) & mask
+			if ga, wa := softAddWide(f, a, b), hwAdd(f, a, b); !sameWide(f, ga, wa) {
+				t.Fatalf("%v add(%#x, %#x): soft=%#x hw=%#x", f, a, b, ga, wa)
+			}
+			if gm, wm := softMulWide(f, a, b), hwMul(f, a, b); !sameWide(f, gm, wm) {
+				t.Fatalf("%v mul(%#x, %#x): soft=%#x hw=%#x", f, a, b, gm, wm)
+			}
+		}
+	}
+}
+
+// Near-value random cross-check: operands drawn close to each other
+// exercise cancellation and alignment paths far more often than
+// uniform encodings do.
+func TestSoftWideCancellationPaths(t *testing.T) {
+	r := rng.New(4242)
+	for _, f := range []Format{Single, Double} {
+		for i := 0; i < 50000; i++ {
+			x := (r.Float64() - 0.5) * math.Exp(r.NormFloat64()*3)
+			y := -x * (1 + (r.Float64()-0.5)*1e-5)
+			a, b := f.FromFloat64(x), f.FromFloat64(y)
+			if ga, wa := softAddWide(f, a, b), hwAdd(f, a, b); !sameWide(f, ga, wa) {
+				t.Fatalf("%v add(%v, %v): soft=%#x hw=%#x", f, x, y, ga, wa)
+			}
+		}
+	}
+}
+
+// Subnormal-dense cross-check.
+func TestSoftWideSubnormals(t *testing.T) {
+	r := rng.New(777)
+	for _, f := range []Format{Single, Double} {
+		for i := 0; i < 50000; i++ {
+			// Random subnormal or tiny-normal encodings.
+			a := Bits(r.Uint64()) & (f.mantMask()<<2 | f.mantMask())
+			b := Bits(r.Uint64()) & (f.mantMask()<<2 | f.mantMask())
+			if r.Intn(2) == 0 {
+				a |= f.signMask()
+			}
+			if ga, wa := softAddWide(f, a, b), hwAdd(f, a, b); !sameWide(f, ga, wa) {
+				t.Fatalf("%v add(%#x, %#x): soft=%#x hw=%#x", f, a, b, ga, wa)
+			}
+			if gm, wm := softMulWide(f, a, b), hwMul(f, a, b); !sameWide(f, gm, wm) {
+				t.Fatalf("%v mul(%#x, %#x): soft=%#x hw=%#x", f, a, b, gm, wm)
+			}
+		}
+	}
+}
+
+func TestRne128Basics(t *testing.T) {
+	// 0b101 >> 1: kept 0b10, round 1, sticky 0 — a tie with even kept,
+	// so it stays 0b10.
+	if got := rne128(0, 0b101, 1); got != 0b10 {
+		t.Errorf("rne128(0b101, 1) = %b, want 10", got)
+	}
+	// 0b111 >> 1: kept 0b11, round 1, sticky 0 — tie with odd kept
+	// rounds up to 0b100.
+	if got := rne128(0, 0b111, 1); got != 0b100 {
+		t.Errorf("rne128(0b111, 1) = %b, want 100", got)
+	}
+	// Tie rounds to even: 0b110 >> 1 -> 0b11, round=0... use 0b1010>>2:
+	// kept 0b10, round 1, sticky 0 -> even keeps 0b10.
+	if got := rne128(0, 0b1010, 2); got != 0b10 {
+		t.Errorf("tie-to-even failed: %b", got)
+	}
+	// Cross-word shift.
+	if got := rne128(1, 0, 64); got != 1 {
+		t.Errorf("rne128(1:0, 64) = %d", got)
+	}
+	// n > 128 flushes to zero.
+	if got := rne128(^uint64(0), ^uint64(0), 200); got != 0 {
+		t.Errorf("rne128 overshift = %d", got)
+	}
+}

@@ -1,0 +1,211 @@
+package fp
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/rng"
+)
+
+func TestExpDecompAccuracy(t *testing.T) {
+	cases := []struct {
+		f         Format
+		terms, sq int
+		relTol    float64
+	}{
+		{Double, 13, 3, 1e-13},
+		{Double, 10, 1, 1e-12},
+		{Single, 7, 1, 1e-6},
+		{Single, 6, 1, 1e-5},
+		{Half, 4, 0, 2e-3},
+	}
+	for _, c := range cases {
+		env := NewExpDecomp(NewMachine(c.f), c.terms, c.sq)
+		for _, x := range []float64{0, 1, -1, 0.5, -0.75, 2.5, -3, 5, -5, 0.01, -0.01} {
+			got := env.ToFloat64(env.Exp(env.FromFloat64(x)))
+			want := math.Exp(x)
+			// Compare against the value of exp at the *rounded* input.
+			wantRounded := math.Exp(c.f.ToFloat64(c.f.FromFloat64(x)))
+			if RelErr(wantRounded, got) > c.relTol && RelErr(want, got) > c.relTol {
+				t.Errorf("%v terms=%d sq=%d: exp(%v) = %v, want %v (rel %g)",
+					c.f, c.terms, c.sq, x, got, want, RelErr(wantRounded, got))
+			}
+		}
+	}
+}
+
+func TestExpDecompSpecials(t *testing.T) {
+	for _, f := range Formats {
+		env := NewExpDecomp(NewMachine(f), 8, 1)
+		if !f.IsNaN(env.Exp(f.QuietNaN())) {
+			t.Errorf("%v: exp(NaN) not NaN", f)
+		}
+		if !f.IsInf(env.Exp(f.Inf(false))) {
+			t.Errorf("%v: exp(+Inf) not Inf", f)
+		}
+		if got := env.ToFloat64(env.Exp(f.Inf(true))); got != 0 {
+			t.Errorf("%v: exp(-Inf) = %v", f, got)
+		}
+		if got := env.ToFloat64(env.Exp(env.FromFloat64(0))); got != 1 {
+			t.Errorf("%v: exp(0) = %v", f, got)
+		}
+	}
+}
+
+func TestExpDecompOverflowUnderflow(t *testing.T) {
+	for _, f := range Formats {
+		env := NewExpDecomp(NewMachine(f), 8, 1)
+		big := math.Log(f.MaxFinite()) + 5
+		if !f.IsInf(env.Exp(env.FromFloat64(big))) {
+			t.Errorf("%v: exp(%v) should overflow to Inf", f, big)
+		}
+		if got := env.ToFloat64(env.Exp(env.FromFloat64(-big - 40))); got != 0 {
+			t.Errorf("%v: exp(%v) = %v, want 0", f, -big-40, got)
+		}
+	}
+}
+
+func TestExpDecompDelegatesOtherOps(t *testing.T) {
+	m := NewMachine(Single)
+	env := NewExpDecomp(m, 6, 1)
+	a, b := env.FromFloat64(3), env.FromFloat64(4)
+	if env.Add(a, b) != m.Add(a, b) || env.Mul(a, b) != m.Mul(a, b) ||
+		env.Sub(a, b) != m.Sub(a, b) || env.Div(a, b) != m.Div(a, b) ||
+		env.FMA(a, b, a) != m.FMA(a, b, a) || env.Sqrt(a) != m.Sqrt(a) {
+		t.Error("non-exp operations must delegate unchanged")
+	}
+	if env.Format() != Single {
+		t.Error("format must delegate")
+	}
+}
+
+// The decomposition's interior operations must be visible to a counting
+// (and hence an injecting) inner environment.
+func TestExpDecompExposesInteriorOps(t *testing.T) {
+	counting := NewCounting(NewMachine(Double))
+	env := NewExpDecomp(counting, 13, 3)
+	env.Exp(env.FromFloat64(-0.5))
+	if counting.Counts.ByOp[OpExp] != 0 {
+		t.Error("decomposed exp must not invoke the atomic Exp")
+	}
+	// Range reduction (1 FMA) + 12 Horner FMAs.
+	if got := counting.Counts.ByOp[OpFMA]; got != 13 {
+		t.Errorf("FMA count = %d, want 13", got)
+	}
+	// Halving (1) + squarings (3) + reconstruction (k = -1 -> 1).
+	if got := counting.Counts.ByOp[OpMul]; got != 5 {
+		t.Errorf("MUL count = %d, want 5", got)
+	}
+}
+
+func TestExpDecompLongerForMoreTerms(t *testing.T) {
+	ops := func(terms, sq int) uint64 {
+		counting := NewCounting(NewMachine(Double))
+		env := NewExpDecomp(counting, terms, sq)
+		env.Exp(env.FromFloat64(-0.4))
+		return counting.Counts.Total()
+	}
+	if !(ops(13, 3) > ops(7, 1)) {
+		t.Error("a longer implementation must execute more operations")
+	}
+}
+
+func TestExpDecompClampsDegenerateShape(t *testing.T) {
+	env := NewExpDecomp(NewMachine(Single), 0, -2)
+	if env.Terms != 2 || env.Squarings != 0 {
+		t.Errorf("shape not clamped: terms=%d sq=%d", env.Terms, env.Squarings)
+	}
+	// Still produces a finite, roughly right value.
+	got := env.ToFloat64(env.Exp(env.FromFloat64(0.1)))
+	if math.Abs(got-math.Exp(0.1)) > 0.05 {
+		t.Errorf("degenerate shape exp(0.1) = %v", got)
+	}
+}
+
+func TestWrapExp(t *testing.T) {
+	wrap := WrapExp(ExpShape{Terms: 6, Squarings: 1})
+	env := wrap(NewMachine(Single))
+	d, ok := env.(*ExpDecomp)
+	if !ok {
+		t.Fatal("WrapExp did not produce an ExpDecomp")
+	}
+	if d.Terms != 6 || d.Squarings != 1 {
+		t.Errorf("shape = %d/%d", d.Terms, d.Squarings)
+	}
+}
+
+// Random sweep: the software exp stays within a few ulps of the machine
+// exp across each format's interesting range.
+func TestExpDecompRandomSweep(t *testing.T) {
+	r := rng.New(99)
+	shapes := map[Format]ExpShape{
+		Half:   {Terms: 4, Squarings: 0},
+		Single: {Terms: 7, Squarings: 1},
+		Double: {Terms: 13, Squarings: 3},
+	}
+	tols := map[Format]float64{Half: 3e-3, Single: 3e-6, Double: 1e-12}
+	for f, shape := range shapes {
+		env := NewExpDecomp(NewMachine(f), shape.Terms, shape.Squarings)
+		m := NewMachine(f)
+		for i := 0; i < 2000; i++ {
+			x := (r.Float64() - 0.6) * 12 // mostly in-range arguments
+			b := env.FromFloat64(x)
+			got := env.ToFloat64(env.Exp(b))
+			want := m.ToFloat64(m.Exp(b))
+			if want == 0 || math.IsInf(want, 0) {
+				continue
+			}
+			if RelErr(want, got) > tols[f] {
+				t.Fatalf("%v: exp(%v) = %v vs machine %v (rel %g)",
+					f, x, got, want, RelErr(want, got))
+			}
+		}
+	}
+}
+
+// countingIntDecider wraps a Machine and records integer decisions.
+type countingIntDecider struct {
+	*Machine
+	calls int
+	bump  int
+}
+
+func (c *countingIntDecider) IntDecision(k int) int {
+	c.calls++
+	return k + c.bump
+}
+
+func TestExpDecompIntSites(t *testing.T) {
+	inner := &countingIntDecider{Machine: NewMachine(Double)}
+	env := NewExpDecomp(inner, 13, 3)
+	env.IntSites = 2
+	env.Exp(env.FromFloat64(-0.5))
+	if inner.calls != 2 {
+		t.Errorf("IntDecision called %d times, want 2", inner.calls)
+	}
+}
+
+// Corrupting the reconstruction quotient scales the result by a power
+// of two — the polynomial stays consistent, the output does not.
+func TestExpDecompIntCorruptionScalesByPowerOfTwo(t *testing.T) {
+	clean := &countingIntDecider{Machine: NewMachine(Double)}
+	dirty := &countingIntDecider{Machine: NewMachine(Double), bump: 3}
+	x := Double.FromFloat64(-0.6)
+	want := NewExpDecomp(clean, 13, 3).Exp(x)
+	got := NewExpDecomp(dirty, 13, 3).Exp(x)
+	ratio := Double.ToFloat64(got) / Double.ToFloat64(want)
+	if math.Abs(ratio-8) > 1e-9 {
+		t.Errorf("k+3 corruption scaled result by %v, want 8", ratio)
+	}
+}
+
+func TestProfileCountsIntSites(t *testing.T) {
+	counting := NewCounting(NewMachine(Double))
+	env := NewExpDecomp(counting, 13, 3)
+	env.IntSites = 2
+	env.Exp(env.FromFloat64(-0.5))
+	env.Exp(env.FromFloat64(-0.2))
+	if counting.Counts.IntSites != 4 {
+		t.Errorf("IntSites = %d, want 4", counting.Counts.IntSites)
+	}
+}

@@ -1,0 +1,64 @@
+package fp
+
+import "math"
+
+// ULPDistance returns the number of representable values of format f
+// between a and b (0 if equal). NaN against anything returns the maximum
+// uint64. The usual ordered-integer trick is used: the encodings are
+// mapped to a monotonic integer scale and subtracted.
+func ULPDistance(f Format, a, b Bits) uint64 {
+	if f.IsNaN(a) || f.IsNaN(b) {
+		return math.MaxUint64
+	}
+	ia, ib := orderedInt(f, a), orderedInt(f, b)
+	if ia > ib {
+		return uint64(ia - ib)
+	}
+	return uint64(ib - ia)
+}
+
+// orderedInt maps an encoding to an integer that is monotone in the
+// represented value: negative values map below positives, and adjacent
+// representable values map to adjacent integers.
+func orderedInt(f Format, b Bits) int64 {
+	sign := f.Sign(b)
+	mag := int64(b &^ f.signMask())
+	if sign {
+		return -mag
+	}
+	return mag
+}
+
+// RelErr returns |got-want|/|want|. Special cases: if want == 0, returns
+// 0 when got == 0 and +Inf otherwise; if either is NaN, returns +Inf; if
+// both are the same infinity, returns 0.
+func RelErr(want, got float64) float64 {
+	if math.IsNaN(want) || math.IsNaN(got) {
+		return math.Inf(1)
+	}
+	if want == got {
+		return 0
+	}
+	if want == 0 {
+		return math.Inf(1)
+	}
+	if math.IsInf(want, 0) || math.IsInf(got, 0) {
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// MaxRelErr returns the largest element-wise relative error between two
+// equally long vectors. It panics if the lengths differ.
+func MaxRelErr(want, got []float64) float64 {
+	if len(want) != len(got) {
+		panic("fp: MaxRelErr length mismatch")
+	}
+	var worst float64
+	for i := range want {
+		if e := RelErr(want[i], got[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,243 @@
+// Package fpga models the Xilinx Zynq-7000 the paper irradiates: an HLS
+// synthesis cost model (LUT/DSP/BRAM per floating-point operator per
+// precision), a configuration-memory exposure model with *persistent*
+// fault semantics, and an analytic timing model.
+//
+// On an FPGA the same algorithm synthesized at different precisions
+// yields the same circuit structure at different sizes, so the FIT rate
+// tracks the exposed area almost linearly (paper Section 4). The model
+// reproduces that: exposure is dominated by configuration bits, which
+// scale with the LUT/DSP counts of the instantiated operators, which in
+// turn scale with operand width — quadratically for multiplier arrays,
+// roughly linearly for adders.
+//
+// Fault semantics: a configuration-memory strike corrupts one hardware
+// operator instance until the device is reprogrammed. In a
+// time-multiplexed datapath with U instances per operator kind, that
+// means every U-th dynamic operation is corrupted identically — which is
+// exactly what the injection layer's persistent (modulo) faults express.
+// The paper reprograms after every observed error and never observed a
+// DUE on the FPGA; the model does the same (no control-logic exposure).
+package fpga
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// opCost is the synthesis cost of one pipelined operator instance.
+type opCost struct {
+	lut float64
+	dsp float64
+}
+
+// operatorCosts approximates Xilinx floating-point operator resource
+// usage per precision. Adder cost grows roughly linearly with width;
+// multiplier cost tracks the significand-squared partial-product array,
+// partially absorbed by DSP48 slices. Values are in the range of the
+// Vivado FP operator datasheets for the 7 series.
+var operatorCosts = map[fp.Op]map[fp.Format]opCost{
+	fp.OpAdd: {
+		fp.Double:   {lut: 750, dsp: 0},
+		fp.Single:   {lut: 420, dsp: 0},
+		fp.Half:     {lut: 230, dsp: 0},
+		fp.BFloat16: {lut: 240, dsp: 0}, // wider exponent shifter than half
+	},
+	fp.OpSub: {
+		fp.Double:   {lut: 750, dsp: 0},
+		fp.Single:   {lut: 420, dsp: 0},
+		fp.Half:     {lut: 230, dsp: 0},
+		fp.BFloat16: {lut: 240, dsp: 0},
+	},
+	fp.OpMul: {
+		fp.Double:   {lut: 550, dsp: 10},
+		fp.Single:   {lut: 160, dsp: 3},
+		fp.Half:     {lut: 120, dsp: 1},
+		fp.BFloat16: {lut: 90, dsp: 1}, // 8x8 partial-product array
+	},
+	fp.OpDiv: {
+		fp.Double:   {lut: 3100, dsp: 0},
+		fp.Single:   {lut: 1400, dsp: 0},
+		fp.Half:     {lut: 650, dsp: 0},
+		fp.BFloat16: {lut: 520, dsp: 0},
+	},
+	fp.OpFMA: {
+		fp.Double:   {lut: 1300, dsp: 10},
+		fp.Single:   {lut: 580, dsp: 3},
+		fp.Half:     {lut: 250, dsp: 1},
+		fp.BFloat16: {lut: 230, dsp: 1},
+	},
+	fp.OpSqrt: {
+		fp.Double:   {lut: 2600, dsp: 0},
+		fp.Single:   {lut: 1100, dsp: 0},
+		fp.Half:     {lut: 500, dsp: 0},
+		fp.BFloat16: {lut: 430, dsp: 0},
+	},
+	fp.OpExp: {
+		fp.Double:   {lut: 5200, dsp: 26},
+		fp.Single:   {lut: 2300, dsp: 7},
+		fp.Half:     {lut: 1000, dsp: 2},
+		fp.BFloat16: {lut: 850, dsp: 2},
+	},
+}
+
+// initiationInterval is the pipeline initiation interval per precision,
+// normalized to single. Double's deeper carry/normalization chains cost
+// ~30%; half maps its multiplier to LUT fabric instead of full DSP
+// cascades, costing ~10% relative to single — which reproduces the
+// paper's Table 1 observation that half MxM is *slower* than single on
+// the Zynq.
+var initiationInterval = map[fp.Format]float64{
+	fp.Double:   1.30,
+	fp.Single:   1.00,
+	fp.Half:     1.10,
+	fp.BFloat16: 1.05, // shallower multiplier than half, same width
+}
+
+// Synthesis constants.
+const (
+	controlLUTs       = 300   // AXI/FSM control logic, precision-independent
+	configBitsPerLUT  = 220   // configuration bits per occupied LUT (incl. routing)
+	configBitsPerDSP  = 1600  // configuration bits per DSP48 slice
+	essentialFraction = 0.22  // share of config bits whose upset alters the circuit
+	sigmaConfig       = 1.0   // per-bit cross-section, SRAM-like (a.u.)
+	sigmaBRAM         = 1.0   // BRAM data bits, SRAM
+	unitOpsPerSecond  = 1.0e6 // per-instance throughput at II=1 (AXI-streamed HLS design)
+	totalLUTs         = 53200 // Zynq-7020 fabric size, for utilization reporting
+	totalDSPs         = 220   //
+	totalBRAMBits     = 4.9e6 //
+)
+
+// designPoint is the synthesizer's decision for a kernel family: how
+// many instances of each operator the design instantiates, plus the
+// precision-independent buffering/FSM fabric the design needs (line
+// buffers and pooling control for the CNN).
+type designPoint struct {
+	unroll   uint64
+	fixedLUT float64
+}
+
+// designPoints records the HLS parallelism chosen per workload, the one
+// per-kernel calibration input of the model (the DSP budget drives it on
+// the real toolchain). Unknown kernels get unroll 4.
+var designPoints = map[string]designPoint{
+	"MxM":     {unroll: 1},
+	"MNIST":   {unroll: 13, fixedLUT: 3000},
+	"Hotspot": {unroll: 8, fixedLUT: 1500}, // line-buffered stencil engine
+}
+
+// Device is the Zynq-7000 model. The zero value is not usable; call New.
+type Device struct{}
+
+// New returns the Zynq-7000 device model.
+func New() *Device { return &Device{} }
+
+// Name implements arch.Device.
+func (d *Device) Name() string { return "Zynq-7000" }
+
+// Supports implements arch.Device: the fabric implements any precision,
+// including the bfloat16 extension format.
+func (d *Device) Supports(f fp.Format) bool {
+	return f == fp.Half || f == fp.Single || f == fp.Double || f == fp.BFloat16
+}
+
+// Map implements arch.Device.
+func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
+	if !d.Supports(f) {
+		return nil, fmt.Errorf("%w: %s does not implement %v", arch.ErrUnsupported, d.Name(), f)
+	}
+	if w.Kernel == nil {
+		return nil, fmt.Errorf("fpga: workload has no kernel")
+	}
+	opScale, dataScale := w.OpScale, w.DataScale
+	if opScale <= 0 {
+		opScale = 1
+	}
+	if dataScale <= 0 {
+		dataScale = 1
+	}
+	counts := kernels.Profile(w.Kernel, f)
+	total := counts.Total()
+	if total == 0 {
+		return nil, fmt.Errorf("fpga: kernel %s executes no operations", w.Kernel.Name())
+	}
+
+	dp, ok := designPoints[w.Kernel.Name()]
+	if !ok {
+		dp = designPoint{unroll: 4}
+	}
+
+	// Instantiate dp.unroll instances of every operator kind the kernel
+	// uses, weighted down for kinds that are a tiny share of the
+	// schedule (the HLS scheduler shares rare operators).
+	var luts, dsps float64
+	var opWeights [fp.NumOps]float64
+	for op := fp.Op(0); int(op) < fp.NumOps; op++ {
+		n := counts.ByOp[op]
+		if n == 0 {
+			continue
+		}
+		share := float64(n) / float64(total)
+		instances := float64(dp.unroll)
+		if share < 0.05 {
+			instances = 1 // rare op: a single shared instance
+		}
+		c := operatorCosts[op][f]
+		luts += instances * c.lut
+		dsps += instances * c.dsp
+		// Config strikes land on an operator kind proportionally to its
+		// area.
+		opWeights[op] = instances * (c.lut*configBitsPerLUT + c.dsp*configBitsPerDSP)
+	}
+	luts += controlLUTs + dp.fixedLUT
+
+	// BRAM holds inputs and outputs at paper scale.
+	var elems float64
+	for _, a := range w.Kernel.Inputs(f) {
+		elems += float64(len(a))
+	}
+	elems += float64(len(kernels.Golden(w.Kernel, f)))
+	bramBits := elems * dataScale * float64(f.Width())
+
+	configBits := luts*configBitsPerLUT + dsps*configBitsPerDSP
+
+	execSeconds := float64(total) * opScale * initiationInterval[f] /
+		(float64(dp.unroll) * unitOpsPerSecond)
+
+	m := &arch.Mapping{
+		DeviceName:   d.Name(),
+		Kernel:       w.Kernel,
+		Format:       f,
+		UnrollFactor: dp.unroll,
+		Counts:       counts,
+		Time:         time.Duration(execSeconds * float64(time.Second)),
+		Exposures: []arch.Exposure{
+			{
+				Class:        arch.ConfigMemory,
+				Bits:         configBits * essentialFraction,
+				CrossSection: sigmaConfig,
+				OpWeights:    opWeights,
+			},
+			{
+				Class:        arch.MemorySRAM,
+				Bits:         bramBits,
+				CrossSection: sigmaBRAM,
+			},
+		},
+		Resources: map[string]float64{
+			"LUT":        math.Round(luts),
+			"DSP":        math.Round(dsps),
+			"BRAMbits":   math.Round(bramBits),
+			"LUTpct":     100 * luts / totalLUTs,
+			"DSPpct":     100 * dsps / totalDSPs,
+			"BRAMpct":    100 * bramBits / totalBRAMBits,
+			"configBits": math.Round(configBits),
+		},
+	}
+	return m, nil
+}

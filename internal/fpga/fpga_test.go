@@ -1,0 +1,180 @@
+package fpga
+
+import (
+	"errors"
+	"testing"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+func mapMxM(t *testing.T, f fp.Format) *arch.Mapping {
+	t.Helper()
+	d := New()
+	// Executable 16x16 instance scaled to the paper's 128x128:
+	// ops scale (128/16)^3, data scale (128/16)^2.
+	w := arch.NewWorkload(kernels.NewGEMM(16, 1), 512, 64)
+	m, err := d.Map(w, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSupportsAllFormats(t *testing.T) {
+	d := New()
+	for _, f := range fp.Formats {
+		if !d.Supports(f) {
+			t.Errorf("FPGA should support %v", f)
+		}
+	}
+}
+
+func TestMapRejectsNilKernel(t *testing.T) {
+	if _, err := New().Map(arch.Workload{}, fp.Single); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+// Fig. 2 / Section 4.1: area shrinks with precision; the double->single
+// drop is larger than single->half (paper: 45% then 36% for MxM).
+func TestAreaShrinksWithPrecision(t *testing.T) {
+	luts := map[fp.Format]float64{}
+	for _, f := range fp.Formats {
+		luts[f] = mapMxM(t, f).Resources["LUT"]
+	}
+	if !(luts[fp.Double] > luts[fp.Single] && luts[fp.Single] > luts[fp.Half]) {
+		t.Fatalf("LUTs not decreasing: %v", luts)
+	}
+	dropDS := 1 - luts[fp.Single]/luts[fp.Double]
+	dropSH := 1 - luts[fp.Half]/luts[fp.Single]
+	if dropDS < 0.30 || dropDS > 0.60 {
+		t.Errorf("double->single LUT drop %.0f%%, paper reports ~45%%", 100*dropDS)
+	}
+	if dropSH < 0.20 || dropSH > 0.50 {
+		t.Errorf("single->half LUT drop %.0f%%, paper reports ~36%%", 100*dropSH)
+	}
+}
+
+// FIT on the FPGA tracks exposed area (Section 4.1): config exposure
+// must decrease with precision.
+func TestExposureTracksArea(t *testing.T) {
+	var prev float64
+	for _, f := range []fp.Format{fp.Half, fp.Single, fp.Double} {
+		m := mapMxM(t, f)
+		cfg := m.ExposureFor(arch.ConfigMemory)
+		if cfg.Bits <= prev {
+			t.Errorf("%v: config exposure %v not increasing with precision", f, cfg.Bits)
+		}
+		prev = cfg.Bits
+	}
+}
+
+// Table 1 shape: double slowest; half slower than single (the LUT-mapped
+// half multiplier costs clock rate).
+func TestTimingShapeMatchesTable1(t *testing.T) {
+	td := mapMxM(t, fp.Double).Time.Seconds()
+	ts := mapMxM(t, fp.Single).Time.Seconds()
+	th := mapMxM(t, fp.Half).Time.Seconds()
+	if !(td > th && th > ts) {
+		t.Fatalf("times (D,S,H) = (%v, %v, %v); want D > H > S as in Table 1", td, ts, th)
+	}
+	if r := td / ts; r < 1.2 || r > 1.45 {
+		t.Errorf("double/single time ratio %.2f, paper's is 1.30", r)
+	}
+	if r := th / ts; r < 1.02 || r > 1.25 {
+		t.Errorf("half/single time ratio %.2f, paper's is 1.10", r)
+	}
+}
+
+// Paper-scale MxM double on the Zynq takes 2.73 s (Table 1); the model
+// should land in that neighborhood.
+func TestAbsoluteTimeNearTable1(t *testing.T) {
+	td := mapMxM(t, fp.Double).Time.Seconds()
+	if td < 1.8 || td > 3.8 {
+		t.Errorf("modeled double MxM time %.2fs, Table 1 reports 2.73s", td)
+	}
+}
+
+func TestNoDUEExposure(t *testing.T) {
+	// The paper never observed a DUE on the FPGA; the model must not
+	// include control-logic exposure.
+	m := mapMxM(t, fp.Single)
+	for _, e := range m.Exposures {
+		if e.Class == arch.ControlLogic || e.DUEFraction > 0 {
+			t.Errorf("FPGA mapping has DUE-capable exposure %+v", e)
+		}
+	}
+}
+
+func TestPersistentSemantics(t *testing.T) {
+	m := mapMxM(t, fp.Single)
+	if m.UnrollFactor == 0 {
+		t.Error("FPGA mapping must set UnrollFactor for persistent faults")
+	}
+	cfg := m.ExposureFor(arch.ConfigMemory)
+	if cfg.Bits <= 0 {
+		t.Error("no config-memory exposure")
+	}
+	// Config strikes must target only operator kinds the kernel uses.
+	for op, w := range cfg.OpWeights {
+		if w > 0 && m.Counts.ByOp[op] == 0 {
+			t.Errorf("op weight on unused kind %v", fp.Op(op))
+		}
+	}
+}
+
+func TestBRAMScalesWithData(t *testing.T) {
+	d := New()
+	small, err := d.Map(arch.NewWorkload(kernels.NewGEMM(16, 1), 1, 1), fp.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := d.Map(arch.NewWorkload(kernels.NewGEMM(16, 1), 1, 64), fp.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := small.ExposureFor(arch.MemorySRAM).Bits
+	rb := big.ExposureFor(arch.MemorySRAM).Bits
+	if rb != 64*rs {
+		t.Errorf("BRAM bits %v vs %v: DataScale not applied", rs, rb)
+	}
+}
+
+func TestMNISTDesignLargerButFasterThanNothing(t *testing.T) {
+	d := New()
+	m, err := d.Map(arch.NewWorkload(kernels.NewMNIST(1, 7), 1, 1), fp.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.UnrollFactor != 13 {
+		t.Errorf("MNIST unroll = %d, want the calibrated 13", m.UnrollFactor)
+	}
+}
+
+func TestUnknownKernelGetsDefaultDesign(t *testing.T) {
+	d := New()
+	m, err := d.Map(arch.NewWorkload(kernels.NewLUD(8, 3), 1, 1), fp.Half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.UnrollFactor != 4 {
+		t.Errorf("default unroll = %d, want 4", m.UnrollFactor)
+	}
+}
+
+func TestErrUnsupportedWrapping(t *testing.T) {
+	// The FPGA supports everything, so fabricate the error path through
+	// a bad format value.
+	_, err := New().Map(arch.NewWorkload(kernels.NewGEMM(4, 1), 1, 1), fp.Format(9))
+	if err == nil || !errors.Is(err, arch.ErrUnsupported) {
+		t.Errorf("expected wrapped ErrUnsupported, got %v", err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package gpu models the NVIDIA Titan V (Volta) the paper irradiates.
+// The Volta properties that drive its mixed-precision reliability
+// behaviour are explicit model inputs:
+//
+//   - separate core pools: 2,688 FP64 cores versus 5,376 FP32 cores; a
+//     half-precision instruction runs two operations paired on an FP32
+//     core (half2), so single and half share the same silicon;
+//   - per-operation latency depends only on the data precision: 8 clock
+//     cycles for double, 4 for single, 6 for two half operations (Jia et
+//     al., cited as [25] in the paper);
+//   - per-core datapath complexity depends on the operation: an FMA tree
+//     carries more sensitive logic than a multiplier, which carries far
+//     more than an adder (whose exposure is dominated by the fixed
+//     alignment/normalization logic, letting the doubled core count of
+//     single/half overtake double for ADD — the paper's Fig. 10a
+//     inversion);
+//   - the Titan V has no ECC: register file and cache SRAM are exposed
+//     (the paper triplicates data in HBM2, so main memory is excluded);
+//   - double-precision cores keep more live state per operation, making
+//     a strike during a double op more likely to corrupt the result —
+//     the per-operation vulnerability difference of Fig. 12.
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// Machine constants for the Titan V model.
+const (
+	fp64Cores = 2688
+	fp32Cores = 5376
+	// clockHz is calibrated so that the paper's microbenchmarks (1e9
+	// dependent operations per thread) land on Table 3: 1e9 * 8 cycles
+	// / 1.33 GHz = 6.0 s for double.
+	clockHz = 1.33e9
+
+	sigmaSRAM  = 1.0
+	sigmaLogic = 1.0
+	sigmaCtrl  = 0.4
+
+	// residentThreads is the dispatched thread count of the paper's
+	// microbenchmark setup (256 threads on each of 80 SMs).
+	residentThreads = 20480
+
+	regBitsWord = 32
+	// regResidency is the fraction of a register's content that is
+	// architecturally live (between write and last read) on average.
+	regResidency = 0.05
+
+	l2CacheBits = 6 * 1024 * 1024 * 8 // 6 MB L2
+
+	ctrlBaseBits = 1.6e5
+	ctrlDUEFrac  = 0.5
+	memBWBytes   = 550e9 // HBM2 effective
+)
+
+// cyclesPerOp returns the per-operation latency in cycles. Half executes
+// two operations in 6 cycles; per operation that is 3.
+func cyclesPerOp(f fp.Format) float64 {
+	switch f {
+	case fp.Double:
+		return 8
+	case fp.Single:
+		return 4
+	default:
+		// half and bfloat16 pair two operations on an FP32 core in 6
+		// cycles: 3 per operation.
+		return 3
+	}
+}
+
+// activeCores returns the core pool available to a format.
+func activeCores(f fp.Format) float64 {
+	if f == fp.Double {
+		return fp64Cores
+	}
+	return fp32Cores
+}
+
+// coreComplexity is the per-core sensitive logic (latch/combinational
+// bit equivalents) engaged by one operation of each kind. Multiplier
+// arrays grow superlinearly with significand width; adders are dominated
+// by fixed alignment/normalization logic; FMA combines both plus the
+// wide accumulate path. Half shares the FP32 core; its entries count the
+// logic engaged by a paired half2 operation.
+var coreComplexity = map[fp.Op]map[fp.Format]float64{
+	// The FP32 core embeds the paired-half2 SIMD datapath, so its adder
+	// stage is not smaller than the FP64 adder's (alignment and leading-
+	// zero logic are width-insensitive); that is what lets the doubled
+	// core count invert the ADD trend (Fig. 10a).
+	fp.OpAdd:  {fp.Double: 150, fp.Single: 160, fp.Half: 165, fp.BFloat16: 165},
+	fp.OpSub:  {fp.Double: 150, fp.Single: 160, fp.Half: 165, fp.BFloat16: 165},
+	fp.OpMul:  {fp.Double: 1300, fp.Single: 420, fp.Half: 330, fp.BFloat16: 280},
+	fp.OpFMA:  {fp.Double: 1560, fp.Single: 640, fp.Half: 500, fp.BFloat16: 440},
+	fp.OpDiv:  {fp.Double: 2600, fp.Single: 950, fp.Half: 750, fp.BFloat16: 700},
+	fp.OpSqrt: {fp.Double: 2400, fp.Single: 900, fp.Half: 700, fp.BFloat16: 650},
+	// exp runs in software on the SFU/FMA path (the paper contrasts
+	// this with the Phi's dedicated transcendental units).
+	fp.OpExp: {fp.Double: 9400, fp.Single: 3900, fp.Half: 3000, fp.BFloat16: 2800},
+}
+
+// expShapes is the CUDA software exp: the paper notes GPUs run
+// transcendentals like exp in software (Section 6.3). The double variant
+// is moderately longer; half uses a short polynomial on the paired
+// cores.
+var expShapes = map[fp.Format]fp.ExpShape{
+	// CUDA's exp is branch-free polynomial code at every precision: one
+	// reduction quotient, no tables (the paper contrasts this with the
+	// Phi's dedicated transcendental handling).
+	fp.Double:   {Terms: 10, Squarings: 1, IntSites: 1},
+	fp.Single:   {Terms: 6, Squarings: 1, IntSites: 1},
+	fp.Half:     {Terms: 4, Squarings: 0, IntSites: 1},
+	fp.BFloat16: {Terms: 3, Squarings: 0, IntSites: 1},
+}
+
+// gpuIntStateWeight is the per-site integer-state weight in the same
+// (complexity) units as the GPU op weights — small: a quotient latch
+// next to thousand-bit FMA datapaths.
+const gpuIntStateWeight = 50
+
+// ExpShapeFor returns the GPU software-exp shape for format f.
+func ExpShapeFor(f fp.Format) fp.ExpShape { return expShapes[f] }
+
+// coreVulnerability is the probability that a strike on an active core
+// corrupts the in-flight operation's result: double cores hold more live
+// state; single and half share a core and therefore a vulnerability.
+var coreVulnerability = map[fp.Format]float64{
+	fp.Double:   0.50,
+	fp.Single:   0.35,
+	fp.Half:     0.35,
+	fp.BFloat16: 0.35, // shares the FP32/half core
+}
+
+// perfMode selects the timing model of a kernel family.
+type perfMode int
+
+const (
+	// modeLatency: dependent per-thread op chains; time is chain length
+	// times per-op latency (the microbenchmarks).
+	modeLatency perfMode = iota
+	// modeStream: bandwidth-bound streaming plus a fixed launch
+	// overhead (LavaMD).
+	modeStream
+	// modeMemEff: bandwidth-bound with per-precision memory efficiency
+	// (uncoalesced MxM: narrower accesses waste transaction bytes).
+	modeMemEff
+	// modeCompute: throughput-bound compute plus host overhead, with an
+	// optional half-precision per-layer conversion penalty (YOLO).
+	modeCompute
+)
+
+// profile is the per-kernel calibration table.
+type profile struct {
+	mode           perfMode
+	regsPerThread  float64 // 32-bit registers per thread in single
+	cacheResidency float64 // live fraction of cached data
+	branchiness    float64 // control-flow intensity (DUE driver)
+	streamFactor   float64 // elements moved per op (stream/memEff modes)
+	launchOverhead float64 // seconds of fixed host/launch time
+	halfConvSecs   float64 // half-precision conversion overhead (YOLO)
+	memEff         map[fp.Format]float64
+}
+
+var profiles = map[string]profile{
+	"Micro-ADD": {mode: modeLatency, regsPerThread: 2, cacheResidency: 0.01, branchiness: 0.1},
+	"Micro-MUL": {mode: modeLatency, regsPerThread: 2, cacheResidency: 0.01, branchiness: 0.1},
+	"Micro-FMA": {mode: modeLatency, regsPerThread: 2, cacheResidency: 0.01, branchiness: 0.1},
+	"LavaMD": {mode: modeStream, regsPerThread: 48, cacheResidency: 0.15, branchiness: 1.0,
+		streamFactor: 1.0, launchOverhead: 0.037},
+	"MxM": {mode: modeMemEff, regsPerThread: 32, cacheResidency: 0.85, branchiness: 1.0,
+		streamFactor: 1.0, memEff: map[fp.Format]float64{fp.Double: 1.0, fp.Single: 0.61, fp.Half: 0.49, fp.BFloat16: 0.49}},
+	"YOLOv3": {mode: modeCompute, regsPerThread: 64, cacheResidency: 0.45, branchiness: 4.0,
+		launchOverhead: 0.061, halfConvSecs: 0.209},
+	"MNIST": {mode: modeCompute, regsPerThread: 40, cacheResidency: 0.30, branchiness: 1.5,
+		launchOverhead: 0.002},
+	"LUD": {mode: modeCompute, regsPerThread: 28, cacheResidency: 0.40, branchiness: 1.2,
+		launchOverhead: 0.010},
+	"Hotspot": {mode: modeStream, regsPerThread: 24, cacheResidency: 0.55, branchiness: 1.1,
+		streamFactor: 1.0, launchOverhead: 0.005},
+	"CG": {mode: modeCompute, regsPerThread: 36, cacheResidency: 0.50, branchiness: 1.4,
+		launchOverhead: 0.008},
+}
+
+var defaultProfile = profile{mode: modeCompute, regsPerThread: 32, cacheResidency: 0.3,
+	branchiness: 1.0, launchOverhead: 0.010}
+
+// Device is the Titan V model.
+type Device struct{}
+
+// New returns the Volta device model.
+func New() *Device { return &Device{} }
+
+// Name implements arch.Device.
+func (d *Device) Name() string { return "TitanV" }
+
+// Supports implements arch.Device: Volta accelerates the paper's three
+// formats; BFloat16 is accepted as a forward-looking extension study
+// (pairing on the FP32 cores exactly like half2 — the arrangement later
+// silicon adopted).
+func (d *Device) Supports(f fp.Format) bool {
+	return f == fp.Half || f == fp.Single || f == fp.Double || f == fp.BFloat16
+}
+
+// Map implements arch.Device.
+func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
+	if !d.Supports(f) {
+		return nil, fmt.Errorf("%w: %s does not implement %v", arch.ErrUnsupported, d.Name(), f)
+	}
+	if w.Kernel == nil {
+		return nil, fmt.Errorf("gpu: workload has no kernel")
+	}
+	opScale := w.OpScale
+	if opScale <= 0 {
+		opScale = 1
+	}
+	dataScale := w.DataScale
+	if dataScale <= 0 {
+		dataScale = 1
+	}
+	baseCounts := kernels.Profile(w.Kernel, f)
+	if baseCounts.Total() == 0 {
+		return nil, fmt.Errorf("gpu: kernel %s executes no operations", w.Kernel.Name())
+	}
+	// exp runs in software on the GPU; decompose it so its steps are
+	// individually exposed. Memory-traffic models keep using the base
+	// (undcomposed) counts — data volume does not grow with the
+	// transcendental's instruction count.
+	var wrap func(fp.Env) fp.Env
+	counts := baseCounts
+	if baseCounts.ByOp[fp.OpExp] > 0 {
+		wrap = fp.WrapExp(expShapes[f])
+		counts = kernels.ProfileWith(w.Kernel, f, wrap)
+	}
+	total := counts.Total()
+	prof, ok := profiles[w.Kernel.Name()]
+	if !ok {
+		prof = defaultProfile
+	}
+	execSeconds := d.timeFor(w, f, prof, baseCounts, counts)
+
+	// Functional-unit exposure: active cores times the activity-weighted
+	// per-core complexity of the kernel's op mix.
+	var fuBits float64
+	var opWeights [fp.NumOps]float64
+	for op := fp.Op(0); int(op) < fp.NumOps; op++ {
+		n := counts.ByOp[op]
+		if n == 0 {
+			continue
+		}
+		share := float64(n) / float64(total)
+		c := coreComplexity[op][f]
+		fuBits += share * c * activeCores(f)
+		opWeights[op] = float64(n) * c
+	}
+
+	// Register file (no ECC on the Titan V): double needs twice the
+	// 32-bit registers; half does not reduce the count (paper Section 6).
+	regs := prof.regsPerThread
+	if f == fp.Double {
+		regs *= 2
+	}
+	regBits := residentThreads * regs * regBitsWord * regResidency
+
+	// Cache/shared-memory exposure: the resident fraction of the data
+	// footprint, capped at capacity (no ECC).
+	var dataBits float64
+	for _, a := range w.Kernel.Inputs(f) {
+		dataBits += float64(len(a) * f.Width())
+	}
+	dataBits *= dataScale
+	if dataBits > l2CacheBits {
+		dataBits = l2CacheBits
+	}
+	// Data exposure scales with how long each datum waits in cache for
+	// the processing units — "the longer data sitting in caches or
+	// registers is exposed, the higher the FIT rate" (paper Section
+	// 6.1). Normalizing to the single-precision time keeps the scale
+	// comparable across kernels. The half-precision conversion overhead
+	// is format shuffling, not resident working-set time, so it does not
+	// count toward exposure.
+	singleTime := d.timeFor(w, fp.Single, prof, baseCounts, counts)
+	exposureSeconds := execSeconds
+	if f == fp.Half && prof.mode == modeCompute {
+		exposureSeconds -= prof.halfConvSecs
+	}
+	cacheBits := dataBits * prof.cacheResidency * exposureSeconds / singleTime
+
+	// Control logic: grows with control-flow intensity and (weakly) with
+	// execution time — long-running kernels keep schedulers and address
+	// paths exposed longer per unit of work in flight.
+	ctrlBits := ctrlBaseBits * prof.branchiness * (0.35 + 0.65*execSeconds/singleTime)
+
+	m := &arch.Mapping{
+		DeviceName: d.Name(),
+		Kernel:     w.Kernel,
+		Format:     f,
+		Counts:     counts,
+		Wrap:       wrap,
+		Time:       time.Duration(execSeconds * float64(time.Second)),
+		Exposures: []arch.Exposure{
+			{
+				Class:          arch.FunctionalUnit,
+				Bits:           fuBits,
+				CrossSection:   sigmaLogic,
+				VulnFraction:   coreVulnerability[f],
+				OpWeights:      opWeights,
+				IntStateWeight: gpuIntStateWeight,
+			},
+			{
+				Class:        arch.RegisterFile,
+				Bits:         regBits,
+				CrossSection: sigmaSRAM,
+			},
+			{
+				Class:        arch.MemorySRAM,
+				Bits:         cacheBits,
+				CrossSection: sigmaSRAM,
+			},
+			{
+				Class:        arch.ControlLogic,
+				Bits:         ctrlBits,
+				CrossSection: sigmaCtrl,
+				DUEFraction:  ctrlDUEFrac,
+			},
+		},
+		Resources: map[string]float64{
+			"activeCores":   activeCores(f),
+			"regsPerThread": regs,
+			"fuBits":        fuBits,
+			"cacheBits":     cacheBits,
+		},
+	}
+	return m, nil
+}
+
+// timeFor computes the execution-time model for an arbitrary format,
+// used both for the mapping's Time and to normalize exposure terms.
+// Memory-bound modes use the base (undecomposed) op counts — data
+// traffic does not grow with software-transcendental instruction counts
+// — while compute modes use the decomposed counts.
+func (d *Device) timeFor(w arch.Workload, f fp.Format, prof profile, baseCounts, counts fp.OpCounts) float64 {
+	opScale := w.OpScale
+	if opScale <= 0 {
+		opScale = 1
+	}
+	paperOps := float64(counts.Total()) * opScale
+	paperBaseOps := float64(baseCounts.Total()) * opScale
+	switch prof.mode {
+	case modeLatency:
+		return paperOps / residentThreads * cyclesPerOp(f) / clockHz
+	case modeStream:
+		return paperBaseOps*prof.streamFactor*float64(f.Bytes())/memBWBytes + prof.launchOverhead
+	case modeMemEff:
+		return paperBaseOps * prof.streamFactor * float64(f.Bytes()) / (memBWBytes * prof.memEff[f])
+	default:
+		t := paperOps*cyclesPerOp(f)/(activeCores(f)*clockHz) + prof.launchOverhead
+		if f == fp.Half {
+			t += prof.halfConvSecs
+		}
+		return t
+	}
+}

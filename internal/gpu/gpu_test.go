@@ -1,0 +1,221 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+func mapK(t *testing.T, k kernels.Kernel, f fp.Format, opScale float64) *arch.Mapping {
+	t.Helper()
+	m, err := New().Map(arch.NewWorkload(k, opScale, 1), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSupportsAllFormats(t *testing.T) {
+	d := New()
+	for _, f := range fp.Formats {
+		if !d.Supports(f) {
+			t.Errorf("Volta should support %v", f)
+		}
+	}
+}
+
+// Table 3: the microbenchmarks run 1e9 dependent ops per thread; the
+// latency model must land on 6.0 / 3.0 / 2.25 s for D/S/H.
+func microScale(t *testing.T, k kernels.Kernel) float64 {
+	t.Helper()
+	total := kernels.Profile(k, fp.Single).Total()
+	const paperOps = 1e9 * residentThreads
+	return paperOps / float64(total)
+}
+
+func TestMicroTimesMatchTable3(t *testing.T) {
+	for _, op := range []kernels.MicroOp{kernels.MicroADD, kernels.MicroMUL, kernels.MicroFMA} {
+		k := kernels.NewMicro(op, 4, 50, 1)
+		scale := microScale(t, k)
+		want := map[fp.Format]float64{fp.Double: 6.0, fp.Single: 3.0, fp.Half: 2.25}
+		for f, w := range want {
+			got := mapK(t, k, f, scale).Time.Seconds()
+			if math.Abs(got-w)/w > 0.05 {
+				t.Errorf("%v/%v: modeled %.2fs, Table 3 gives ~%.2fs", op, f, got, w)
+			}
+		}
+	}
+}
+
+// The three micros share execution time at equal precision (paper: all
+// ops have the same latency for a given precision).
+func TestMicroTimesEqualAcrossOps(t *testing.T) {
+	times := map[kernels.MicroOp]float64{}
+	for _, op := range []kernels.MicroOp{kernels.MicroADD, kernels.MicroMUL, kernels.MicroFMA} {
+		k := kernels.NewMicro(op, 4, 50, 1)
+		times[op] = mapK(t, k, fp.Single, microScale(t, k)).Time.Seconds()
+	}
+	if times[kernels.MicroADD] != times[kernels.MicroMUL] || times[kernels.MicroMUL] != times[kernels.MicroFMA] {
+		t.Errorf("micro times differ across ops: %v", times)
+	}
+}
+
+// Fig. 10a orderings:
+//   - MUL and FMA: double > single > half (core complexity dominates)
+//   - ADD: single ~= half > double (core count dominates)
+//   - at fixed precision: FMA > MUL > ADD.
+func fuRate(t *testing.T, op kernels.MicroOp, f fp.Format) float64 {
+	k := kernels.NewMicro(op, 4, 50, 1)
+	x := mapK(t, k, f, 1e6).ExposureFor(arch.FunctionalUnit)
+	return x.Rate() * x.Vuln()
+}
+
+func TestMicroFITOrderingAcrossPrecisions(t *testing.T) {
+	for _, op := range []kernels.MicroOp{kernels.MicroMUL, kernels.MicroFMA} {
+		d, s, h := fuRate(t, op, fp.Double), fuRate(t, op, fp.Single), fuRate(t, op, fp.Half)
+		if !(d > s && s > h) {
+			t.Errorf("%v: FU exposure not D>S>H: %v %v %v", op, d, s, h)
+		}
+	}
+	d, s, h := fuRate(t, kernels.MicroADD, fp.Double), fuRate(t, kernels.MicroADD, fp.Single), fuRate(t, kernels.MicroADD, fp.Half)
+	if !(s > d && h > d) {
+		t.Errorf("ADD: double %v should be lowest (single %v, half %v)", d, s, h)
+	}
+	if math.Abs(s-h)/s > 0.25 {
+		t.Errorf("ADD: single %v and half %v should be close", s, h)
+	}
+}
+
+func TestMicroFITOrderingAcrossOps(t *testing.T) {
+	for _, f := range fp.Formats {
+		add := fuRate(t, kernels.MicroADD, f)
+		mul := fuRate(t, kernels.MicroMUL, f)
+		fma := fuRate(t, kernels.MicroFMA, f)
+		if !(fma > mul && mul > add) {
+			t.Errorf("%v: want FMA > MUL > ADD, got %v %v %v", f, fma, mul, add)
+		}
+	}
+}
+
+// Fig. 12: per-operation vulnerability — double above single, single
+// equal to half (same core).
+func TestCoreVulnerability(t *testing.T) {
+	k := kernels.NewMicro(kernels.MicroFMA, 4, 50, 1)
+	v := map[fp.Format]float64{}
+	for _, f := range fp.Formats {
+		v[f] = mapK(t, k, f, 1e6).ExposureFor(arch.FunctionalUnit).Vuln()
+	}
+	if !(v[fp.Double] > v[fp.Single]) {
+		t.Errorf("double vulnerability %v not above single %v", v[fp.Double], v[fp.Single])
+	}
+	if v[fp.Single] != v[fp.Half] {
+		t.Errorf("single %v and half %v share a core and must match", v[fp.Single], v[fp.Half])
+	}
+}
+
+// Section 6: double needs ~2x the 32-bit registers; half does not reduce
+// the count relative to single.
+func TestRegisterModel(t *testing.T) {
+	k := kernels.NewGEMM(8, 1)
+	d := mapK(t, k, fp.Double, 1e6).Resources["regsPerThread"]
+	s := mapK(t, k, fp.Single, 1e6).Resources["regsPerThread"]
+	h := mapK(t, k, fp.Half, 1e6).Resources["regsPerThread"]
+	if d != 2*s {
+		t.Errorf("double regs %v != 2x single %v", d, s)
+	}
+	if h != s {
+		t.Errorf("half regs %v != single %v", h, s)
+	}
+}
+
+// No ECC on the Titan V: register file and cache exposures must be
+// unprotected.
+func TestNoECC(t *testing.T) {
+	m := mapK(t, kernels.NewGEMM(8, 1), fp.Single, 1e6)
+	for _, class := range []arch.ResourceClass{arch.RegisterFile, arch.MemorySRAM} {
+		if m.ExposureFor(class).Protected {
+			t.Errorf("%v must be unprotected on the Titan V", class)
+		}
+	}
+}
+
+// Fig. 10b: MxM's cache exposure dwarfs LavaMD's (memory-bound vs
+// compute-bound).
+func TestMxMCacheExposureExceedsLavaMD(t *testing.T) {
+	mxm := mapK(t, kernels.NewGEMM(16, 1), fp.Single, 1e6)
+	lava := mapK(t, kernels.NewLavaMD(2, 4, 1), fp.Single, 1e6)
+	// Scale data to paper sizes: both exceed cache capacity, so compare
+	// residency-weighted exposure.
+	mx := mxm.ExposureFor(arch.MemorySRAM).Rate()
+	lv := lava.ExposureFor(arch.MemorySRAM).Rate()
+	if !(mx > 3*lv) {
+		t.Errorf("MxM cache exposure %v not well above LavaMD %v", mx, lv)
+	}
+}
+
+// Micro DUE exposure is about a tenth of the realistic codes' (paper
+// Section 6.1).
+func TestMicroDUETenthOfRealistic(t *testing.T) {
+	micro := mapK(t, kernels.NewMicro(kernels.MicroMUL, 4, 50, 1), fp.Single, 1e6)
+	lava := mapK(t, kernels.NewLavaMD(2, 4, 1), fp.Single, 1e6)
+	mr := micro.ExposureFor(arch.ControlLogic).Rate()
+	lr := lava.ExposureFor(arch.ControlLogic).Rate()
+	if r := mr / lr; r > 0.25 {
+		t.Errorf("micro/LavaMD DUE exposure ratio %.2f, want ~0.1", r)
+	}
+}
+
+// Table 3 LavaMD: times roughly halve with each precision step.
+func TestLavaMDStreamTiming(t *testing.T) {
+	k := kernels.NewLavaMD(2, 4, 1)
+	// Scale so double lands near 1.07s: traffic = ops*8/550e9 + 0.037.
+	total := float64(kernels.Profile(k, fp.Double).Total())
+	scale := (1.071 - 0.037) * 550e9 / 8 / total
+	d := mapK(t, k, fp.Double, scale).Time.Seconds()
+	s := mapK(t, k, fp.Single, scale).Time.Seconds()
+	h := mapK(t, k, fp.Half, scale).Time.Seconds()
+	for name, got := range map[string]struct{ got, want float64 }{
+		"double": {d, 1.071}, "single": {s, 0.554}, "half": {h, 0.291},
+	} {
+		if math.Abs(got.got-got.want)/got.want > 0.08 {
+			t.Errorf("LavaMD %s: modeled %.3fs, Table 3 gives %.3fs", name, got.got, got.want)
+		}
+	}
+}
+
+// Table 3 YOLOv3: half is slower than single (framework conversion
+// overhead).
+func TestYOLOHalfSlowdown(t *testing.T) {
+	k := kernels.NewYOLO(1)
+	total := float64(kernels.Profile(k, fp.Double).Total())
+	// Scale so compute matches the calibration (3.2e13 cycles-equivalent ops).
+	scale := 0.072 * 2688 * clockHz / 8 / total
+	d := mapK(t, k, fp.Double, scale).Time.Seconds()
+	s := mapK(t, k, fp.Single, scale).Time.Seconds()
+	h := mapK(t, k, fp.Half, scale).Time.Seconds()
+	if !(h > s) {
+		t.Errorf("half %v must be slower than single %v (Table 3)", h, s)
+	}
+	if math.Abs(d-0.133) > 0.02 || math.Abs(s-0.079) > 0.02 || math.Abs(h-0.283) > 0.04 {
+		t.Errorf("YOLO times (%.3f, %.3f, %.3f), Table 3 gives (0.133, 0.079, 0.283)", d, s, h)
+	}
+}
+
+func TestMapRejectsNilKernel(t *testing.T) {
+	if _, err := New().Map(arch.Workload{}, fp.Single); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestUnknownKernelDefaults(t *testing.T) {
+	m := mapK(t, kernels.NewLUD(8, 1), fp.Half, 1e6)
+	if m.Resources["activeCores"] != fp32Cores {
+		t.Errorf("half should use the FP32 core pool, got %v", m.Resources["activeCores"])
+	}
+}

@@ -1,0 +1,237 @@
+package inject
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+	"mixedrel/internal/rng"
+	"mixedrel/internal/stats"
+)
+
+// Site selects where a campaign's faults land.
+type Site int
+
+const (
+	// SiteOperation corrupts the result of a random dynamic operation.
+	SiteOperation Site = iota
+	// SiteOperand corrupts one input of a random dynamic operation.
+	SiteOperand
+	// SiteMemory corrupts a random input-array element before the run.
+	SiteMemory
+)
+
+func (s Site) String() string {
+	switch s {
+	case SiteOperation:
+		return "operation"
+	case SiteOperand:
+		return "operand"
+	case SiteMemory:
+		return "memory"
+	}
+	return "site?"
+}
+
+// SampleOpFault draws a uniformly random single-bit operation fault over
+// the dynamic operations recorded in counts. With anyKind, the index
+// ranges over all operations; otherwise over operations of kind only
+// (which must have executed at least once).
+func SampleOpFault(r *rng.Rand, counts fp.OpCounts, f fp.Format, kind fp.Op, anyKind bool, target Target) OpFault {
+	var n uint64
+	if anyKind {
+		n = counts.Total()
+	} else {
+		n = counts.ByOp[kind]
+	}
+	if n == 0 {
+		panic(fmt.Sprintf("inject: no dynamic operations to strike (kind %v, any %v)", kind, anyKind))
+	}
+	return OpFault{
+		Kind:       kind,
+		AnyKind:    anyKind,
+		Index:      r.Uint64n(n),
+		Bit:        r.Intn(f.Width()),
+		Target:     target,
+		OperandIdx: r.Intn(3),
+	}
+}
+
+// SampleMemFault draws a uniformly random single-bit memory fault over
+// the elements of the given input arrays (weighted by array length).
+func SampleMemFault(r *rng.Rand, arrayLens []int, f fp.Format) MemFault {
+	total := 0
+	for _, n := range arrayLens {
+		total += n
+	}
+	if total == 0 {
+		panic("inject: no memory elements to strike")
+	}
+	pick := r.Intn(total)
+	for a, n := range arrayLens {
+		if pick < n {
+			return MemFault{Array: a, Elem: pick, Bit: r.Intn(f.Width())}
+		}
+		pick -= n
+	}
+	panic("unreachable")
+}
+
+// Campaign is a CAROL-FI-style statistical fault-injection campaign:
+// Faults independent single-bit flips, one per execution, sites sampled
+// uniformly from Sites.
+type Campaign struct {
+	Kernel kernels.Kernel
+	Format fp.Format
+	// Faults is the number of injected executions (the paper uses
+	// >= 2000 per configuration).
+	Faults int
+	Seed   uint64
+	// Sites lists the eligible fault sites; one is chosen uniformly per
+	// injection. Empty defaults to {SiteOperand, SiteMemory}, CAROL-FI's
+	// variable/register model.
+	Sites []Site
+	// KeepOutputs retains each SDC's decoded output (needed for CNN
+	// criticality classification).
+	KeepOutputs bool
+	// Wrap, when non-nil, installs a platform environment transform
+	// (e.g. a software exp) between the kernel and the injector, for
+	// both the golden and the faulty runs.
+	Wrap func(fp.Env) fp.Env
+	// Workers, when above 1, runs injections on that many goroutines
+	// with per-fault random streams: deterministic in Seed and
+	// independent of scheduling, but a different (equally valid) sample
+	// than the default sequential mode.
+	Workers int
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Faults, SDCs, Masked int
+	// PVF is the program vulnerability factor: P(SDC | fault).
+	PVF float64
+	// RelErrs holds one max-relative-error per SDC, the input to the
+	// TRE criticality curves.
+	RelErrs []float64
+	// Outputs holds the decoded faulty output of each SDC when
+	// KeepOutputs was set (parallel to RelErrs).
+	Outputs [][]float64
+}
+
+// Run executes the campaign. It is deterministic in Seed.
+func (c Campaign) Run() (*Result, error) {
+	if c.Kernel == nil {
+		return nil, fmt.Errorf("inject: campaign has no kernel")
+	}
+	if c.Faults <= 0 {
+		return nil, fmt.Errorf("inject: campaign with %d faults", c.Faults)
+	}
+	sites := c.Sites
+	if len(sites) == 0 {
+		sites = []Site{SiteOperand, SiteMemory}
+	}
+
+	counts := kernels.ProfileWith(c.Kernel, c.Format, c.Wrap)
+	if counts.Total() == 0 {
+		return nil, fmt.Errorf("inject: kernel %s executes no operations", c.Kernel.Name())
+	}
+	var arrayLens []int
+	for _, arr := range c.Kernel.Inputs(c.Format) {
+		arrayLens = append(arrayLens, len(arr))
+	}
+	golden := kernels.Decode(c.Format, kernels.GoldenWith(c.Kernel, c.Format, c.Wrap))
+
+	runOne := func(r *rng.Rand) (RunResult, error) {
+		switch site := sites[r.Intn(len(sites))]; site {
+		case SiteOperation:
+			f := SampleOpFault(r, counts, c.Format, 0, true, TargetResult)
+			return RunWrapped(c.Kernel, c.Format, golden, &f, nil, c.KeepOutputs, c.Wrap), nil
+		case SiteOperand:
+			f := SampleOpFault(r, counts, c.Format, 0, true, TargetOperand)
+			return RunWrapped(c.Kernel, c.Format, golden, &f, nil, c.KeepOutputs, c.Wrap), nil
+		case SiteMemory:
+			mf := SampleMemFault(r, arrayLens, c.Format)
+			return RunWrapped(c.Kernel, c.Format, golden, nil, []MemFault{mf}, c.KeepOutputs, c.Wrap), nil
+		default:
+			return RunResult{}, fmt.Errorf("inject: unknown site %v", site)
+		}
+	}
+
+	res := &Result{Faults: c.Faults}
+	outcomes := make([]RunResult, c.Faults)
+	if c.Workers > 1 {
+		// Parallel mode: per-fault random streams keep the campaign
+		// deterministic in Seed regardless of scheduling.
+		master := rng.New(c.Seed)
+		seeds := make([]uint64, c.Faults)
+		for i := range seeds {
+			seeds[i] = master.Uint64()
+		}
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		next := int64(-1)
+		for w := 0; w < c.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= c.Faults {
+						return
+					}
+					rr, err := runOne(rng.New(seeds[i]))
+					if err != nil {
+						firstErr.Store(err)
+						return
+					}
+					outcomes[i] = rr
+				}
+			}()
+		}
+		wg.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			return nil, err
+		}
+	} else {
+		r := rng.New(c.Seed)
+		for i := 0; i < c.Faults; i++ {
+			rr, err := runOne(r)
+			if err != nil {
+				return nil, err
+			}
+			outcomes[i] = rr
+		}
+	}
+
+	for _, rr := range outcomes {
+		if rr.Outcome == SDC {
+			res.SDCs++
+			res.RelErrs = append(res.RelErrs, rr.MaxRelErr)
+			if c.KeepOutputs {
+				res.Outputs = append(res.Outputs, rr.Output)
+			}
+		} else {
+			res.Masked++
+		}
+	}
+	res.PVF = float64(res.SDCs) / float64(res.Faults)
+	return res, nil
+}
+
+// MarshalJSON encodes the result with non-finite relative errors (and
+// output values) clamped to +-MaxFloat64, since JSON has no Inf/NaN.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type alias Result
+	safe := alias(*r)
+	safe.RelErrs = stats.ClampNonFinite(r.RelErrs)
+	if r.Outputs != nil {
+		safe.Outputs = make([][]float64, len(r.Outputs))
+		for i, o := range r.Outputs {
+			safe.Outputs[i] = stats.ClampNonFinite(o)
+		}
+	}
+	return json.Marshal(safe)
+}

@@ -1,0 +1,339 @@
+// Package inject is the software fault injector — the role CAROL-FI
+// plays in the paper. It perturbs a single execution of a kernel with
+// single-bit flips and classifies the outcome against the fault-free
+// golden output.
+//
+// Three fault sites are modeled, mirroring both CAROL-FI's
+// variable/register flips and the beam's physical strike locations:
+//
+//   - operation faults: the result of one dynamic arithmetic operation
+//     is corrupted (a strike in functional-unit logic);
+//   - operand faults: one input of one dynamic operation is corrupted
+//     (a strike in a register feeding the datapath);
+//   - memory faults: one element of an input array is corrupted before
+//     the run (a strike in cache/BRAM/main-memory-resident data).
+//
+// Operation and operand faults can also be made persistent with a
+// modulo: every dynamic operation executed by the same hardware instance
+// (op index ≡ Index mod Modulo) is corrupted identically. That is the
+// FPGA configuration-memory fault model: a broken LUT keeps producing
+// the same wrong bit until the bitstream is scrubbed.
+package inject
+
+import (
+	"fmt"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// Target selects which value of the matched operation is corrupted.
+type Target int
+
+const (
+	// TargetResult flips a bit of the operation's result (ALU fault).
+	TargetResult Target = iota
+	// TargetOperand flips a bit of one input operand (register fault).
+	// The operand is OperandIdx modulo the operation's arity.
+	TargetOperand
+	// TargetIntState flips a low bit of an integer sequencing decision
+	// inside a software routine (a corrupted table index or shift
+	// count); Index counts decision sites, Bit is taken modulo 5.
+	TargetIntState
+)
+
+func (t Target) String() string {
+	switch t {
+	case TargetResult:
+		return "result"
+	case TargetOperand:
+		return "operand"
+	case TargetIntState:
+		return "int-state"
+	}
+	return "target?"
+}
+
+// OpFault describes a single-bit corruption of dynamic operation(s).
+type OpFault struct {
+	// Kind restricts matching to one operation kind unless AnyKind.
+	Kind    fp.Op
+	AnyKind bool
+	// Index is the dynamic index of the struck operation, counted over
+	// all operations (AnyKind) or over operations of Kind.
+	Index uint64
+	// Modulo, when nonzero, makes the fault persistent: every matching
+	// operation whose counter ≡ Index (mod Modulo) is corrupted. This
+	// models a corrupted hardware instance in a time-multiplexed
+	// datapath (FPGA configuration faults).
+	Modulo uint64
+	// Bit is the flipped bit position within the format width.
+	Bit int
+	// Width is the number of adjacent bits flipped starting at Bit
+	// (wrapping within the format) — a multi-bit upset. Zero means 1.
+	Width int
+	// Target selects result or operand; OperandIdx picks which operand
+	// (modulo arity) for TargetOperand.
+	Target     Target
+	OperandIdx int
+}
+
+// MemFault describes a corruption of an input array element applied
+// before the run: Width adjacent bits starting at Bit (a single-bit
+// upset when Width <= 1).
+type MemFault struct {
+	Array int // input array index (modulo the number of arrays)
+	Elem  int // element index (modulo the array length)
+	Bit   int // first bit position within the format width
+	Width int // adjacent bits flipped; 0 means 1
+}
+
+// Env wraps an fp.Env and applies an OpFault. It implements fp.Env.
+type Env struct {
+	inner   fp.Env
+	fault   OpFault
+	all     uint64
+	byKind  [fp.NumOps]uint64
+	intCtr  uint64
+	applied uint64 // number of corruptions performed
+}
+
+// NewEnv wraps inner with the given operation fault.
+func NewEnv(inner fp.Env, fault OpFault) *Env {
+	return &Env{inner: inner, fault: fault}
+}
+
+// Applied returns how many corruptions were performed (0 means the fault
+// index was beyond the executed operation count).
+func (e *Env) Applied() uint64 { return e.applied }
+
+// match reports whether the current operation (of the given kind) is
+// struck, using the counters prior to increment.
+func (e *Env) match(kind fp.Op) bool {
+	var ctr uint64
+	if e.fault.AnyKind {
+		ctr = e.all
+	} else {
+		if kind != e.fault.Kind {
+			return false
+		}
+		ctr = e.byKind[kind]
+	}
+	if e.fault.Modulo > 0 {
+		return ctr%e.fault.Modulo == e.fault.Index%e.fault.Modulo
+	}
+	return ctr == e.fault.Index
+}
+
+// flip corrupts b per the fault's bit position and width.
+func (e *Env) flip(b fp.Bits) fp.Bits {
+	return FlipBits(e.inner.Format(), b, e.fault.Bit, e.fault.Width)
+}
+
+// FlipBits flips width adjacent bits of b starting at position bit,
+// wrapping within format f's width. width <= 1 flips a single bit.
+func FlipBits(f fp.Format, b fp.Bits, bit, width int) fp.Bits {
+	if width < 1 {
+		width = 1
+	}
+	w := f.Width()
+	for i := 0; i < width; i++ {
+		b = f.FlipBit(b, (bit+i)%w)
+	}
+	return b
+}
+
+// step runs one operation with fault matching. operands are pointers so
+// operand corruption is visible to the compute closure.
+func (e *Env) step(kind fp.Op, operands []*fp.Bits, compute func() fp.Bits) fp.Bits {
+	hit := e.match(kind)
+	e.all++
+	e.byKind[kind]++
+	if hit && e.fault.Target == TargetOperand {
+		p := operands[e.fault.OperandIdx%len(operands)]
+		*p = e.flip(*p)
+		e.applied++
+		return compute()
+	}
+	res := compute()
+	if hit && e.fault.Target == TargetResult {
+		res = e.flip(res)
+		e.applied++
+	}
+	return res
+}
+
+// IntDecision implements fp.IntDecider: when the fault targets integer
+// state and this is the struck decision site, a low bit of the value is
+// flipped; otherwise the value passes through (and is forwarded to any
+// deeper IntDecider, so counters stay consistent across wrappers).
+func (e *Env) IntDecision(k int) int {
+	if d, ok := e.inner.(fp.IntDecider); ok {
+		k = d.IntDecision(k)
+	}
+	if e.fault.Target == TargetIntState && e.intCtr == e.fault.Index {
+		k ^= 1 << uint(e.fault.Bit%5)
+		e.applied++
+	}
+	e.intCtr++
+	return k
+}
+
+// Format implements fp.Env.
+func (e *Env) Format() fp.Format { return e.inner.Format() }
+
+// Add implements fp.Env.
+func (e *Env) Add(a, b fp.Bits) fp.Bits {
+	return e.step(fp.OpAdd, []*fp.Bits{&a, &b}, func() fp.Bits { return e.inner.Add(a, b) })
+}
+
+// Sub implements fp.Env.
+func (e *Env) Sub(a, b fp.Bits) fp.Bits {
+	return e.step(fp.OpSub, []*fp.Bits{&a, &b}, func() fp.Bits { return e.inner.Sub(a, b) })
+}
+
+// Mul implements fp.Env.
+func (e *Env) Mul(a, b fp.Bits) fp.Bits {
+	return e.step(fp.OpMul, []*fp.Bits{&a, &b}, func() fp.Bits { return e.inner.Mul(a, b) })
+}
+
+// Div implements fp.Env.
+func (e *Env) Div(a, b fp.Bits) fp.Bits {
+	return e.step(fp.OpDiv, []*fp.Bits{&a, &b}, func() fp.Bits { return e.inner.Div(a, b) })
+}
+
+// FMA implements fp.Env.
+func (e *Env) FMA(a, b, c fp.Bits) fp.Bits {
+	return e.step(fp.OpFMA, []*fp.Bits{&a, &b, &c}, func() fp.Bits { return e.inner.FMA(a, b, c) })
+}
+
+// Sqrt implements fp.Env.
+func (e *Env) Sqrt(a fp.Bits) fp.Bits {
+	return e.step(fp.OpSqrt, []*fp.Bits{&a}, func() fp.Bits { return e.inner.Sqrt(a) })
+}
+
+// Exp implements fp.Env.
+func (e *Env) Exp(a fp.Bits) fp.Bits {
+	return e.step(fp.OpExp, []*fp.Bits{&a}, func() fp.Bits { return e.inner.Exp(a) })
+}
+
+// FromFloat64 implements fp.Env.
+func (e *Env) FromFloat64(v float64) fp.Bits { return e.inner.FromFloat64(v) }
+
+// ToFloat64 implements fp.Env.
+func (e *Env) ToFloat64(b fp.Bits) float64 { return e.inner.ToFloat64(b) }
+
+// Outcome classifies one faulty execution.
+type Outcome int
+
+const (
+	// Masked: the output is bit-identical to the golden output.
+	Masked Outcome = iota
+	// SDC: silent data corruption — at least one output bit differs.
+	SDC
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case SDC:
+		return "SDC"
+	}
+	return "outcome?"
+}
+
+// RunResult is the outcome of one faulty execution.
+type RunResult struct {
+	Outcome Outcome
+	// MaxRelErr is the worst element-wise relative error vs golden
+	// (0 when masked; +Inf for NaN/Inf corruption).
+	MaxRelErr float64
+	// Output is the decoded faulty output (nil unless requested).
+	Output []float64
+	// FaultApplied reports whether the op fault actually fired (an
+	// index past the dynamic op count never fires).
+	FaultApplied bool
+}
+
+// Run executes kernel k in format f with an optional operation fault and
+// any number of memory faults, then classifies the outcome against
+// golden (the decoded fault-free output in the same format).
+// keepOutput controls whether the decoded faulty output is returned.
+func Run(k kernels.Kernel, f fp.Format, golden []float64, opFault *OpFault, memFaults []MemFault, keepOutput bool) RunResult {
+	return RunWrapped(k, f, golden, opFault, memFaults, keepOutput, nil)
+}
+
+// RunWrapped is Run with an environment transform applied between the
+// kernel and the injecting layer, so that faults can strike inside
+// decomposed operations (e.g. a platform's software exp). The golden
+// output must have been produced with the same transform.
+func RunWrapped(k kernels.Kernel, f fp.Format, golden []float64, opFault *OpFault, memFaults []MemFault, keepOutput bool, wrap func(fp.Env) fp.Env) RunResult {
+	var opFaults []OpFault
+	if opFault != nil {
+		opFaults = []OpFault{*opFault}
+	}
+	return RunMulti(k, f, golden, opFaults, memFaults, keepOutput, wrap)
+}
+
+// RunMulti executes one run with any number of simultaneous operation
+// faults (e.g. accumulated persistent FPGA configuration upsets) plus
+// memory faults. Each operation fault gets its own injecting layer; the
+// layers chain, so all faults apply independently within the same run.
+func RunMulti(k kernels.Kernel, f fp.Format, golden []float64, opFaults []OpFault, memFaults []MemFault, keepOutput bool, wrap func(fp.Env) fp.Env) RunResult {
+	in := k.Inputs(f)
+	for _, mf := range memFaults {
+		if len(in) == 0 {
+			break
+		}
+		arr := in[mf.Array%len(in)]
+		if len(arr) == 0 {
+			continue
+		}
+		i := mf.Elem % len(arr)
+		arr[i] = FlipBits(f, arr[i], mf.Bit, mf.Width)
+	}
+
+	var env fp.Env = fp.NewMachine(f)
+	ienvs := make([]*Env, 0, len(opFaults))
+	for _, fault := range opFaults {
+		ie := NewEnv(env, fault)
+		ienvs = append(ienvs, ie)
+		env = ie
+	}
+	if wrap != nil {
+		env = wrap(env)
+	}
+	outBits := k.Run(env, in)
+	out := kernels.Decode(f, outBits)
+	if len(out) != len(golden) {
+		panic(fmt.Sprintf("inject: output length %d vs golden %d", len(out), len(golden)))
+	}
+
+	res := RunResult{FaultApplied: len(memFaults) > 0}
+	for _, ie := range ienvs {
+		if ie.Applied() > 0 {
+			res.FaultApplied = true
+		}
+	}
+	var worst float64
+	same := true
+	for i := range out {
+		if out[i] != golden[i] {
+			same = false
+			if e := fp.RelErr(golden[i], out[i]); e > worst {
+				worst = e
+			}
+		}
+	}
+	if same {
+		res.Outcome = Masked
+	} else {
+		res.Outcome = SDC
+		res.MaxRelErr = worst
+	}
+	if keepOutput {
+		res.Output = out
+	}
+	return res
+}

@@ -1,0 +1,25 @@
+package inject
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestResultJSONWithInfinities(t *testing.T) {
+	r := &Result{Faults: 3, SDCs: 2, Masked: 1, PVF: 2.0 / 3,
+		RelErrs: []float64{0.5, math.Inf(1)},
+		Outputs: [][]float64{{1, math.NaN()}, {2, 3}},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal failed: %v", err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back["PVF"].(float64) != r.PVF {
+		t.Error("PVF lost")
+	}
+}

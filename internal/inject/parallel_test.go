@@ -1,0 +1,48 @@
+package inject
+
+import (
+	"testing"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+func TestCampaignParallelDeterministic(t *testing.T) {
+	base := Campaign{Kernel: kernels.NewGEMM(8, 3), Format: fp.Single,
+		Faults: 300, Seed: 7, KeepOutputs: true}
+	run := func(workers int) *Result {
+		c := base
+		c.Workers = workers
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(2), run(6)
+	if a.SDCs != b.SDCs || a.PVF != b.PVF {
+		t.Fatalf("worker counts disagree: %d vs %d SDCs", a.SDCs, b.SDCs)
+	}
+	for i := range a.RelErrs {
+		if a.RelErrs[i] != b.RelErrs[i] {
+			t.Fatalf("rel-err order differs at %d", i)
+		}
+	}
+}
+
+func TestCampaignParallelAgreesWithSequential(t *testing.T) {
+	seq := Campaign{Kernel: kernels.NewGEMM(10, 3), Format: fp.Half, Faults: 800, Seed: 5}
+	par := seq
+	par.Workers = 4
+	rs, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rs.PVF - rp.PVF; d > 0.08 || d < -0.08 {
+		t.Errorf("PVF %v (seq) vs %v (par) differ beyond noise", rs.PVF, rp.PVF)
+	}
+}

@@ -1,0 +1,114 @@
+package kernels
+
+import (
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+func TestCGSolvesSystem(t *testing.T) {
+	c := NewCG(16, 16, 3)
+	x := Decode(fp.Double, Golden(c, fp.Double))
+	// After n iterations CG is (in exact arithmetic) the direct answer;
+	// in float64 the residual should be tiny relative to ||b|| ~ 3.
+	if res := c.Residual(x); res > 1e-8 {
+		t.Errorf("residual %v after full CG", res)
+	}
+}
+
+func TestCGMatrixSymmetricPositive(t *testing.T) {
+	c := NewCG(12, 4, 5)
+	n := c.n
+	for i := 0; i < n; i++ {
+		if c.a[i*n+i] <= 0 {
+			t.Fatalf("non-positive diagonal at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			if c.a[i*n+j] != c.a[j*n+i] {
+				t.Fatalf("asymmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCGConvergesWithIterations(t *testing.T) {
+	few := NewCG(16, 2, 7)
+	many := NewCG(16, 12, 7)
+	rFew := few.Residual(Decode(fp.Double, Golden(few, fp.Double)))
+	rMany := many.Residual(Decode(fp.Double, Golden(many, fp.Double)))
+	if !(rMany < rFew) {
+		t.Errorf("more iterations did not reduce the residual: %v vs %v", rFew, rMany)
+	}
+}
+
+func TestCGPrecisionLimitsConvergence(t *testing.T) {
+	c := NewCG(12, 12, 9)
+	rd := c.Residual(Decode(fp.Double, Golden(c, fp.Double)))
+	rh := c.Residual(Decode(fp.Half, Golden(c, fp.Half)))
+	if !(rd < rh) {
+		t.Errorf("half residual %v not above double %v", rh, rd)
+	}
+}
+
+// The algorithmic-masking property: a fault injected in an EARLY
+// iteration is substantially absorbed by later convergence, while the
+// same fault in the LAST iteration survives to the output.
+func TestCGAbsorbsEarlyFaults(t *testing.T) {
+	c := NewCG(16, 16, 11)
+	f := fp.Double
+	golden := Golden(c, f)
+	goldenRes := c.Residual(Decode(f, golden))
+	total := Profile(c, f).Total()
+
+	residualWithFaultAt := func(idx uint64) float64 {
+		env := fp.NewMachine(f)
+		in := c.Inputs(f)
+		// Flip a high mantissa bit of one operation's result.
+		faulty := c.Run(&singleFaultEnv{Env: env, idx: idx, bit: 50}, in)
+		return c.Residual(Decode(f, faulty))
+	}
+	// A fault at 40% of the run leaves ~9 iterations of convergence to
+	// absorb it; a fault at 99% lands in the final x update and
+	// survives to the output.
+	early := residualWithFaultAt(total * 2 / 5)
+	late := residualWithFaultAt(total * 99 / 100)
+	if !(early < late/100) {
+		t.Errorf("early fault residual %v not well below late %v (golden %v)",
+			early, late, goldenRes)
+	}
+}
+
+// singleFaultEnv flips a bit of operation #idx's result (a minimal local
+// injector to avoid an import cycle with internal/inject).
+type singleFaultEnv struct {
+	fp.Env
+	ctr, idx uint64
+	bit      int
+}
+
+func (e *singleFaultEnv) maybe(b fp.Bits) fp.Bits {
+	if e.ctr == e.idx {
+		b = e.Env.Format().FlipBit(b, e.bit)
+	}
+	e.ctr++
+	return b
+}
+
+func (e *singleFaultEnv) Add(a, b fp.Bits) fp.Bits { return e.maybe(e.Env.Add(a, b)) }
+func (e *singleFaultEnv) Sub(a, b fp.Bits) fp.Bits { return e.maybe(e.Env.Sub(a, b)) }
+func (e *singleFaultEnv) Mul(a, b fp.Bits) fp.Bits { return e.maybe(e.Env.Mul(a, b)) }
+func (e *singleFaultEnv) Div(a, b fp.Bits) fp.Bits { return e.maybe(e.Env.Div(a, b)) }
+func (e *singleFaultEnv) Sqrt(a fp.Bits) fp.Bits   { return e.maybe(e.Env.Sqrt(a)) }
+func (e *singleFaultEnv) Exp(a fp.Bits) fp.Bits    { return e.maybe(e.Env.Exp(a)) }
+func (e *singleFaultEnv) FMA(a, b, c fp.Bits) fp.Bits {
+	return e.maybe(e.Env.FMA(a, b, c))
+}
+
+func TestCGPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCG(0, 1) did not panic")
+		}
+	}()
+	NewCG(0, 1, 1)
+}

@@ -1,0 +1,125 @@
+package kernels
+
+import "mixedrel/internal/rng"
+
+// This file procedurally renders handwritten-digit-like images. The
+// paper classifies MNIST digits; the dataset itself is not available
+// offline, so we substitute a deterministic generator that draws each
+// digit as a seven-segment glyph with random position jitter, stroke
+// thickness, per-pixel intensity variation, and background noise. The
+// classes are visually distinct but noisy enough that classification is
+// a real (if easy) task — which is all the criticality analysis needs:
+// "did a fault flip the predicted class" is meaningful for any
+// classifier that is confident on clean inputs.
+
+// DigitSize is the square image edge length, matching MNIST's 28x28.
+const DigitSize = 28
+
+// segment bit masks: the classic seven segments.
+const (
+	segA = 1 << iota // top
+	segB             // top right
+	segC             // bottom right
+	segD             // bottom
+	segE             // bottom left
+	segF             // top left
+	segG             // middle
+)
+
+// digitSegments maps digit -> active segments.
+var digitSegments = [10]int{
+	segA | segB | segC | segD | segE | segF,        // 0
+	segB | segC,                                    // 1
+	segA | segB | segG | segE | segD,               // 2
+	segA | segB | segG | segC | segD,               // 3
+	segF | segG | segB | segC,                      // 4
+	segA | segF | segG | segC | segD,               // 5
+	segA | segF | segG | segE | segC | segD,        // 6
+	segA | segB | segC,                             // 7
+	segA | segB | segC | segD | segE | segF | segG, // 8
+	segA | segB | segC | segD | segF | segG,        // 9
+}
+
+// RenderDigit draws digit d (0-9) into a DigitSize x DigitSize image
+// with pixel values in [0, 1], using r for jitter and noise. It panics
+// for an out-of-range digit.
+func RenderDigit(d int, r *rng.Rand) []float64 {
+	if d < 0 || d > 9 {
+		panic("kernels: digit out of range")
+	}
+	img := make([]float64, DigitSize*DigitSize)
+
+	// Glyph box with jitter: roughly 12 wide x 18 tall, offset by up to
+	// +-2 pixels.
+	ox := 8 + r.Intn(5) - 2
+	oy := 5 + r.Intn(5) - 2
+	gw, gh := 12, 18
+	th := 2 + r.Intn(2) // stroke thickness 2-3
+
+	fill := func(x0, y0, x1, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				if x >= 0 && x < DigitSize && y >= 0 && y < DigitSize {
+					// Ink intensity varies per pixel.
+					img[y*DigitSize+x] = 0.75 + 0.25*r.Float64()
+				}
+			}
+		}
+	}
+
+	segs := digitSegments[d]
+	mid := oy + gh/2
+	if segs&segA != 0 {
+		fill(ox, oy, ox+gw, oy+th)
+	}
+	if segs&segD != 0 {
+		fill(ox, oy+gh-th, ox+gw, oy+gh)
+	}
+	if segs&segG != 0 {
+		fill(ox, mid-th/2, ox+gw, mid-th/2+th)
+	}
+	if segs&segF != 0 {
+		fill(ox, oy, ox+th, mid)
+	}
+	if segs&segB != 0 {
+		fill(ox+gw-th, oy, ox+gw, mid)
+	}
+	if segs&segE != 0 {
+		fill(ox, mid, ox+th, oy+gh)
+	}
+	if segs&segC != 0 {
+		fill(ox+gw-th, mid, ox+gw, oy+gh)
+	}
+
+	// Background noise and slight blur-like speckle.
+	for i := range img {
+		img[i] += 0.05 * r.Float64()
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img
+}
+
+// DigitSet is a labeled collection of rendered digits.
+type DigitSet struct {
+	Images [][]float64
+	Labels []int
+}
+
+// NewDigitSet renders perClass examples of each digit 0-9,
+// deterministically from seed.
+func NewDigitSet(perClass int, seed uint64) *DigitSet {
+	r := rng.New(seed)
+	s := &DigitSet{}
+	for d := 0; d < 10; d++ {
+		for i := 0; i < perClass; i++ {
+			s.Images = append(s.Images, RenderDigit(d, r))
+			s.Labels = append(s.Labels, d)
+		}
+	}
+	return s
+}
+
+// Len returns the number of examples.
+func (s *DigitSet) Len() int { return len(s.Images) }

@@ -1,0 +1,68 @@
+package kernels
+
+import (
+	"fmt"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// GEMM is the paper's MxM workload: C = A x B for square N x N matrices,
+// computed as a chain of fused multiply-adds per output element — the
+// structure the paper identifies with the FMA microbenchmark ("matrix
+// multiplication is a series of multiply and accumulate operations,
+// which are implemented as FMA instructions").
+//
+// Inputs are uniform in [0.5, 1) so that every output element is bounded
+// away from zero (element-wise relative error — the paper's TRE metric —
+// is meaningful) and dot products stay inside the binary16 range for the
+// sizes used here.
+type GEMM struct {
+	n    int
+	a, b []float64
+}
+
+// NewGEMM creates an n x n matrix multiplication with deterministic
+// inputs derived from seed. It panics if n <= 0.
+func NewGEMM(n int, seed uint64) *GEMM {
+	if n <= 0 {
+		panic(fmt.Sprintf("kernels: GEMM size %d", n))
+	}
+	r := rng.New(seed)
+	return &GEMM{
+		n: n,
+		a: uniform(r, n*n, 0.5, 1),
+		b: uniform(r, n*n, 0.5, 1),
+	}
+}
+
+// Name implements Kernel.
+func (g *GEMM) Name() string { return "MxM" }
+
+// N returns the matrix dimension.
+func (g *GEMM) N() int { return g.n }
+
+// Inputs implements Kernel: element 0 is A, element 1 is B, both in
+// row-major order.
+func (g *GEMM) Inputs(f fp.Format) [][]fp.Bits {
+	return [][]fp.Bits{encode(f, g.a), encode(f, g.b)}
+}
+
+// Run implements Kernel. The inner loop is an FMA chain, matching how
+// GEMM maps onto all three architectures.
+func (g *GEMM) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	a, b := in[0], in[1]
+	n := g.n
+	c := make([]fp.Bits, n*n)
+	zero := env.FromFloat64(0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := zero
+			for k := 0; k < n; k++ {
+				acc = env.FMA(a[i*n+k], b[k*n+j], acc)
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}

@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+func TestGEMMMatchesFloat64Reference(t *testing.T) {
+	g := NewGEMM(12, 1)
+	out := Decode(fp.Double, Golden(g, fp.Double))
+	n := g.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want = math.FMA(g.a[i*n+k], g.b[k*n+j], want)
+			}
+			if got := out[i*n+j]; got != want {
+				t.Fatalf("C[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestGEMMDeterministic(t *testing.T) {
+	a := NewGEMM(8, 42)
+	b := NewGEMM(8, 42)
+	for _, f := range fp.Formats {
+		ga, gb := Golden(a, f), Golden(b, f)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("%v: outputs differ at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestGEMMSeedsDiffer(t *testing.T) {
+	a, b := NewGEMM(8, 1), NewGEMM(8, 2)
+	ga, gb := Golden(a, fp.Double), Golden(b, fp.Double)
+	same := true
+	for i := range ga {
+		if ga[i] != gb[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical outputs")
+	}
+}
+
+func TestGEMMPrecisionAccuracyOrdering(t *testing.T) {
+	g := NewGEMM(24, 7)
+	ref := Decode(fp.Double, Golden(g, fp.Double))
+	errHalf := fp.MaxRelErr(ref, Decode(fp.Half, Golden(g, fp.Half)))
+	errSingle := fp.MaxRelErr(ref, Decode(fp.Single, Golden(g, fp.Single)))
+	if !(errHalf > errSingle) {
+		t.Errorf("half error %v not worse than single %v", errHalf, errSingle)
+	}
+	// Converting to lower precision costs < 2% accuracy for these sizes,
+	// matching the paper's observation (Section 3.2: TRE < 2% without
+	// faults when lowering precision).
+	if errHalf > 0.02 {
+		t.Errorf("half-precision drift %v exceeds the paper's 2%% bound", errHalf)
+	}
+}
+
+func TestGEMMRunDoesNotMutateInputs(t *testing.T) {
+	g := NewGEMM(6, 3)
+	in := g.Inputs(fp.Single)
+	snapshot := append([]fp.Bits(nil), in[0]...)
+	g.Run(fp.NewMachine(fp.Single), in)
+	for i := range snapshot {
+		if in[0][i] != snapshot[i] {
+			t.Fatal("Run mutated its input")
+		}
+	}
+}
+
+func TestGEMMProfileIsFMAOnly(t *testing.T) {
+	g := NewGEMM(10, 5)
+	p := Profile(g, fp.Single)
+	if p.ByOp[fp.OpFMA] != 1000 {
+		t.Errorf("FMA count = %d, want 1000", p.ByOp[fp.OpFMA])
+	}
+	if p.Total() != p.ByOp[fp.OpFMA] {
+		t.Errorf("GEMM should be pure FMA, got %+v", p.ByOp)
+	}
+	if p.Loads != 200 || p.Stores != 100 {
+		t.Errorf("loads/stores = %d/%d, want 200/100", p.Loads, p.Stores)
+	}
+}
+
+func TestGEMMPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGEMM(0) did not panic")
+		}
+	}()
+	NewGEMM(0, 1)
+}

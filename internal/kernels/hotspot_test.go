@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+// hotspotRef evolves the grid in plain float64 with the same update.
+func hotspotRef(h *Hotspot) []float64 {
+	n := h.n
+	cur := append([]float64(nil), h.temp...)
+	next := append([]float64(nil), h.temp...)
+	for s := 0; s < h.steps; s++ {
+		for r := 1; r < n-1; r++ {
+			for c := 1; c < n-1; c++ {
+				t := cur[r*n+c]
+				dv := math.FMA(-2, t, cur[(r+1)*n+c]+cur[(r-1)*n+c])
+				dh := math.FMA(-2, t, cur[r*n+c+1]+cur[r*n+c-1])
+				acc := h.power[r*n+c]
+				acc = math.FMA(dv, hotspotRy, acc)
+				acc = math.FMA(dh, hotspotRx, acc)
+				acc = math.FMA(hotspotTamb-t, hotspotRz, acc)
+				next[r*n+c] = math.FMA(hotspotK, acc, t)
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func TestHotspotMatchesReference(t *testing.T) {
+	h := NewHotspot(10, 6, 31)
+	got := Decode(fp.Double, Golden(h, fp.Double))
+	want := hotspotRef(h)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHotspotBordersFixed(t *testing.T) {
+	h := NewHotspot(8, 5, 33)
+	out := Decode(fp.Double, Golden(h, fp.Double))
+	n := h.n
+	for i := 0; i < n; i++ {
+		for _, idx := range []int{i, (n-1)*n + i, i * n, i*n + n - 1} {
+			if out[idx] != h.temp[idx] {
+				t.Fatalf("border cell %d changed: %v vs %v", idx, out[idx], h.temp[idx])
+			}
+		}
+	}
+}
+
+func TestHotspotStaysPhysical(t *testing.T) {
+	// With these coefficients the update is a contraction toward
+	// ambient + power: temperatures stay within a physical band in all
+	// precisions.
+	h := NewHotspot(12, 20, 35)
+	for _, f := range fp.Formats {
+		for i, v := range Decode(f, Golden(h, f)) {
+			if v < 40 || v > 150 || math.IsNaN(v) {
+				t.Fatalf("%v: cell %d diverged to %v", f, i, v)
+			}
+		}
+	}
+}
+
+func TestHotspotPrecisionOrdering(t *testing.T) {
+	h := NewHotspot(10, 10, 37)
+	ref := Decode(fp.Double, Golden(h, fp.Double))
+	eh := fp.MaxRelErr(ref, Decode(fp.Half, Golden(h, fp.Half)))
+	es := fp.MaxRelErr(ref, Decode(fp.Single, Golden(h, fp.Single)))
+	if !(eh > es) {
+		t.Errorf("half drift %v not above single %v", eh, es)
+	}
+	if eh > 0.02 {
+		t.Errorf("half drift %v exceeds 2%%", eh)
+	}
+}
+
+func TestHotspotOpMix(t *testing.T) {
+	h := NewHotspot(8, 3, 39)
+	p := Profile(h, fp.Single)
+	interior := uint64(6 * 6 * 3)
+	if p.ByOp[fp.OpFMA] != 6*interior {
+		t.Errorf("FMA count %d, want %d", p.ByOp[fp.OpFMA], 6*interior)
+	}
+	if p.ByOp[fp.OpAdd] != 2*interior {
+		t.Errorf("ADD count %d, want %d", p.ByOp[fp.OpAdd], 2*interior)
+	}
+	if p.ByOp[fp.OpSub] != interior {
+		t.Errorf("SUB count %d, want %d", p.ByOp[fp.OpSub], interior)
+	}
+}
+
+func TestHotspotFaultPropagatesLocally(t *testing.T) {
+	// A corrupted input cell only influences a neighborhood growing one
+	// ring per step — check a far corner is untouched after few steps.
+	h := NewHotspot(16, 2, 41)
+	f := fp.Double
+	golden := Golden(h, f)
+	in := h.Inputs(f)
+	center := 8*16 + 8
+	in[0][center] = f.FlipBit(in[0][center], 40)
+	faulty := h.Run(fp.NewMachine(f), in)
+	if faulty[1*16+1] != golden[1*16+1] {
+		t.Error("fault reached beyond its light cone")
+	}
+	if faulty[center] == golden[center] {
+		t.Error("fault vanished at its own cell")
+	}
+}
+
+func TestHotspotPanicsOnBadShape(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHotspot(2, 5, 1) },
+		func() { NewHotspot(8, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Hotspot shape did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+// Package kernels implements the paper's six workloads as
+// precision-generic computations over an fp.Env:
+//
+//   - GEMM (the paper's MxM): dense matrix multiply, FMA-dominated
+//   - LavaMD: particle-potential kernel (dot products + exp), from Rodinia
+//   - LUD: LU decomposition of a diagonally dominant system, from Rodinia
+//   - Micro-{ADD,MUL,FMA}: register-resident synthetic op chains
+//   - MNIST: a small CNN classifier on procedurally generated digits
+//   - YOLO-lite: a YOLO-style convolutional object detector on synthetic
+//     scenes
+//
+// A Kernel carries its own deterministic inputs (generated from a seed at
+// construction) and executes entirely through the fp.Env handed to Run,
+// so the same kernel code produces the golden output, the op-count
+// profile, and — when the Env is an injecting wrapper — the faulty
+// output.
+package kernels
+
+import (
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// Kernel is a precision-generic workload.
+type Kernel interface {
+	// Name returns the workload's short name as used in the paper
+	// (e.g. "MxM", "LavaMD").
+	Name() string
+	// Inputs returns a fresh, caller-owned copy of the kernel's input
+	// arrays encoded in format f. Fault injectors may mutate the copy
+	// before passing it to Run.
+	Inputs(f fp.Format) [][]fp.Bits
+	// Run executes the kernel through env on the given inputs and
+	// returns its outputs encoded in env's format. Run must not retain
+	// or mutate in beyond the call.
+	Run(env fp.Env, in [][]fp.Bits) []fp.Bits
+}
+
+// encode converts a float64 slice into format f.
+func encode(f fp.Format, xs []float64) []fp.Bits {
+	out := make([]fp.Bits, len(xs))
+	for i, x := range xs {
+		out[i] = f.FromFloat64(x)
+	}
+	return out
+}
+
+// Decode converts raw outputs in format f to float64 for comparison.
+func Decode(f fp.Format, bs []fp.Bits) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = f.ToFloat64(b)
+	}
+	return out
+}
+
+// Golden runs k fault-free in format f and returns its output.
+func Golden(k Kernel, f fp.Format) []fp.Bits {
+	return GoldenWith(k, f, nil)
+}
+
+// GoldenWith runs k fault-free in format f with an environment
+// transform (e.g. a platform's software exp) applied above the machine.
+func GoldenWith(k Kernel, f fp.Format, wrap func(fp.Env) fp.Env) []fp.Bits {
+	var env fp.Env = fp.NewMachine(f)
+	if wrap != nil {
+		env = wrap(env)
+	}
+	return k.Run(env, k.Inputs(f))
+}
+
+// Profile runs k fault-free in format f and returns its dynamic
+// operation counts (with Loads/Stores set from the input/output sizes).
+func Profile(k Kernel, f fp.Format) fp.OpCounts {
+	return ProfileWith(k, f, nil)
+}
+
+// ProfileWith profiles k with an environment transform applied above
+// the counting layer, so decomposed operations (software
+// transcendentals) are counted individually.
+func ProfileWith(k Kernel, f fp.Format, wrap func(fp.Env) fp.Env) fp.OpCounts {
+	counting := fp.NewCounting(fp.NewMachine(f))
+	var env fp.Env = counting
+	if wrap != nil {
+		env = wrap(env)
+	}
+	in := k.Inputs(f)
+	out := k.Run(env, in)
+	for _, arr := range in {
+		counting.Counts.Loads += uint64(len(arr))
+	}
+	counting.Counts.Stores += uint64(len(out))
+	return counting.Counts
+}
+
+// uniform fills a slice with uniform values in [lo, hi).
+func uniform(r *rng.Rand, n int, lo, hi float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*r.Float64()
+	}
+	return xs
+}

@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+// lavaRef computes the LavaMD result in plain float64 with the same
+// neighbor traversal, as an independent check of the Env-based kernel.
+func lavaRef(l *LavaMD) []float64 {
+	dim, perBox := l.dim, l.perBx
+	n := l.Particles()
+	fA := make([]float64, 4*n)
+	a2 := l.alpha * l.alpha
+	boxIndex := func(bx, by, bz int) int { return (bz*dim+by)*dim + bx }
+	for bz := 0; bz < dim; bz++ {
+		for by := 0; by < dim; by++ {
+			for bx := 0; bx < dim; bx++ {
+				home := boxIndex(bx, by, bz) * perBox
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny, nz := bx+dx, by+dy, bz+dz
+							if nx < 0 || ny < 0 || nz < 0 || nx >= dim || ny >= dim || nz >= dim {
+								continue
+							}
+							nb := boxIndex(nx, ny, nz) * perBox
+							for i := home; i < home+perBox; i++ {
+								for j := nb; j < nb+perBox; j++ {
+									dot := l.rv[4*i+1]*l.rv[4*j+1] + l.rv[4*i+2]*l.rv[4*j+2] + l.rv[4*i+3]*l.rv[4*j+3]
+									r2 := l.rv[4*i] + l.rv[4*j] - 2*dot
+									vij := math.Exp(-a2 * r2)
+									fs := 2 * vij
+									fA[4*i] += l.qv[j] * vij
+									fA[4*i+1] += l.qv[j] * fs * (l.rv[4*i+1] - l.rv[4*j+1])
+									fA[4*i+2] += l.qv[j] * fs * (l.rv[4*i+2] - l.rv[4*j+2])
+									fA[4*i+3] += l.qv[j] * fs * (l.rv[4*i+3] - l.rv[4*j+3])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return fA
+}
+
+func TestLavaMDMatchesReference(t *testing.T) {
+	l := NewLavaMD(2, 4, 21)
+	got := Decode(fp.Double, Golden(l, fp.Double))
+	want := lavaRef(l)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		// The Env path uses FMA contractions, so results differ from the
+		// plain path by rounding only.
+		if math.Abs(got[i]-want[i]) > 1e-10*(1+math.Abs(want[i])) {
+			t.Fatalf("fA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLavaMDAllPrecisionsFinitePositiveV(t *testing.T) {
+	l := NewLavaMD(2, 3, 23)
+	for _, f := range fp.Formats {
+		out := Decode(f, Golden(l, f))
+		for i := 0; i < len(out); i += 4 {
+			// The potential accumulator sums exp() terms with positive
+			// charges: it must be strictly positive and finite.
+			if !(out[i] > 0) || math.IsInf(out[i], 0) {
+				t.Fatalf("%v: potential fA[%d].v = %v", f, i/4, out[i])
+			}
+		}
+	}
+}
+
+func TestLavaMDIsMULDominated(t *testing.T) {
+	// The paper (Section 6.1) attributes LavaMD's FIT trend to its MUL
+	// dominance (>50% of instructions). Check the op mix reflects that:
+	// MUL+FMA must dominate and EXP must be present.
+	l := NewLavaMD(2, 4, 25)
+	p := Profile(l, fp.Single)
+	mulLike := p.ByOp[fp.OpMul] + p.ByOp[fp.OpFMA]
+	if 2*mulLike < p.Total() {
+		t.Errorf("MUL+FMA = %d of %d total, expected majority", mulLike, p.Total())
+	}
+	if p.ByOp[fp.OpExp] == 0 {
+		t.Error("LavaMD must exercise the transcendental exp")
+	}
+	// One exp per interacting pair.
+	pairs := uint64(0)
+	dim, pb := 2, 4
+	for bz := 0; bz < dim; bz++ {
+		for by := 0; by < dim; by++ {
+			for bx := 0; bx < dim; bx++ {
+				neighbors := 0
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny, nz := bx+dx, by+dy, bz+dz
+							if nx >= 0 && ny >= 0 && nz >= 0 && nx < dim && ny < dim && nz < dim {
+								neighbors++
+							}
+						}
+					}
+				}
+				pairs += uint64(neighbors * pb * pb)
+			}
+		}
+	}
+	if p.ByOp[fp.OpExp] != pairs {
+		t.Errorf("EXP count = %d, want %d (one per pair)", p.ByOp[fp.OpExp], pairs)
+	}
+}
+
+func TestLavaMDDeterministic(t *testing.T) {
+	a := Golden(NewLavaMD(2, 3, 31), fp.Half)
+	b := Golden(NewLavaMD(2, 3, 31), fp.Half)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ at %d", i)
+		}
+	}
+}
+
+func TestLavaMDPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLavaMD(0,0) did not panic")
+		}
+	}()
+	NewLavaMD(0, 0, 1)
+}

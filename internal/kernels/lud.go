@@ -1,0 +1,78 @@
+package kernels
+
+import (
+	"fmt"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// LUD factors a square matrix A into unit-lower-triangular L and
+// upper-triangular U with the Doolittle scheme and no pivoting, exactly
+// like the Rodinia LUD kernel the paper runs on the Xeon Phi. The input
+// is made strictly diagonally dominant, which Rodinia likewise assumes,
+// so the factorization is numerically stable without pivoting.
+//
+// The output is the packed in-place factorization (L below the diagonal,
+// U on and above it), which is what the paper's golden check compares.
+type LUD struct {
+	n int
+	a []float64
+}
+
+// NewLUD creates an n x n decomposition with a deterministic, strictly
+// diagonally dominant input matrix. It panics if n <= 0.
+func NewLUD(n int, seed uint64) *LUD {
+	if n <= 0 {
+		panic(fmt.Sprintf("kernels: LUD size %d", n))
+	}
+	r := rng.New(seed)
+	a := uniform(r, n*n, -1, 1)
+	// Make each diagonal entry exceed the absolute row sum.
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				if v := a[i*n+j]; v < 0 {
+					rowSum -= v
+				} else {
+					rowSum += v
+				}
+			}
+		}
+		a[i*n+i] = rowSum + 1
+	}
+	return &LUD{n: n, a: a}
+}
+
+// Name implements Kernel.
+func (l *LUD) Name() string { return "LUD" }
+
+// N returns the matrix dimension.
+func (l *LUD) N() int { return l.n }
+
+// Inputs implements Kernel: a single row-major matrix.
+func (l *LUD) Inputs(f fp.Format) [][]fp.Bits {
+	return [][]fp.Bits{encode(f, l.a)}
+}
+
+// Run implements Kernel.
+func (l *LUD) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	n := l.n
+	m := make([]fp.Bits, n*n)
+	copy(m, in[0])
+	for k := 0; k < n; k++ {
+		// U row k is already final. Compute the L column below the
+		// pivot, then eliminate.
+		piv := m[k*n+k]
+		for i := k + 1; i < n; i++ {
+			lik := env.Div(m[i*n+k], piv)
+			m[i*n+k] = lik
+			negLik := env.Mul(lik, env.FromFloat64(-1))
+			for j := k + 1; j < n; j++ {
+				m[i*n+j] = env.FMA(negLik, m[k*n+j], m[i*n+j])
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+// reconstruct multiplies the packed L (unit diagonal) and U factors.
+func reconstruct(lu []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kMax := i
+			if j < i {
+				kMax = j
+			}
+			for k := 0; k <= kMax; k++ {
+				var l float64
+				if k == i {
+					l = 1
+				} else {
+					l = lu[i*n+k]
+				}
+				sum += l * lu[k*n+j]
+			}
+			out[i*n+j] = sum
+		}
+	}
+	return out
+}
+
+func TestLUDFactorizationReconstructs(t *testing.T) {
+	l := NewLUD(16, 9)
+	out := Decode(fp.Double, Golden(l, fp.Double))
+	back := reconstruct(out, l.n)
+	for i := range back {
+		if math.Abs(back[i]-l.a[i]) > 1e-9*(1+math.Abs(l.a[i])) {
+			t.Fatalf("LU reconstruction off at %d: %v vs %v", i, back[i], l.a[i])
+		}
+	}
+}
+
+func TestLUDInputDiagonallyDominant(t *testing.T) {
+	l := NewLUD(20, 11)
+	n := l.n
+	for i := 0; i < n; i++ {
+		var off float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				off += math.Abs(l.a[i*n+j])
+			}
+		}
+		if l.a[i*n+i] <= off {
+			t.Fatalf("row %d not strictly diagonally dominant", i)
+		}
+	}
+}
+
+func TestLUDAllPrecisionsFinite(t *testing.T) {
+	l := NewLUD(12, 13)
+	for _, f := range fp.Formats {
+		for i, v := range Decode(f, Golden(l, f)) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%v: non-finite output at %d: %v", f, i, v)
+			}
+		}
+	}
+}
+
+func TestLUDProfileHasDivAndFMA(t *testing.T) {
+	l := NewLUD(8, 15)
+	p := Profile(l, fp.Double)
+	n := uint64(8)
+	wantDiv := n * (n - 1) / 2
+	if p.ByOp[fp.OpDiv] != wantDiv {
+		t.Errorf("DIV count = %d, want %d", p.ByOp[fp.OpDiv], wantDiv)
+	}
+	if p.ByOp[fp.OpFMA] == 0 {
+		t.Error("LUD should contain FMA elimination updates")
+	}
+}
+
+func TestLUDPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLUD(-1) did not panic")
+		}
+	}()
+	NewLUD(-1, 1)
+}

@@ -1,0 +1,107 @@
+package kernels
+
+import (
+	"fmt"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// MicroOp selects which arithmetic unit a Micro kernel stresses.
+type MicroOp int
+
+const (
+	// MicroADD stresses the floating-point adder.
+	MicroADD MicroOp = iota
+	// MicroMUL stresses the multiplier.
+	MicroMUL
+	// MicroFMA stresses the fused multiply-add pipeline.
+	MicroFMA
+)
+
+func (op MicroOp) String() string {
+	switch op {
+	case MicroADD:
+		return "Micro-ADD"
+	case MicroMUL:
+		return "Micro-MUL"
+	case MicroFMA:
+		return "Micro-FMA"
+	}
+	return "Micro-?"
+}
+
+// Micro reproduces the paper's microbenchmarks: each of Threads logical
+// threads performs OpsPerThread arithmetic operations of one kind on a
+// register-resident value, with negligible memory traffic. The operation
+// chains are exactly invertible in binary floating point, so the
+// fault-free result equals the seed value in every precision and any
+// injected fault propagates multiplicatively to the output:
+//
+//	ADD:  x += 1;           x -= 1
+//	MUL:  x *= 2;           x *= 0.5
+//	FMA:  x = 2x + 1;       x = 0.5x - 0.5
+//
+// (2, 0.5 and 1 are exact in all three formats, and the seeds are small
+// integers, so no rounding occurs anywhere on the fault-free path.)
+type Micro struct {
+	Op           MicroOp
+	Threads      int
+	OpsPerThread int
+	seeds        []float64
+}
+
+// NewMicro creates a microbenchmark with the given operation, thread
+// count, and per-thread dynamic operation count. It panics for
+// non-positive shape parameters. OpsPerThread is rounded up to even so
+// every forward step has its inverse.
+func NewMicro(op MicroOp, threads, opsPerThread int, seed uint64) *Micro {
+	if threads <= 0 || opsPerThread <= 0 {
+		panic(fmt.Sprintf("kernels: Micro shape %dx%d", threads, opsPerThread))
+	}
+	r := rng.New(seed)
+	seeds := make([]float64, threads)
+	for i := range seeds {
+		// Small integers: exactly representable in binary16.
+		seeds[i] = float64(1 + r.Intn(32))
+	}
+	return &Micro{Op: op, Threads: threads, OpsPerThread: (opsPerThread + 1) &^ 1, seeds: seeds}
+}
+
+// Name implements Kernel.
+func (m *Micro) Name() string { return m.Op.String() }
+
+// Inputs implements Kernel: one seed value per thread.
+func (m *Micro) Inputs(f fp.Format) [][]fp.Bits {
+	return [][]fp.Bits{encode(f, m.seeds)}
+}
+
+// Run implements Kernel: the output is each thread's final register
+// value, which fault-free equals its seed.
+func (m *Micro) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	one := env.FromFloat64(1)
+	negOne := env.FromFloat64(-1)
+	two := env.FromFloat64(2)
+	half := env.FromFloat64(0.5)
+	negHalf := env.FromFloat64(-0.5)
+
+	out := make([]fp.Bits, m.Threads)
+	for t := 0; t < m.Threads; t++ {
+		x := in[0][t]
+		for i := 0; i < m.OpsPerThread; i += 2 {
+			switch m.Op {
+			case MicroADD:
+				x = env.Add(x, one)
+				x = env.Add(x, negOne)
+			case MicroMUL:
+				x = env.Mul(x, two)
+				x = env.Mul(x, half)
+			case MicroFMA:
+				x = env.FMA(x, two, one)
+				x = env.FMA(x, half, negHalf)
+			}
+		}
+		out[t] = x
+	}
+	return out
+}

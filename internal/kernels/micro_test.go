@@ -1,0 +1,89 @@
+package kernels
+
+import (
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+func TestMicroFaultFreeIsIdentity(t *testing.T) {
+	for _, op := range []MicroOp{MicroADD, MicroMUL, MicroFMA} {
+		m := NewMicro(op, 16, 100, 3)
+		for _, f := range fp.Formats {
+			in := m.Inputs(f)
+			out := m.Run(fp.NewMachine(f), in)
+			for i := range out {
+				if out[i] != in[0][i] {
+					t.Errorf("%v/%v: thread %d final %#x != seed %#x",
+						op, f, i, out[i], in[0][i])
+				}
+			}
+		}
+	}
+}
+
+func TestMicroOpCountsArePure(t *testing.T) {
+	cases := []struct {
+		op   MicroOp
+		want fp.Op
+	}{
+		{MicroADD, fp.OpAdd},
+		{MicroMUL, fp.OpMul},
+		{MicroFMA, fp.OpFMA},
+	}
+	for _, c := range cases {
+		m := NewMicro(c.op, 4, 50, 1)
+		p := Profile(m, fp.Single)
+		if p.ByOp[c.want] != uint64(4*m.OpsPerThread) {
+			t.Errorf("%v: count = %d, want %d", c.op, p.ByOp[c.want], 4*m.OpsPerThread)
+		}
+		if p.Total() != p.ByOp[c.want] {
+			t.Errorf("%v: kernel not pure: %+v", c.op, p.ByOp)
+		}
+	}
+}
+
+func TestMicroOpsPerThreadRoundedEven(t *testing.T) {
+	m := NewMicro(MicroMUL, 1, 7, 1)
+	if m.OpsPerThread != 8 {
+		t.Errorf("OpsPerThread = %d, want 8", m.OpsPerThread)
+	}
+}
+
+func TestMicroNames(t *testing.T) {
+	if NewMicro(MicroADD, 1, 2, 1).Name() != "Micro-ADD" ||
+		NewMicro(MicroMUL, 1, 2, 1).Name() != "Micro-MUL" ||
+		NewMicro(MicroFMA, 1, 2, 1).Name() != "Micro-FMA" {
+		t.Error("unexpected micro names")
+	}
+	if MicroOp(9).String() != "Micro-?" {
+		t.Error("unknown MicroOp should stringify to Micro-?")
+	}
+}
+
+func TestMicroPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMicro with zero threads did not panic")
+		}
+	}()
+	NewMicro(MicroADD, 0, 10, 1)
+}
+
+// A single bit flip in the value mid-chain must reach the output for
+// MUL (multiplicative propagation) — this is the property that makes the
+// microbenchmarks sensitive fault detectors.
+func TestMicroFaultPropagates(t *testing.T) {
+	m := NewMicro(MicroMUL, 1, 100, 5)
+	for _, f := range fp.Formats {
+		in := m.Inputs(f)
+		golden := m.Run(fp.NewMachine(f), in)
+		// Corrupt a high mantissa bit of the seed (memory fault model).
+		in = m.Inputs(f)
+		in[0][0] = f.FlipBit(in[0][0], f.MantBits()-1)
+		faulty := m.Run(fp.NewMachine(f), in)
+		if faulty[0] == golden[0] {
+			t.Errorf("%v: seed corruption did not propagate", f)
+		}
+	}
+}

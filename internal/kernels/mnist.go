@@ -1,0 +1,227 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// MNIST is the paper's small LeNet-like CNN classifier. Topology:
+//
+//	input 1x28x28
+//	conv 5x5, 4 filters  -> 4x24x24, ReLU
+//	avgpool 2x2          -> 4x12x12
+//	conv 5x5, 8 filters  -> 8x8x8,   ReLU
+//	avgpool 2x2          -> 8x4x4 = 128
+//	dense 128 -> 10, softmax
+//
+// Following the paper, the network is trained once (in float64, playing
+// the role of the paper's single-precision training) and the same
+// weights are converted to every precision without retraining. Training
+// runs on procedurally rendered digits (see digits.go): a fast
+// softmax-regression warm start of the readout, then full
+// backpropagation through both convolutions (see train.go), reaching
+// ~98% accuracy on held-out renders.
+//
+// One execution classifies a batch of test images; the output vector is
+// the concatenated per-image softmax probabilities (Batch x 10), which is
+// what the golden comparison and the classification-criticality analysis
+// consume.
+type MNIST struct {
+	Batch  int
+	conv1  *convLayer
+	conv2  *convLayer
+	fc     *denseLayer
+	test   *DigitSet
+	labels []int
+	acc    float64
+}
+
+// NewMNIST builds and trains the classifier and prepares a deterministic
+// test batch of the given size. It panics if batch <= 0.
+func NewMNIST(batch int, seed uint64) *MNIST {
+	if batch <= 0 {
+		panic(fmt.Sprintf("kernels: MNIST batch %d", batch))
+	}
+	r := rng.New(seed)
+	m := &MNIST{
+		Batch: batch,
+		conv1: newConvLayer(1, 4, 5, r),
+		conv2: newConvLayer(4, 8, 5, r),
+		fc:    newDenseLayer(128, 10, r),
+	}
+
+	train := NewDigitSet(30, r.Uint64())
+	holdout := NewDigitSet(10, r.Uint64())
+	// Warm-start the readout on the initial random features, then
+	// fine-tune the whole network with backpropagation (see train.go).
+	m.trainReadout(train)
+	m.trainFull(train, 6, 0.001, 0.9, 10, r.Uint64())
+	m.acc = m.accuracy64(holdout)
+
+	m.test = NewDigitSet((batch+9)/10, r.Uint64())
+	m.test.Images = m.test.Images[:batch]
+	m.labels = m.test.Labels[:batch]
+	return m
+}
+
+// Name implements Kernel.
+func (m *MNIST) Name() string { return "MNIST" }
+
+// CleanAccuracy returns the fault-free float64 accuracy on a held-out
+// render set.
+func (m *MNIST) CleanAccuracy() float64 { return m.acc }
+
+// Labels returns the true labels of the test batch.
+func (m *MNIST) Labels() []int { return m.labels }
+
+// features64 runs the fixed convolutional stack in float64.
+func (m *MNIST) features64(img []float64) []float64 {
+	x, h, w := m.conv1.forward64(img, DigitSize, DigitSize)
+	relu64(x)
+	x, h, w = avgPool2x64(x, m.conv1.outC, h, w)
+	x, h, w = m.conv2.forward64(x, h, w)
+	relu64(x)
+	x, _, _ = avgPool2x64(x, m.conv2.outC, h, w)
+	return x
+}
+
+// trainReadout fits the dense layer with full-batch softmax-regression
+// gradient descent on the frozen convolutional features. Features are
+// standardized for training and the standardization affine is folded
+// back into the dense weights afterwards, so the inference path stays a
+// plain dense layer.
+func (m *MNIST) trainReadout(set *DigitSet) {
+	n := set.Len()
+	feats := make([][]float64, n)
+	for i, img := range set.Images {
+		feats[i] = m.features64(img)
+	}
+	nf := m.fc.in
+	mu := make([]float64, nf)
+	sigma := make([]float64, nf)
+	for _, f := range feats {
+		for i, v := range f {
+			mu[i] += v
+		}
+	}
+	for i := range mu {
+		mu[i] /= float64(n)
+	}
+	for _, f := range feats {
+		for i, v := range f {
+			sigma[i] += (v - mu[i]) * (v - mu[i])
+		}
+	}
+	for i := range sigma {
+		sigma[i] = math.Sqrt(sigma[i]/float64(n)) + 1e-6
+	}
+	for _, f := range feats {
+		for i := range f {
+			f[i] = (f[i] - mu[i]) / sigma[i]
+		}
+	}
+	const (
+		iters = 600
+		lr    = 0.5
+	)
+	w, b := m.fc.weight, m.fc.bias
+	gw := make([]float64, len(w))
+	gb := make([]float64, len(b))
+	for it := 0; it < iters; it++ {
+		for i := range gw {
+			gw[i] = 0
+		}
+		for i := range gb {
+			gb[i] = 0
+		}
+		for s := 0; s < n; s++ {
+			p := softmax64(m.fc.forward64(feats[s]))
+			for o := 0; o < 10; o++ {
+				d := p[o]
+				if o == set.Labels[s] {
+					d -= 1
+				}
+				gb[o] += d
+				base := o * m.fc.in
+				for i, f := range feats[s] {
+					gw[base+i] += d * f
+				}
+			}
+		}
+		inv := lr / float64(n)
+		for i := range w {
+			w[i] -= inv * gw[i]
+		}
+		for i := range b {
+			b[i] -= inv * gb[i]
+		}
+	}
+	// Fold the standardization into the layer:
+	// W((f-mu)/sigma)+b == (W/sigma)f + (b - W mu/sigma).
+	for o := 0; o < m.fc.out; o++ {
+		base := o * nf
+		for i := 0; i < nf; i++ {
+			w[base+i] /= sigma[i]
+			b[o] -= w[base+i] * mu[i]
+		}
+	}
+}
+
+// accuracy64 evaluates clean float64 accuracy on a digit set.
+func (m *MNIST) accuracy64(set *DigitSet) float64 {
+	correct := 0
+	for i, img := range set.Images {
+		p := softmax64(m.fc.forward64(m.features64(img)))
+		if Argmax(p) == set.Labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len())
+}
+
+// Inputs implements Kernel. Element 0 is the concatenated test batch
+// (Batch x 784); elements 1..6 are the network parameters (conv1 w/b,
+// conv2 w/b, fc w/b), so memory-fault injection covers weights exactly
+// as CAROL-FI's random-variable flips do.
+func (m *MNIST) Inputs(f fp.Format) [][]fp.Bits {
+	imgs := make([]float64, 0, m.Batch*DigitSize*DigitSize)
+	for _, img := range m.test.Images {
+		imgs = append(imgs, img...)
+	}
+	w1, b1 := m.conv1.encodeParams(f)
+	w2, b2 := m.conv2.encodeParams(f)
+	wf, bf := m.fc.encodeParams(f)
+	return [][]fp.Bits{encode(f, imgs), w1, b1, w2, b2, wf, bf}
+}
+
+// Run implements Kernel: output is Batch x 10 softmax probabilities.
+func (m *MNIST) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	imgs, w1, b1, w2, b2, wf, bf := in[0], in[1], in[2], in[3], in[4], in[5], in[6]
+	out := make([]fp.Bits, 0, m.Batch*10)
+	px := DigitSize * DigitSize
+	for bIdx := 0; bIdx < m.Batch; bIdx++ {
+		t := tensor{c: 1, h: DigitSize, w: DigitSize,
+			data: imgs[bIdx*px : (bIdx+1)*px]}
+		x := m.conv1.forward(env, t, w1, b1)
+		reluT(env, x)
+		x = avgPool2(env, x)
+		x = m.conv2.forward(env, x, w2, b2)
+		reluT(env, x)
+		x = avgPool2(env, x)
+		logits := m.fc.forward(env, x.data, wf, bf)
+		out = append(out, softmaxT(env, logits)...)
+	}
+	return out
+}
+
+// Classify decodes a Run output into one predicted class per image.
+func (m *MNIST) Classify(out []float64) []int {
+	preds := make([]int, m.Batch)
+	for i := 0; i < m.Batch; i++ {
+		preds[i] = Argmax(out[i*10 : (i+1)*10])
+	}
+	return preds
+}

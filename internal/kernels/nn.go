@@ -1,0 +1,343 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// This file holds the neural-network layer primitives shared by the
+// MNIST and YOLO-lite kernels. Each layer exists twice: once over fp.Env
+// (the instrumented inference path used by the reliability experiments)
+// and once over plain float64 (the fast path used only to train weights,
+// matching the paper's methodology of training once in one precision and
+// converting the weights to the others without retraining).
+
+// tensor is a dense (channels, height, width) activation volume of raw
+// format bits.
+type tensor struct {
+	c, h, w int
+	data    []fp.Bits
+}
+
+func newTensor(c, h, w int) tensor {
+	return tensor{c: c, h: h, w: w, data: make([]fp.Bits, c*h*w)}
+}
+
+func (t tensor) at(c, y, x int) fp.Bits     { return t.data[(c*t.h+y)*t.w+x] }
+func (t tensor) set(c, y, x int, v fp.Bits) { t.data[(c*t.h+y)*t.w+x] = v }
+
+// convLayer is a 2D convolution with valid padding and stride 1.
+// Weights are laid out outC x inC x k x k; one bias per output channel.
+type convLayer struct {
+	inC, outC, k int
+	weight       []float64
+	bias         []float64
+}
+
+func newConvLayer(inC, outC, k int, r *rng.Rand) *convLayer {
+	l := &convLayer{inC: inC, outC: outC, k: k,
+		weight: make([]float64, outC*inC*k*k),
+		bias:   make([]float64, outC),
+	}
+	// He-style initialization keeps activation magnitudes stable across
+	// depth so the same weights are usable in binary16.
+	scale := math.Sqrt(2 / float64(inC*k*k))
+	for i := range l.weight {
+		l.weight[i] = r.NormFloat64() * scale
+	}
+	return l
+}
+
+func (l *convLayer) outShape(h, w int) (int, int) { return h - l.k + 1, w - l.k + 1 }
+
+// encodeParams converts the layer parameters into format f.
+func (l *convLayer) encodeParams(f fp.Format) (w, b []fp.Bits) {
+	return encode(f, l.weight), encode(f, l.bias)
+}
+
+// forward applies the convolution through env using pre-encoded params.
+func (l *convLayer) forward(env fp.Env, in tensor, w, b []fp.Bits) tensor {
+	if in.c != l.inC {
+		panic(fmt.Sprintf("kernels: conv expects %d channels, got %d", l.inC, in.c))
+	}
+	oh, ow := l.outShape(in.h, in.w)
+	out := newTensor(l.outC, oh, ow)
+	k := l.k
+	for oc := 0; oc < l.outC; oc++ {
+		wBase := oc * l.inC * k * k
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := b[oc]
+				for ic := 0; ic < l.inC; ic++ {
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							acc = env.FMA(w[wBase+(ic*k+ky)*k+kx], in.at(ic, y+ky, x+kx), acc)
+						}
+					}
+				}
+				out.set(oc, y, x, acc)
+			}
+		}
+	}
+	return out
+}
+
+// forward64 is the float64 training-time version of forward.
+func (l *convLayer) forward64(in []float64, h, w int) ([]float64, int, int) {
+	oh, ow := l.outShape(h, w)
+	out := make([]float64, l.outC*oh*ow)
+	k := l.k
+	for oc := 0; oc < l.outC; oc++ {
+		wBase := oc * l.inC * k * k
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				acc := l.bias[oc]
+				for ic := 0; ic < l.inC; ic++ {
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							acc += l.weight[wBase+(ic*k+ky)*k+kx] * in[(ic*h+y+ky)*w+x+kx]
+						}
+					}
+				}
+				out[(oc*oh+y)*ow+x] = acc
+			}
+		}
+	}
+	return out, oh, ow
+}
+
+// isPositive reports whether b encodes a value > 0 in env's format.
+func isPositive(f fp.Format, b fp.Bits) bool {
+	return !f.Sign(b) && !f.IsZero(b) && !f.IsNaN(b)
+}
+
+// reluT applies max(0, x) in place.
+func reluT(env fp.Env, t tensor) {
+	f := env.Format()
+	zero := env.FromFloat64(0)
+	for i, v := range t.data {
+		if !isPositive(f, v) {
+			t.data[i] = zero
+		}
+	}
+}
+
+func relu64(xs []float64) {
+	for i, v := range xs {
+		if v < 0 {
+			xs[i] = 0
+		}
+	}
+}
+
+// leakyReLUT applies x > 0 ? x : x/8 in place. The slope 1/8 is exact in
+// every format (YOLO's conventional 0.1 is not representable in binary
+// FP; 1/8 keeps all three precisions on the same fault-free path).
+func leakyReLUT(env fp.Env, t tensor) {
+	f := env.Format()
+	eighth := env.FromFloat64(0.125)
+	for i, v := range t.data {
+		if !isPositive(f, v) && !f.IsZero(v) {
+			t.data[i] = env.Mul(v, eighth)
+		}
+	}
+}
+
+func leakyReLU64(xs []float64) {
+	for i, v := range xs {
+		if v < 0 {
+			xs[i] = v * 0.125
+		}
+	}
+}
+
+// avgPool2 halves both spatial dimensions by averaging 2x2 windows.
+// Odd trailing rows/columns are dropped (as in LeNet-style nets).
+func avgPool2(env fp.Env, in tensor) tensor {
+	oh, ow := in.h/2, in.w/2
+	out := newTensor(in.c, oh, ow)
+	quarter := env.FromFloat64(0.25)
+	for c := 0; c < in.c; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				s := env.Add(in.at(c, 2*y, 2*x), in.at(c, 2*y, 2*x+1))
+				s = env.Add(s, in.at(c, 2*y+1, 2*x))
+				s = env.Add(s, in.at(c, 2*y+1, 2*x+1))
+				out.set(c, y, x, env.Mul(s, quarter))
+			}
+		}
+	}
+	return out
+}
+
+func avgPool2x64(in []float64, c, h, w int) ([]float64, int, int) {
+	oh, ow := h/2, w/2
+	out := make([]float64, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				s := in[(ch*h+2*y)*w+2*x] + in[(ch*h+2*y)*w+2*x+1] +
+					in[(ch*h+2*y+1)*w+2*x] + in[(ch*h+2*y+1)*w+2*x+1]
+				out[(ch*oh+y)*ow+x] = s * 0.25
+			}
+		}
+	}
+	return out, oh, ow
+}
+
+// maxPool2 halves both spatial dimensions with 2x2 max windows.
+func maxPool2(env fp.Env, in tensor) tensor {
+	f := env.Format()
+	oh, ow := in.h/2, in.w/2
+	out := newTensor(in.c, oh, ow)
+	for c := 0; c < in.c; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := in.at(c, 2*y, 2*x)
+				for _, v := range []fp.Bits{in.at(c, 2*y, 2*x+1), in.at(c, 2*y+1, 2*x), in.at(c, 2*y+1, 2*x+1)} {
+					if f.ToFloat64(v) > f.ToFloat64(best) {
+						best = v
+					}
+				}
+				out.set(c, y, x, best)
+			}
+		}
+	}
+	return out
+}
+
+func maxPool2x64(in []float64, c, h, w int) ([]float64, int, int) {
+	oh, ow := h/2, w/2
+	out := make([]float64, c*oh*ow)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := in[(ch*h+2*y)*w+2*x]
+				for _, v := range []float64{in[(ch*h+2*y)*w+2*x+1], in[(ch*h+2*y+1)*w+2*x], in[(ch*h+2*y+1)*w+2*x+1]} {
+					if v > best {
+						best = v
+					}
+				}
+				out[(ch*oh+y)*ow+x] = best
+			}
+		}
+	}
+	return out, oh, ow
+}
+
+// denseLayer is a fully connected layer, weights laid out out x in.
+type denseLayer struct {
+	in, out int
+	weight  []float64
+	bias    []float64
+}
+
+func newDenseLayer(in, out int, r *rng.Rand) *denseLayer {
+	l := &denseLayer{in: in, out: out,
+		weight: make([]float64, in*out),
+		bias:   make([]float64, out),
+	}
+	scale := math.Sqrt(2 / float64(in))
+	for i := range l.weight {
+		l.weight[i] = r.NormFloat64() * scale
+	}
+	return l
+}
+
+func (l *denseLayer) encodeParams(f fp.Format) (w, b []fp.Bits) {
+	return encode(f, l.weight), encode(f, l.bias)
+}
+
+func (l *denseLayer) forward(env fp.Env, in []fp.Bits, w, b []fp.Bits) []fp.Bits {
+	if len(in) != l.in {
+		panic(fmt.Sprintf("kernels: dense expects %d inputs, got %d", l.in, len(in)))
+	}
+	out := make([]fp.Bits, l.out)
+	for o := 0; o < l.out; o++ {
+		acc := b[o]
+		base := o * l.in
+		for i := 0; i < l.in; i++ {
+			acc = env.FMA(w[base+i], in[i], acc)
+		}
+		out[o] = acc
+	}
+	return out
+}
+
+func (l *denseLayer) forward64(in []float64) []float64 {
+	out := make([]float64, l.out)
+	for o := 0; o < l.out; o++ {
+		acc := l.bias[o]
+		base := o * l.in
+		for i := 0; i < l.in; i++ {
+			acc += l.weight[base+i] * in[i]
+		}
+		out[o] = acc
+	}
+	return out
+}
+
+// softmaxT computes softmax through env with the usual max-subtraction
+// for range safety (essential in binary16, where exp overflows past ~11).
+func softmaxT(env fp.Env, in []fp.Bits) []fp.Bits {
+	f := env.Format()
+	max := in[0]
+	for _, v := range in[1:] {
+		if f.ToFloat64(v) > f.ToFloat64(max) {
+			max = v
+		}
+	}
+	exps := make([]fp.Bits, len(in))
+	sum := env.FromFloat64(0)
+	for i, v := range in {
+		exps[i] = env.Exp(env.Sub(v, max))
+		sum = env.Add(sum, exps[i])
+	}
+	out := make([]fp.Bits, len(in))
+	for i := range exps {
+		out[i] = env.Div(exps[i], sum)
+	}
+	return out
+}
+
+func softmax64(in []float64) []float64 {
+	max := in[0]
+	for _, v := range in[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// sigmoidT computes 1/(1+exp(-x)) through env.
+func sigmoidT(env fp.Env, x fp.Bits) fp.Bits {
+	one := env.FromFloat64(1)
+	negX := env.Mul(x, env.FromFloat64(-1))
+	return env.Div(one, env.Add(one, env.Exp(negX)))
+}
+
+func sigmoid64(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Argmax returns the index of the largest element (first on ties).
+func Argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

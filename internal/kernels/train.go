@@ -1,0 +1,223 @@
+package kernels
+
+// This file implements full backpropagation training for the MNIST
+// network — stochastic gradient descent with momentum through both
+// convolution layers, the average pools, the ReLUs and the dense
+// readout. Training runs once, in float64, exactly like the paper's
+// setup (the network is trained in one precision and the weights are
+// converted to the others without retraining). All of it is
+// training-time machinery: the reliability campaigns only ever exercise
+// the precision-generic forward path.
+
+// convGrads accumulates parameter gradients for a convLayer.
+type convGrads struct {
+	weight []float64
+	bias   []float64
+}
+
+func newConvGrads(l *convLayer) *convGrads {
+	return &convGrads{
+		weight: make([]float64, len(l.weight)),
+		bias:   make([]float64, len(l.bias)),
+	}
+}
+
+func (g *convGrads) zero() {
+	for i := range g.weight {
+		g.weight[i] = 0
+	}
+	for i := range g.bias {
+		g.bias[i] = 0
+	}
+}
+
+// convBackward accumulates dL/dW and dL/db for layer l given the input
+// activation and the output gradient, and returns dL/dInput (nil when
+// wantInputGrad is false — the first layer needs no input gradient).
+func convBackward(l *convLayer, in []float64, h, w int, gradOut []float64, g *convGrads, wantInputGrad bool) []float64 {
+	oh, ow := l.outShape(h, w)
+	k := l.k
+	var gradIn []float64
+	if wantInputGrad {
+		gradIn = make([]float64, l.inC*h*w)
+	}
+	for oc := 0; oc < l.outC; oc++ {
+		wBase := oc * l.inC * k * k
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				d := gradOut[(oc*oh+y)*ow+x]
+				if d == 0 {
+					continue
+				}
+				g.bias[oc] += d
+				for ic := 0; ic < l.inC; ic++ {
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							inIdx := (ic*h+y+ky)*w + x + kx
+							g.weight[wBase+(ic*k+ky)*k+kx] += d * in[inIdx]
+							if wantInputGrad {
+								gradIn[inIdx] += d * l.weight[wBase+(ic*k+ky)*k+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// avgPoolBackward spreads the pooled gradient evenly over each 2x2
+// window.
+func avgPoolBackward(gradOut []float64, c, h, w int) []float64 {
+	oh, ow := h/2, w/2
+	gradIn := make([]float64, c*h*w)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				d := gradOut[(ch*oh+y)*ow+x] * 0.25
+				gradIn[(ch*h+2*y)*w+2*x] = d
+				gradIn[(ch*h+2*y)*w+2*x+1] = d
+				gradIn[(ch*h+2*y+1)*w+2*x] = d
+				gradIn[(ch*h+2*y+1)*w+2*x+1] = d
+			}
+		}
+	}
+	return gradIn
+}
+
+// reluBackward zeroes gradients where the pre-activation was clipped.
+func reluBackward(grad, pre []float64) {
+	for i, p := range pre {
+		if p <= 0 {
+			grad[i] = 0
+		}
+	}
+}
+
+// fwdState keeps the activations one backward pass needs.
+type fwdState struct {
+	c1Pre, c1Post, p1 []float64 // conv1 pre-ReLU, post-ReLU, pooled
+	c2Pre, c2Post, p2 []float64
+	probs             []float64
+	h1, w1, ph1, pw1  int
+	h2, w2            int
+}
+
+// forwardTrain runs the float64 forward pass keeping intermediates.
+func (m *MNIST) forwardTrain(img []float64) *fwdState {
+	s := &fwdState{}
+	s.c1Pre, s.h1, s.w1 = m.conv1.forward64(img, DigitSize, DigitSize)
+	s.c1Post = append([]float64(nil), s.c1Pre...)
+	relu64(s.c1Post)
+	s.p1, s.ph1, s.pw1 = avgPool2x64(s.c1Post, m.conv1.outC, s.h1, s.w1)
+	s.c2Pre, s.h2, s.w2 = m.conv2.forward64(s.p1, s.ph1, s.pw1)
+	s.c2Post = append([]float64(nil), s.c2Pre...)
+	relu64(s.c2Post)
+	var ph2, pw2 int
+	s.p2, ph2, pw2 = avgPool2x64(s.c2Post, m.conv2.outC, s.h2, s.w2)
+	_ = ph2
+	_ = pw2
+	s.probs = softmax64(m.fc.forward64(s.p2))
+	return s
+}
+
+// trainFull runs minibatch SGD with momentum through the whole network.
+func (m *MNIST) trainFull(set *DigitSet, epochs int, lr, momentum float64, batch int, shuffleSeed uint64) {
+	n := set.Len()
+	g1 := newConvGrads(m.conv1)
+	g2 := newConvGrads(m.conv2)
+	gw := make([]float64, len(m.fc.weight))
+	gb := make([]float64, len(m.fc.bias))
+	v1 := newConvGrads(m.conv1)
+	v2 := newConvGrads(m.conv2)
+	vw := make([]float64, len(m.fc.weight))
+	vb := make([]float64, len(m.fc.bias))
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	shuffler := newShuffler(shuffleSeed)
+
+	for e := 0; e < epochs; e++ {
+		shuffler(order)
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			g1.zero()
+			g2.zero()
+			for i := range gw {
+				gw[i] = 0
+			}
+			for i := range gb {
+				gb[i] = 0
+			}
+			for _, idx := range order[start:end] {
+				img := set.Images[idx]
+				st := m.forwardTrain(img)
+
+				// Softmax cross-entropy gradient on logits.
+				dLogits := append([]float64(nil), st.probs...)
+				dLogits[set.Labels[idx]] -= 1
+
+				// Dense layer.
+				dFeats := make([]float64, m.fc.in)
+				for o := 0; o < m.fc.out; o++ {
+					base := o * m.fc.in
+					gb[o] += dLogits[o]
+					for i := 0; i < m.fc.in; i++ {
+						gw[base+i] += dLogits[o] * st.p2[i]
+						dFeats[i] += dLogits[o] * m.fc.weight[base+i]
+					}
+				}
+
+				// Pool2 / ReLU2 / conv2.
+				dC2 := avgPoolBackward(dFeats, m.conv2.outC, st.h2, st.w2)
+				reluBackward(dC2, st.c2Pre)
+				dP1 := convBackward(m.conv2, st.p1, st.ph1, st.pw1, dC2, g2, true)
+
+				// Pool1 / ReLU1 / conv1.
+				dC1 := avgPoolBackward(dP1, m.conv1.outC, st.h1, st.w1)
+				reluBackward(dC1, st.c1Pre)
+				convBackward(m.conv1, img, DigitSize, DigitSize, dC1, g1, false)
+			}
+
+			scale := lr / float64(end-start)
+			sgdStep(m.conv1.weight, g1.weight, v1.weight, scale, momentum)
+			sgdStep(m.conv1.bias, g1.bias, v1.bias, scale, momentum)
+			sgdStep(m.conv2.weight, g2.weight, v2.weight, scale, momentum)
+			sgdStep(m.conv2.bias, g2.bias, v2.bias, scale, momentum)
+			sgdStep(m.fc.weight, gw, vw, scale, momentum)
+			sgdStep(m.fc.bias, gb, vb, scale, momentum)
+		}
+	}
+}
+
+// sgdStep applies one momentum-SGD update in place.
+func sgdStep(params, grads, velocity []float64, scale, momentum float64) {
+	for i := range params {
+		velocity[i] = momentum*velocity[i] - scale*grads[i]
+		params[i] += velocity[i]
+	}
+}
+
+// newShuffler returns a deterministic in-place permutation function.
+func newShuffler(seed uint64) func([]int) {
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	return func(order []int) {
+		for i := len(order) - 1; i > 0; i-- {
+			j := int(next() % uint64(i+1))
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+}

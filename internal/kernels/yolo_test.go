@@ -1,0 +1,169 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+func TestYOLOGoldenDetections(t *testing.T) {
+	y := newTestYOLO(t)
+	for _, f := range fp.Formats {
+		head := Decode(f, Golden(y, f))
+		if len(head) != yoloHeadChannels*YOLOGrid*YOLOGrid {
+			t.Fatalf("%v: head length %d", f, len(head))
+		}
+		dets := y.Detections(head)
+		if len(dets) == 0 {
+			t.Fatalf("%v: no golden detections — threshold calibration broken", f)
+		}
+		for _, d := range dets {
+			if d.X < 0 || d.X > 1 || d.Y < 0 || d.Y > 1 ||
+				d.W < 0 || d.W > 1 || d.H < 0 || d.H > 1 {
+				t.Errorf("%v: box out of unit square: %+v", f, d)
+			}
+			if d.Score < y.threshold {
+				t.Errorf("%v: kept detection below threshold: %+v", f, d)
+			}
+			if d.Class < 0 || d.Class >= y.numClasses {
+				t.Errorf("%v: class out of range: %+v", f, d)
+			}
+		}
+	}
+}
+
+func TestYOLODeterministic(t *testing.T) {
+	a, b := NewYOLO(5), NewYOLO(5)
+	ga, gb := Golden(a, fp.Single), Golden(b, fp.Single)
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("outputs differ at %d", i)
+		}
+	}
+	if a.threshold != b.threshold {
+		t.Fatal("thresholds differ between identically seeded instances")
+	}
+}
+
+func TestYOLONMSSuppressesOverlaps(t *testing.T) {
+	y := newTestYOLO(t)
+	dets := y.Detections(Decode(fp.Double, Golden(y, fp.Double)))
+	for i := range dets {
+		for j := i + 1; j < len(dets); j++ {
+			if v := iou(dets[i], dets[j]); v > 0.5 {
+				t.Errorf("detections %d and %d overlap with IoU %v after NMS", i, j, v)
+			}
+		}
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Detection{X: 0.5, Y: 0.5, W: 0.2, H: 0.2}
+	if v := iou(a, a); math.Abs(v-1) > 1e-12 {
+		t.Errorf("self IoU = %v", v)
+	}
+	b := Detection{X: 0.9, Y: 0.9, W: 0.1, H: 0.1}
+	if v := iou(a, b); v != 0 {
+		t.Errorf("disjoint IoU = %v", v)
+	}
+	// Half-overlapping equal boxes: intersection w/2*h, union 1.5*w*h.
+	c := Detection{X: 0.6, Y: 0.5, W: 0.2, H: 0.2}
+	if v := iou(a, c); math.Abs(v-1.0/3) > 1e-12 {
+		t.Errorf("half-overlap IoU = %v, want 1/3", v)
+	}
+	// Degenerate zero-area boxes.
+	z := Detection{X: 0.5, Y: 0.5}
+	if v := iou(z, z); v != 0 {
+		t.Errorf("zero-area IoU = %v", v)
+	}
+}
+
+func TestCompareDetectionsTolerable(t *testing.T) {
+	g := []Detection{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Score: 0.9, Class: 1}}
+	f := []Detection{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Score: 0.8, Class: 1}}
+	if got := CompareDetections(g, f); got != DetectionsTolerable {
+		t.Errorf("score-only change classified as %v", got)
+	}
+}
+
+func TestCompareDetectionsBoxMoved(t *testing.T) {
+	g := []Detection{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Class: 1}}
+	f := []Detection{{X: 0.8, Y: 0.8, W: 0.2, H: 0.2, Class: 1}}
+	if got := CompareDetections(g, f); got != DetectionChanged {
+		t.Errorf("moved box classified as %v", got)
+	}
+}
+
+func TestCompareDetectionsCountChanged(t *testing.T) {
+	g := []Detection{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Class: 1}}
+	if got := CompareDetections(g, nil); got != DetectionChanged {
+		t.Errorf("vanished box classified as %v", got)
+	}
+	if got := CompareDetections(nil, g); got != DetectionChanged {
+		t.Errorf("phantom box classified as %v", got)
+	}
+}
+
+func TestCompareDetectionsClassFlip(t *testing.T) {
+	g := []Detection{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Class: 1}}
+	f := []Detection{{X: 0.5, Y: 0.5, W: 0.2, H: 0.2, Class: 2}}
+	if got := CompareDetections(g, f); got != ClassificationChanged {
+		t.Errorf("class flip classified as %v", got)
+	}
+	// Class flip dominates a simultaneous box change elsewhere.
+	g2 := append(g, Detection{X: 0.1, Y: 0.1, W: 0.1, H: 0.1, Class: 0})
+	if got := CompareDetections(g2, f); got != ClassificationChanged {
+		t.Errorf("class flip + missing box classified as %v", got)
+	}
+}
+
+func TestCompareDetectionsBothEmpty(t *testing.T) {
+	if got := CompareDetections(nil, nil); got != DetectionsTolerable {
+		t.Errorf("empty vs empty = %v", got)
+	}
+}
+
+func TestDetectionOutcomeStrings(t *testing.T) {
+	if DetectionsTolerable.String() != "tolerable" ||
+		DetectionChanged.String() != "detection" ||
+		ClassificationChanged.String() != "classification" {
+		t.Error("unexpected outcome names")
+	}
+	if DetectionOutcome(9).String() != "outcome?" {
+		t.Error("unknown outcome should stringify to outcome?")
+	}
+}
+
+func TestYOLOHeadPanicsOnBadLength(t *testing.T) {
+	y := newTestYOLO(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Detections on short head did not panic")
+		}
+	}()
+	y.Detections(make([]float64, 3))
+}
+
+func TestYOLOCorruptedHeadChangesDetections(t *testing.T) {
+	y := newTestYOLO(t)
+	head := Decode(fp.Double, Golden(y, fp.Double))
+	golden := y.Detections(head)
+	// Push one golden cell's objectness strongly negative: its box
+	// disappears.
+	corrupted := append([]float64(nil), head...)
+	found := false
+	for cell := 0; cell < YOLOGrid*YOLOGrid; cell++ {
+		if sigmoid64(corrupted[cell]) >= y.threshold {
+			corrupted[cell] = -50
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no active cell to corrupt")
+	}
+	if got := CompareDetections(golden, y.Detections(corrupted)); got == DetectionsTolerable {
+		t.Error("suppressing an active cell should not be tolerable")
+	}
+}

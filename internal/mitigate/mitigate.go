@@ -1,0 +1,320 @@
+// Package mitigate implements and evaluates the two classic soft-error
+// mitigations the paper's research line applies to accelerators (cf. its
+// reference [5], "Evaluation and mitigation of radiation-induced soft
+// errors in GPUs"):
+//
+//   - TMR: triple modular redundancy — run the kernel three times and
+//     take the bitwise majority of each output word. Corrects any fault
+//     confined to one replica at ~3x compute cost; cannot correct
+//     common-mode corruption of the shared inputs (memory faults).
+//   - ABFT: algorithm-based fault tolerance for GEMM (Huang & Abraham
+//     checksums) — maintain row/column checksums of C computed
+//     independently from A and B, locate a single corrupted element at
+//     the intersection of the mismatching row and column, and correct
+//     it from the checksum. Costs O(n^2) extra work on an O(n^3)
+//     kernel.
+//
+// Both mitigations are ordinary Kernels, so every campaign in the
+// library (beam, injection, TRE, MEBF) runs on mitigated workloads
+// unchanged. Evaluate classifies outcomes into corrected / detected /
+// silent, quantifying the FIT reduction each scheme buys per unit of
+// overhead.
+package mitigate
+
+import (
+	"fmt"
+	"math"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/inject"
+	"mixedrel/internal/kernels"
+	"mixedrel/internal/rng"
+)
+
+// TMR wraps any kernel with triple modular redundancy and bitwise
+// majority voting. A transient fault striking one of the three
+// executions is outvoted; faults in the shared inputs hit all replicas
+// and pass through.
+type TMR struct {
+	Inner kernels.Kernel
+}
+
+// NewTMR wraps inner in triple modular redundancy.
+func NewTMR(inner kernels.Kernel) *TMR { return &TMR{Inner: inner} }
+
+// Name implements Kernel.
+func (t *TMR) Name() string { return t.Inner.Name() + "+TMR" }
+
+// Inputs implements Kernel: the replicas share one input image, exactly
+// like a TMR'd kernel sharing device memory.
+func (t *TMR) Inputs(f fp.Format) [][]fp.Bits { return t.Inner.Inputs(f) }
+
+// Run implements Kernel: three executions, bitwise majority.
+func (t *TMR) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	a := t.Inner.Run(env, in)
+	b := t.Inner.Run(env, in)
+	c := t.Inner.Run(env, in)
+	out := make([]fp.Bits, len(a))
+	for i := range out {
+		// Bitwise majority: a bit is set iff set in at least two
+		// replicas.
+		out[i] = a[i]&b[i] | a[i]&c[i] | b[i]&c[i]
+	}
+	return out
+}
+
+// ABFTGEMM wraps a GEMM with Huang–Abraham checksum protection:
+// detection and single-element correction of errors in C. The output is
+// the (corrected) n x n product followed by one status word (see
+// ABFTStatus).
+type ABFTGEMM struct {
+	G *kernels.GEMM
+	// TolUlps is the checksum comparison tolerance in units of
+	// n * MachineEpsilon * |checksum| (different summation orders of
+	// the same values differ by rounding). Zero means 8.
+	TolUlps float64
+}
+
+// ABFTStatus is the trailing status word of an ABFTGEMM output.
+type ABFTStatus int
+
+const (
+	// ABFTClean: checksums verified, no error found.
+	ABFTClean ABFTStatus = iota
+	// ABFTCorrected: a single element mismatch was located and fixed.
+	ABFTCorrected
+	// ABFTDetected: checksums mismatch in a pattern the scheme cannot
+	// correct (multiple rows/columns) — a detected, uncorrected error.
+	ABFTDetected
+)
+
+// NewABFTGEMM wraps g with checksum protection.
+func NewABFTGEMM(g *kernels.GEMM) *ABFTGEMM { return &ABFTGEMM{G: g} }
+
+// Name implements Kernel.
+func (a *ABFTGEMM) Name() string { return a.G.Name() + "+ABFT" }
+
+// Inputs implements Kernel.
+func (a *ABFTGEMM) Inputs(f fp.Format) [][]fp.Bits { return a.G.Inputs(f) }
+
+// StatusOf extracts the status word from a decoded ABFTGEMM output.
+func (a *ABFTGEMM) StatusOf(out []float64) ABFTStatus {
+	return ABFTStatus(int(out[len(out)-1]))
+}
+
+// Run implements Kernel: multiply, verify checksums, correct or flag.
+func (a *ABFTGEMM) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	n := a.G.N()
+	c := a.G.Run(env, in)
+	aM, bM := in[0], in[1]
+
+	// Independent checksums: u = A (B 1), v = (1^T A) B.
+	zero := env.FromFloat64(0)
+	bRow := make([]fp.Bits, n) // B * ones: per-row sums of B
+	for j := 0; j < n; j++ {
+		s := zero
+		for k := 0; k < n; k++ {
+			s = env.Add(s, bM[j*n+k])
+		}
+		bRow[j] = s
+	}
+	u := make([]fp.Bits, n)
+	for i := 0; i < n; i++ {
+		s := zero
+		for k := 0; k < n; k++ {
+			s = env.FMA(aM[i*n+k], bRow[k], s)
+		}
+		u[i] = s
+	}
+	aCol := make([]fp.Bits, n) // ones^T * A: per-column sums of A
+	for k := 0; k < n; k++ {
+		s := zero
+		for i := 0; i < n; i++ {
+			s = env.Add(s, aM[i*n+k])
+		}
+		aCol[k] = s
+	}
+	v := make([]fp.Bits, n)
+	for j := 0; j < n; j++ {
+		s := zero
+		for k := 0; k < n; k++ {
+			s = env.FMA(aCol[k], bM[k*n+j], s)
+		}
+		v[j] = s
+	}
+
+	// Compare against row/column sums of C with a rounding-aware
+	// tolerance.
+	tolUlps := a.TolUlps
+	if tolUlps <= 0 {
+		tolUlps = 8
+	}
+	f := env.Format()
+	eps := f.MachineEpsilon()
+	badRows, badCols := []int{}, []int{}
+	for i := 0; i < n; i++ {
+		s := zero
+		for j := 0; j < n; j++ {
+			s = env.Add(s, c[i*n+j])
+		}
+		want := f.ToFloat64(u[i])
+		got := f.ToFloat64(s)
+		tol := tolUlps * float64(n) * eps * (1 + math.Abs(want))
+		if math.IsNaN(got) || math.Abs(got-want) > tol {
+			badRows = append(badRows, i)
+
+		}
+	}
+	for j := 0; j < n; j++ {
+		s := zero
+		for i := 0; i < n; i++ {
+			s = env.Add(s, c[i*n+j])
+		}
+		want := f.ToFloat64(v[j])
+		got := f.ToFloat64(s)
+		tol := tolUlps * float64(n) * eps * (1 + math.Abs(want))
+		if math.IsNaN(got) || math.Abs(got-want) > tol {
+			badCols = append(badCols, j)
+		}
+	}
+
+	status := ABFTClean
+	switch {
+	case len(badRows) == 0 && len(badCols) == 0:
+		// Clean.
+	case len(badRows) == 1 && len(badCols) == 1:
+		// Single-element error located at the intersection. Recompute
+		// just that element (the standard recovery: checksum-based
+		// reconstruction carries summation rounding, recomputation is
+		// exact), O(n) work.
+		r, cc := badRows[0], badCols[0]
+		s := zero
+		for k := 0; k < n; k++ {
+			s = env.FMA(aM[r*n+k], bM[k*n+cc], s)
+		}
+		c[r*n+cc] = s
+		status = ABFTCorrected
+	default:
+		status = ABFTDetected
+	}
+
+	out := make([]fp.Bits, 0, n*n+1)
+	out = append(out, c...)
+	out = append(out, env.FromFloat64(float64(status)))
+	return out
+}
+
+// Outcome classifies one faulty execution of a mitigated kernel against
+// the unmitigated golden product.
+type Outcome int
+
+const (
+	// OutcomeClean: output matches golden (fault masked or corrected
+	// silently by voting).
+	OutcomeClean Outcome = iota
+	// OutcomeCorrected: output matches golden and the scheme reported a
+	// correction.
+	OutcomeCorrected
+	// OutcomeDetected: output wrong but the scheme flagged it (a DUE in
+	// system terms — the run can be retried).
+	OutcomeDetected
+	// OutcomeSDC: output wrong and unflagged — a true silent data
+	// corruption surviving the mitigation.
+	OutcomeSDC
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeCorrected:
+		return "corrected"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeSDC:
+		return "SDC"
+	}
+	return "outcome?"
+}
+
+// Report summarizes a mitigation evaluation campaign.
+type Report struct {
+	Faults                          int
+	Clean, Corrected, Detected, SDC int
+	// ResidualPVF is P(silent corruption | fault) with the mitigation
+	// in place.
+	ResidualPVF float64
+	// OverheadOps is the mitigated/unmitigated dynamic operation ratio.
+	OverheadOps float64
+}
+
+// Evaluate injects faults (uniformly over operation, operand and memory
+// sites) into a mitigated GEMM and classifies every outcome. baseline
+// must be the unprotected kernel the mitigation wraps; its golden output
+// defines correctness of the data region.
+func Evaluate(mitigated, baseline kernels.Kernel, f fp.Format, faults int, seed uint64) (*Report, error) {
+	if faults <= 0 {
+		return nil, fmt.Errorf("mitigate: %d faults", faults)
+	}
+	goldenBase := kernels.Decode(f, kernels.Golden(baseline, f))
+	goldenMit := kernels.Decode(f, kernels.Golden(mitigated, f))
+	if len(goldenMit) < len(goldenBase) {
+		return nil, fmt.Errorf("mitigate: mitigated output shorter than baseline")
+	}
+	abft, isABFT := mitigated.(*ABFTGEMM)
+
+	counts := kernels.Profile(mitigated, f)
+	baseCounts := kernels.Profile(baseline, f)
+	var arrayLens []int
+	for _, arr := range mitigated.Inputs(f) {
+		arrayLens = append(arrayLens, len(arr))
+	}
+
+	r := rng.New(seed)
+	rep := &Report{
+		Faults:      faults,
+		OverheadOps: float64(counts.Total()) / float64(baseCounts.Total()),
+	}
+	for i := 0; i < faults; i++ {
+		var rr inject.RunResult
+		switch r.Intn(3) {
+		case 0:
+			fl := inject.SampleOpFault(r, counts, f, 0, true, inject.TargetResult)
+			rr = inject.Run(mitigated, f, goldenMit, &fl, nil, true)
+		case 1:
+			fl := inject.SampleOpFault(r, counts, f, 0, true, inject.TargetOperand)
+			rr = inject.Run(mitigated, f, goldenMit, &fl, nil, true)
+		default:
+			mf := inject.SampleMemFault(r, arrayLens, f)
+			rr = inject.Run(mitigated, f, goldenMit, nil, []inject.MemFault{mf}, true)
+		}
+
+		// Correctness is judged on the data region only (memory faults
+		// legitimately change the correct answer for both mitigated and
+		// unmitigated runs identically, so bit-compare to the mitigated
+		// golden's data region).
+		dataOK := true
+		for j := range goldenBase {
+			if rr.Output[j] != goldenMit[j] {
+				dataOK = false
+				break
+			}
+		}
+		status := ABFTClean
+		if isABFT {
+			status = abft.StatusOf(rr.Output)
+		}
+		switch {
+		case dataOK && status == ABFTCorrected:
+			rep.Corrected++
+		case dataOK:
+			rep.Clean++
+		case status != ABFTClean:
+			rep.Detected++
+		default:
+			rep.SDC++
+		}
+	}
+	rep.ResidualPVF = float64(rep.SDC) / float64(rep.Faults)
+	return rep, nil
+}

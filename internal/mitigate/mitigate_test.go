@@ -1,0 +1,213 @@
+package mitigate
+
+import (
+	"testing"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/inject"
+	"mixedrel/internal/kernels"
+)
+
+func TestTMRFaultFreeMatchesInner(t *testing.T) {
+	g := kernels.NewGEMM(8, 1)
+	tmr := NewTMR(g)
+	for _, f := range fp.Formats {
+		want := kernels.Golden(g, f)
+		got := kernels.Golden(tmr, f)
+		if len(got) != len(want) {
+			t.Fatalf("%v: length %d vs %d", f, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: TMR changed fault-free output at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestTMROutvotesSingleReplicaFault(t *testing.T) {
+	g := kernels.NewGEMM(6, 2)
+	tmr := NewTMR(g)
+	f := fp.Single
+	golden := kernels.Decode(f, kernels.Golden(tmr, f))
+	innerOps := kernels.Profile(g, f).Total()
+	// Strike an operation in the second replica: the vote must fix it.
+	fault := inject.OpFault{AnyKind: true, Index: innerOps + 7,
+		Bit: f.MantBits() - 1, Target: inject.TargetResult}
+	res := inject.Run(tmr, f, golden, &fault, nil, false)
+	if !res.FaultApplied {
+		t.Fatal("fault did not fire")
+	}
+	if res.Outcome != inject.Masked {
+		t.Errorf("TMR failed to outvote a single-replica fault: %v (rel %g)",
+			res.Outcome, res.MaxRelErr)
+	}
+}
+
+func TestTMRCannotFixInputFault(t *testing.T) {
+	g := kernels.NewGEMM(6, 2)
+	tmr := NewTMR(g)
+	f := fp.Single
+	golden := kernels.Decode(f, kernels.Golden(tmr, f))
+	mf := inject.MemFault{Array: 0, Elem: 0, Bit: f.MantBits() - 1}
+	res := inject.Run(tmr, f, golden, nil, []inject.MemFault{mf}, false)
+	if res.Outcome != inject.SDC {
+		t.Error("common-mode input corruption must defeat TMR")
+	}
+}
+
+func TestTMRName(t *testing.T) {
+	if NewTMR(kernels.NewGEMM(4, 1)).Name() != "MxM+TMR" {
+		t.Error("TMR name wrong")
+	}
+}
+
+func TestABFTCleanRun(t *testing.T) {
+	g := kernels.NewGEMM(8, 3)
+	a := NewABFTGEMM(g)
+	for _, f := range fp.Formats {
+		out := kernels.Decode(f, kernels.Golden(a, f))
+		if len(out) != 8*8+1 {
+			t.Fatalf("%v: output length %d", f, len(out))
+		}
+		if a.StatusOf(out) != ABFTClean {
+			t.Errorf("%v: clean run flagged as %v", f, a.StatusOf(out))
+		}
+		// Data region must equal the plain GEMM result.
+		want := kernels.Decode(f, kernels.Golden(g, f))
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("%v: ABFT changed fault-free data at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestABFTCorrectsSingleElementFault(t *testing.T) {
+	g := kernels.NewGEMM(8, 3)
+	a := NewABFTGEMM(g)
+	f := fp.Double
+	goldenData := kernels.Decode(f, kernels.Golden(g, f))
+	goldenMit := kernels.Decode(f, kernels.Golden(a, f))
+	// Corrupt the final FMA of one C element (a high bit so it is well
+	// above the checksum tolerance).
+	gemmOps := kernels.Profile(g, f).Total()
+	fault := inject.OpFault{AnyKind: true, Index: gemmOps - 5,
+		Bit: 51, Target: inject.TargetResult}
+	res := inject.Run(a, f, goldenMit, &fault, nil, true)
+	if !res.FaultApplied {
+		t.Fatal("fault did not fire")
+	}
+	if a.StatusOf(res.Output) != ABFTCorrected {
+		t.Fatalf("status %v, want corrected", a.StatusOf(res.Output))
+	}
+	for i := range goldenData {
+		if res.Output[i] != goldenData[i] {
+			t.Fatalf("corrected data still wrong at %d: %v vs %v",
+				i, res.Output[i], goldenData[i])
+		}
+	}
+}
+
+func TestABFTDetectsPersistentRowFault(t *testing.T) {
+	g := kernels.NewGEMM(8, 3)
+	a := NewABFTGEMM(g)
+	f := fp.Double
+	goldenMit := kernels.Decode(f, kernels.Golden(a, f))
+	// A persistent fault corrupting every 8th FMA smears errors across
+	// many elements: uncorrectable, but must be *detected*.
+	fault := inject.OpFault{Kind: fp.OpFMA, Index: 3, Modulo: 8,
+		Bit: 50, Target: inject.TargetResult}
+	res := inject.Run(a, f, goldenMit, &fault, nil, true)
+	if !res.FaultApplied {
+		t.Fatal("fault did not fire")
+	}
+	if st := a.StatusOf(res.Output); st != ABFTDetected && st != ABFTCorrected {
+		t.Errorf("multi-element corruption not flagged: status %v", st)
+	}
+}
+
+func TestABFTToleratesLowPrecisionRounding(t *testing.T) {
+	// In half precision the checksum comparison must not false-alarm on
+	// summation-order rounding.
+	a := NewABFTGEMM(kernels.NewGEMM(12, 5))
+	out := kernels.Decode(fp.Half, kernels.Golden(a, fp.Half))
+	if a.StatusOf(out) != ABFTClean {
+		t.Errorf("half-precision clean run flagged as %v", a.StatusOf(out))
+	}
+}
+
+func TestEvaluateTMRReducesPVF(t *testing.T) {
+	g := kernels.NewGEMM(10, 7)
+	f := fp.Single
+	base, err := Evaluate(g, g, f, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmr, err := Evaluate(NewTMR(g), g, f, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tmr.ResidualPVF < base.ResidualPVF*0.75) {
+		t.Errorf("TMR residual PVF %v not well below baseline %v",
+			tmr.ResidualPVF, base.ResidualPVF)
+	}
+	if tmr.OverheadOps < 2.9 || tmr.OverheadOps > 3.1 {
+		t.Errorf("TMR overhead %v, want ~3x", tmr.OverheadOps)
+	}
+}
+
+func TestEvaluateABFTReducesPVFCheaply(t *testing.T) {
+	g := kernels.NewGEMM(10, 7)
+	f := fp.Double
+	base, err := Evaluate(g, g, f, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abft, err := Evaluate(NewABFTGEMM(g), g, f, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(abft.ResidualPVF < base.ResidualPVF*0.75) {
+		t.Errorf("ABFT residual PVF %v not well below baseline %v",
+			abft.ResidualPVF, base.ResidualPVF)
+	}
+	if abft.OverheadOps > 2 {
+		t.Errorf("ABFT overhead %v, should be far below TMR's 3x", abft.OverheadOps)
+	}
+	if abft.Corrected == 0 {
+		t.Error("ABFT corrected nothing in 300 faults")
+	}
+}
+
+func TestEvaluateCountsConsistent(t *testing.T) {
+	g := kernels.NewGEMM(8, 9)
+	rep, err := Evaluate(NewABFTGEMM(g), g, fp.Single, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean+rep.Corrected+rep.Detected+rep.SDC != rep.Faults {
+		t.Errorf("outcome counts do not sum: %+v", rep)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g := kernels.NewGEMM(4, 1)
+	if _, err := Evaluate(g, g, fp.Single, 0, 1); err == nil {
+		t.Error("zero faults accepted")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeClean: "clean", OutcomeCorrected: "corrected",
+		OutcomeDetected: "detected", OutcomeSDC: "SDC",
+	} {
+		if o.String() != want {
+			t.Errorf("%d -> %q", o, o.String())
+		}
+	}
+	if Outcome(9).String() != "outcome?" {
+		t.Error("unknown outcome")
+	}
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Sample",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("beta-long-name", "22")
+	return t
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("x")
+	if len(tbl.Rows[0]) != 3 || tbl.Rows[0][0] != "x" || tbl.Rows[0][2] != "" {
+		t.Errorf("short row not padded: %v", tbl.Rows[0])
+	}
+	tbl.AddRow("1", "2", "3", "4")
+	if len(tbl.Rows[1]) != 3 {
+		t.Errorf("long row not truncated: %v", tbl.Rows[1])
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== Sample [fig1] ==", "name", "alpha", "beta-long-name", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: "value" column starts at the same offset in the
+	// header and in each row.
+	lines := strings.Split(out, "\n")
+	var headerIdx int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			headerIdx = i
+			break
+		}
+	}
+	col := strings.Index(lines[headerIdx], "value")
+	if col < 0 {
+		t.Fatal("no value column")
+	}
+	if lines[headerIdx+2][col:col+1] != "1" {
+		t.Errorf("row 1 misaligned: %q", lines[headerIdx+2])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	tbl := &Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("plain", `has "quotes", and comma`)
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nplain,\"has \"\"quotes\"\", and comma\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVPlain(t *testing.T) {
+	var b strings.Builder
+	tbl := &Table{Columns: []string{"x"}, Rows: [][]string{{"1"}, {"2"}}}
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x\n1\n2\n" {
+		t.Errorf("CSV = %q", b.String())
+	}
+}
+
+// failingWriter errors after n bytes, exercising the render error paths.
+type failingWriter struct{ left int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errWrite
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errWrite
+	}
+	return n, nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "synthetic write failure" }
+
+func TestWriteASCIIErrorPropagation(t *testing.T) {
+	tbl := sample()
+	for _, budget := range []int{0, 5, 30, 60, 90} {
+		if err := tbl.WriteASCII(&failingWriter{left: budget}); err == nil {
+			t.Errorf("budget %d: error not propagated", budget)
+		}
+	}
+}
+
+func TestWriteCSVErrorPropagation(t *testing.T) {
+	tbl := sample()
+	if err := tbl.WriteCSV(&failingWriter{left: 0}); err == nil {
+		t.Error("CSV write error not propagated")
+	}
+	if err := tbl.WriteCSV(&failingWriter{left: 12}); err == nil {
+		t.Error("CSV row write error not propagated")
+	}
+}

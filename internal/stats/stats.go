@@ -1,0 +1,237 @@
+// Package stats provides the small statistical toolbox the reliability
+// analyses need: summary statistics, Poisson confidence intervals for
+// observed error counts (the standard treatment for beam-test data, cf.
+// JEDEC JESD89A), and simple fixed-width histograms for error-magnitude
+// distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds running moments of a sample.
+type Summary struct {
+	n          int
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Observe adds one observation (Welford's online algorithm).
+func (s *Summary) Observe(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasExtrema || x < s.min {
+		s.min = x
+	}
+	if !s.hasExtrema || x > s.max {
+		s.max = x
+	}
+	s.hasExtrema = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// PoissonCI returns an approximate central confidence interval for the
+// rate parameter of a Poisson process from which k events were observed,
+// at the given confidence level (e.g. 0.95). It uses the chi-square /
+// Wilson–Hilferty relationship:
+//
+//	lower = (z-sqrt approximation of) chi2(alpha/2, 2k)/2
+//	upper = chi2(1-alpha/2, 2k+2)/2
+//
+// with the exact special case lower = 0 when k == 0.
+func PoissonCI(k int64, confidence float64) (lower, upper float64) {
+	if k < 0 {
+		panic("stats: negative event count")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		panic(fmt.Sprintf("stats: confidence %v out of (0,1)", confidence))
+	}
+	alpha := 1 - confidence
+	if k == 0 {
+		return 0, chi2Quantile(1-alpha/2, 2) / 2
+	}
+	return chi2Quantile(alpha/2, 2*float64(k)) / 2,
+		chi2Quantile(1-alpha/2, 2*float64(k)+2) / 2
+}
+
+// chi2Quantile returns the p-quantile of a chi-square distribution with
+// df degrees of freedom, via the Wilson–Hilferty normal approximation,
+// which is accurate to a few percent for df >= 2 — ample for error bars.
+func chi2Quantile(p, df float64) float64 {
+	z := normQuantile(p)
+	a := 2.0 / (9 * df)
+	v := 1 - a + z*math.Sqrt(a)
+	return df * v * v * v
+}
+
+// normQuantile returns the p-quantile of the standard normal
+// distribution using the Beasley–Springer–Moro rational approximation.
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: normal quantile of %v", p))
+	}
+	a := [4]float64{2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637}
+	b := [4]float64{-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833}
+	c := [9]float64{
+		0.3374754822726147, 0.9761690190917186, 0.1607979714918209,
+		0.0276438810333863, 0.0038405729373609, 0.0003951896511919,
+		0.0000321767881768, 0.0000002888167364, 0.0000003960315187,
+	}
+	y := p - 0.5
+	if math.Abs(y) < 0.42 {
+		r := y * y
+		num := y * (((a[3]*r+a[2])*r+a[1])*r + a[0])
+		den := (((b[3]*r+b[2])*r+b[1])*r+b[0])*r + 1
+		return num / den
+	}
+	r := p
+	if y > 0 {
+		r = 1 - p
+	}
+	r = math.Log(-math.Log(r))
+	x := c[0]
+	pw := 1.0
+	for i := 1; i < 9; i++ {
+		pw *= r
+		x += c[i] * pw
+	}
+	if y < 0 {
+		return -x
+	}
+	return x
+}
+
+// RateRatio returns the ratio a/b of two event rates together with an
+// approximate relative 1-sigma uncertainty assuming Poisson counting
+// statistics for both numerators.
+func RateRatio(eventsA, eventsB int64, exposureA, exposureB float64) (ratio, relSigma float64) {
+	if eventsB == 0 || exposureA == 0 || exposureB == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	ra := float64(eventsA) / exposureA
+	rb := float64(eventsB) / exposureB
+	ratio = ra / rb
+	var va, vb float64
+	if eventsA > 0 {
+		va = 1 / float64(eventsA)
+	}
+	vb = 1 / float64(eventsB)
+	relSigma = math.Sqrt(va + vb)
+	return ratio, relSigma
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi) with overflow and
+// underflow buckets.
+type Histogram struct {
+	Lo, Hi              float64
+	Buckets             []int64
+	Underflow, Overflow int64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi). It panics for a degenerate range or n <= 0.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic("stats: bad histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int64, n)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	switch {
+	case math.IsNaN(x) || x >= h.Hi:
+		h.Overflow++
+	case x < h.Lo:
+		h.Underflow++
+	default:
+		i := int(float64(len(h.Buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Buckets) { // guard float rounding at the top edge
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the count of all observations including over/underflow.
+func (h *Histogram) Total() int64 {
+	t := h.Underflow + h.Overflow
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sample, using
+// linear interpolation between order statistics. It sorts a copy.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	if i == len(s)-1 {
+		return s[i]
+	}
+	frac := pos - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// ClampNonFinite returns a copy of xs with NaN and infinities replaced
+// by +-math.MaxFloat64, so the slice can be encoded as JSON (which has
+// no non-finite numbers). NaN maps to +MaxFloat64, matching its
+// treatment as an unbounded relative error.
+func ClampNonFinite(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		switch {
+		case math.IsNaN(x) || math.IsInf(x, 1):
+			out[i] = math.MaxFloat64
+		case math.IsInf(x, -1):
+			out[i] = -math.MaxFloat64
+		default:
+			out[i] = x
+		}
+	}
+	return out
+}

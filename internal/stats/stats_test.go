@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mixedrel/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema = (%v, %v)", s.Min(), s.Max())
+	}
+	if s.StdErr() <= 0 {
+		t.Error("StdErr should be positive")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("empty summary should be all zero")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Observe(42)
+	if s.Mean() != 42 || s.Variance() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Error("single-element summary wrong")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	r := rng.New(5)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed ^ r.Uint64())
+		n := 3 + rr.Intn(50)
+		var s Summary
+		xs := make([]float64, n)
+		var sum float64
+		for i := range xs {
+			xs[i] = rr.NormFloat64() * 10
+			s.Observe(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-wantVar) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonCIZeroEvents(t *testing.T) {
+	lo, hi := PoissonCI(0, 0.95)
+	if lo != 0 {
+		t.Errorf("lower bound for 0 events = %v, want 0", lo)
+	}
+	// The exact 97.5% upper bound for 0 events is -ln(0.025) ~= 3.69.
+	if hi < 2.5 || hi > 4.5 {
+		t.Errorf("upper bound for 0 events = %v, want ~3.7", hi)
+	}
+}
+
+func TestPoissonCIContainsCount(t *testing.T) {
+	for _, k := range []int64{1, 5, 20, 100, 1000} {
+		lo, hi := PoissonCI(k, 0.95)
+		if !(lo < float64(k) && float64(k) < hi) {
+			t.Errorf("k=%d: CI [%v, %v] does not contain k", k, lo, hi)
+		}
+		if lo < 0 {
+			t.Errorf("k=%d: negative lower bound %v", k, lo)
+		}
+	}
+}
+
+func TestPoissonCINarrowsWithK(t *testing.T) {
+	relWidth := func(k int64) float64 {
+		lo, hi := PoissonCI(k, 0.95)
+		return (hi - lo) / float64(k)
+	}
+	if !(relWidth(10) > relWidth(100) && relWidth(100) > relWidth(1000)) {
+		t.Error("relative CI width should shrink with the count")
+	}
+}
+
+func TestPoissonCILargeKMatchesNormal(t *testing.T) {
+	// For large k the CI approaches k +- 1.96*sqrt(k).
+	const k = 10000
+	lo, hi := PoissonCI(k, 0.95)
+	sd := math.Sqrt(k)
+	if math.Abs(lo-(k-1.96*sd)) > 0.05*sd || math.Abs(hi-(k+1.96*sd)) > 0.05*sd {
+		t.Errorf("CI [%v, %v] far from normal approximation [%v, %v]",
+			lo, hi, k-1.96*sd, k+1.96*sd)
+	}
+}
+
+func TestPoissonCIPanics(t *testing.T) {
+	for _, c := range []struct {
+		k    int64
+		conf float64
+	}{{-1, 0.95}, {1, 0}, {1, 1}, {1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PoissonCI(%d, %v) did not panic", c.k, c.conf)
+				}
+			}()
+			PoissonCI(c.k, c.conf)
+		}()
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0}, {0.975, 1.959964}, {0.025, -1.959964},
+		{0.84134, 1.0}, {0.999, 3.0902},
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); math.Abs(got-c.z) > 5e-3 {
+			t.Errorf("normQuantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+	}
+}
+
+func TestRateRatio(t *testing.T) {
+	ratio, sigma := RateRatio(100, 50, 10, 10)
+	if math.Abs(ratio-2) > 1e-12 {
+		t.Errorf("ratio = %v, want 2", ratio)
+	}
+	want := math.Sqrt(1.0/100 + 1.0/50)
+	if math.Abs(sigma-want) > 1e-12 {
+		t.Errorf("relSigma = %v, want %v", sigma, want)
+	}
+	if r, _ := RateRatio(10, 0, 1, 1); !math.IsInf(r, 1) {
+		t.Error("division by zero rate should be +Inf")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-1)
+	h.Observe(10)  // at the top edge -> overflow
+	h.Observe(1e9) // far overflow
+	h.Observe(math.NaN())
+	for i, b := range h.Buckets {
+		if b != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, b)
+		}
+	}
+	if h.Underflow != 1 || h.Overflow != 3 {
+		t.Errorf("under/over = %d/%d, want 1/3", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 14 {
+		t.Errorf("Total = %d, want 14", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 0, 10) },
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("degenerate histogram did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(s, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(s, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(s, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(s, 0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty sample should be NaN")
+	}
+	// Input must not be mutated.
+	s2 := []float64{3, 1, 2}
+	Quantile(s2, 0.5)
+	if s2[0] != 3 || s2[1] != 1 || s2[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range quantile did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestClampNonFinite(t *testing.T) {
+	in := []float64{1, math.Inf(1), math.Inf(-1), math.NaN(), -2}
+	out := ClampNonFinite(in)
+	if out[0] != 1 || out[4] != -2 {
+		t.Error("finite values changed")
+	}
+	if out[1] != math.MaxFloat64 || out[3] != math.MaxFloat64 {
+		t.Error("+Inf/NaN not clamped to +MaxFloat64")
+	}
+	if out[2] != -math.MaxFloat64 {
+		t.Error("-Inf not clamped")
+	}
+	if math.IsInf(in[1], 0) != true {
+		t.Error("input mutated")
+	}
+}

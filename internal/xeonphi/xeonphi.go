@@ -1,0 +1,232 @@
+// Package xeonphi models the Intel Xeon Phi 3120A coprocessor (Knights
+// Corner) the paper irradiates: 57 in-order cores, each with a 512-bit
+// Vector Processing Unit processing 16 single-precision or 8
+// double-precision lanes per operation, no half-precision hardware, and
+// a Machine Check Architecture whose SECDED ECC protects the register
+// file and cache SRAM.
+//
+// Because double and single execute on the *same* hardware, the KNC's
+// precision-dependent FIT is a compiler effect, not an area effect: the
+// paper's icc optimization-report analysis (Section 5) shows the single
+// versions of LavaMD and MxM instantiate 33% and 47% more vector
+// registers (deeper unrolling/software pipelining at 16 lanes), while
+// LUD allocates equally. More instantiated registers mean more occupied
+// — and unprotected — functional-unit buffers and internal queues, which
+// is what raises the single-precision SDC FIT. DUEs rise with lane
+// count: 16 SP lanes carry twice the control bits of 8 DP lanes.
+//
+// The compiler report (registers per precision) and the published
+// execution times' efficiency factors are empirical calibration inputs,
+// exactly as core counts are; everything downstream (FIT, PVF, MEBF,
+// criticality) is computed mechanistically from them.
+package xeonphi
+
+import (
+	"fmt"
+	"time"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// Machine constants for the 3120A.
+const (
+	cores           = 57
+	vectorBits      = 512
+	vregsPerCore    = 32
+	clockHz         = 1.1e9
+	opsPerCycle     = 0.25 // in-order core issuing a vector FP op every 4th cycle
+	lanesSingle     = 16
+	lanesDouble     = 8
+	ctrlBitsPerLane = 40  // per-lane sequencing/mask state
+	fuLogicFactor   = 6.0 // sensitive logic bits per datapath bit
+	queueOccupancy  = 0.5 // average fraction of allocated buffer live
+	sigmaSRAM       = 1.0
+	sigmaLogic      = 0.25
+	sigmaCtrl       = 0.4
+	ctrlDUEFrac     = 0.45
+	effBandwidth    = 6.6e9 // bytes/s effective for cache-unfriendly streams
+)
+
+// profile is the per-kernel calibration: the icc-report register counts,
+// the single-precision vector efficiency (imperfect 16-lane filling),
+// memory-boundedness, and the single-precision prefetch efficiency for
+// memory-bound codes (the paper reports the prefetcher covers fewer
+// elements per request in single precision).
+type profile struct {
+	regsDouble     int
+	regBoostSingle float64 // registers_single / registers_double
+	vecEffSingle   float64 // achieved / ideal speedup at 16 lanes
+	memBound       bool
+	prefetchEffS   float64 // single-precision effective-bandwidth factor
+	branchiness    float64 // control-flow intensity scaling DUE exposure
+}
+
+// expShapes describes the KNC transcendental implementations: the
+// double-precision exp runs a much longer sequence (deeper argument
+// reduction, longer polynomial — cf. the paper's [43]) than the
+// vectorized single-precision one. The asymmetry is what the paper
+// blames for LavaMD's criticality inversion (Section 5.3).
+var expShapes = map[fp.Format]fp.ExpShape{
+	// The scalar table-driven double path carries two table indices plus
+	// shift state; the vectorized single path is branch-free polynomial
+	// SIMD code with a single reduction quotient.
+	fp.Double: {Terms: 13, Squarings: 3, IntSites: 2},
+	fp.Single: {Terms: 7, Squarings: 1, IntSites: 1},
+}
+
+// intStateWeight is the weight of one integer sequencing site in the
+// same (per-operation-count) units as the FU op weights: the double
+// transcendental's index/shift sequencer is a substantial scalar unit,
+// the single path's is a trivial quotient latch.
+var intStateWeight = map[fp.Format]float64{
+	fp.Double: 8,
+	fp.Single: 1,
+}
+
+// ExpShapeFor returns the KNC software-exp shape for format f.
+func ExpShapeFor(f fp.Format) fp.ExpShape { return expShapes[f] }
+
+var profiles = map[string]profile{
+	"LavaMD":  {regsDouble: 12, regBoostSingle: 1.33, vecEffSingle: 0.6253, branchiness: 1.0},
+	"MxM":     {regsDouble: 15, regBoostSingle: 1.47, vecEffSingle: 0.90, memBound: true, prefetchEffS: 0.44, branchiness: 0.8},
+	"LUD":     {regsDouble: 10, regBoostSingle: 1.00, vecEffSingle: 0.775, branchiness: 1.2},
+	"Hotspot": {regsDouble: 11, regBoostSingle: 1.20, vecEffSingle: 0.80, branchiness: 1.1},
+	"CG":      {regsDouble: 14, regBoostSingle: 1.25, vecEffSingle: 0.78, branchiness: 1.3},
+}
+
+// defaultProfile covers kernels outside the paper's Phi set.
+var defaultProfile = profile{regsDouble: 12, regBoostSingle: 1.25, vecEffSingle: 0.85, branchiness: 1.0}
+
+// Device is the Xeon Phi 3120A model.
+type Device struct{}
+
+// New returns the KNC device model.
+func New() *Device { return &Device{} }
+
+// Name implements arch.Device.
+func (d *Device) Name() string { return "XeonPhi-3120A" }
+
+// Supports implements arch.Device: KNC has no half-precision hardware.
+func (d *Device) Supports(f fp.Format) bool { return f == fp.Single || f == fp.Double }
+
+// lanes returns the VPU lane count for a format.
+func lanes(f fp.Format) float64 {
+	if f == fp.Single {
+		return lanesSingle
+	}
+	return lanesDouble
+}
+
+// Map implements arch.Device.
+func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
+	if !d.Supports(f) {
+		return nil, fmt.Errorf("%w: %s does not implement %v", arch.ErrUnsupported, d.Name(), f)
+	}
+	if w.Kernel == nil {
+		return nil, fmt.Errorf("xeonphi: workload has no kernel")
+	}
+	// DataScale is irrelevant here: KNC cache and register SRAM are ECC
+	// protected, so data residency does not contribute unprotected
+	// exposure.
+	opScale := w.OpScale
+	if opScale <= 0 {
+		opScale = 1
+	}
+	baseCounts := kernels.Profile(w.Kernel, f)
+	if baseCounts.Total() == 0 {
+		return nil, fmt.Errorf("xeonphi: kernel %s executes no operations", w.Kernel.Name())
+	}
+	// Kernels that call exp run it through the KNC transcendental
+	// sequence; its steps become individually exposed operations.
+	var wrap func(fp.Env) fp.Env
+	counts := baseCounts
+	if baseCounts.ByOp[fp.OpExp] > 0 {
+		wrap = fp.WrapExp(expShapes[f])
+		counts = kernels.ProfileWith(w.Kernel, f, wrap)
+	}
+	total := counts.Total()
+	prof, ok := profiles[w.Kernel.Name()]
+	if !ok {
+		prof = defaultProfile
+	}
+
+	// Compiler model: vector registers instantiated per core.
+	regs := float64(prof.regsDouble)
+	if f == fp.Single {
+		regs *= prof.regBoostSingle
+	}
+	if regs > vregsPerCore {
+		regs = vregsPerCore
+	}
+
+	// Execution time.
+	var execSeconds float64
+	paperOps := float64(total) * opScale
+	if prof.memBound {
+		// Cache-unfriendly codes stream one operand per operation; the
+		// single-precision prefetcher covers fewer elements per request
+		// (paper Section 5.4), shrinking its effective bandwidth.
+		traffic := paperOps * float64(f.Bytes())
+		bw := effBandwidth
+		if f == fp.Single {
+			bw = effBandwidth * prof.prefetchEffS
+		}
+		execSeconds = traffic / bw
+	} else {
+		eff := 1.0
+		if f == fp.Single {
+			eff = prof.vecEffSingle
+		}
+		execSeconds = paperOps / (cores * lanes(f) * opsPerCycle * clockHz * eff)
+	}
+
+	// Exposure accounting.
+	fuBits := float64(cores) * vectorBits * fuLogicFactor
+	queueBits := float64(cores) * regs * vectorBits * queueOccupancy
+	regFileBits := float64(cores) * vregsPerCore * vectorBits
+	ctrlBits := float64(cores) * lanes(f) * ctrlBitsPerLane * prof.branchiness
+
+	var opWeights [fp.NumOps]float64
+	for op := fp.Op(0); int(op) < fp.NumOps; op++ {
+		opWeights[op] = float64(counts.ByOp[op])
+	}
+
+	m := &arch.Mapping{
+		DeviceName: d.Name(),
+		Kernel:     w.Kernel,
+		Format:     f,
+		Counts:     counts,
+		Wrap:       wrap,
+		Time:       time.Duration(execSeconds * float64(time.Second)),
+		Exposures: []arch.Exposure{
+			{
+				Class:          arch.FunctionalUnit,
+				Bits:           fuBits + queueBits,
+				CrossSection:   sigmaLogic,
+				OpWeights:      opWeights,
+				IntStateWeight: intStateWeight[f],
+			},
+			{
+				Class:        arch.RegisterFile,
+				Bits:         regFileBits,
+				CrossSection: sigmaSRAM,
+				Protected:    true, // MCA SECDED ECC
+			},
+			{
+				Class:        arch.ControlLogic,
+				Bits:         ctrlBits,
+				CrossSection: sigmaCtrl,
+				DUEFraction:  ctrlDUEFrac,
+			},
+		},
+		Resources: map[string]float64{
+			"vregs":     regs,
+			"lanes":     lanes(f),
+			"queueBits": queueBits,
+			"fuBits":    fuBits,
+		},
+	}
+	return m, nil
+}

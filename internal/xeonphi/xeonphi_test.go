@@ -1,0 +1,149 @@
+package xeonphi
+
+import (
+	"errors"
+	"testing"
+
+	"mixedrel/internal/arch"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+func mapKernel(t *testing.T, k kernels.Kernel, f fp.Format, opScale float64) *arch.Mapping {
+	t.Helper()
+	m, err := New().Map(arch.NewWorkload(k, opScale, 1), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSupports(t *testing.T) {
+	d := New()
+	if d.Supports(fp.Half) {
+		t.Error("KNC has no half-precision hardware")
+	}
+	if !d.Supports(fp.Single) || !d.Supports(fp.Double) {
+		t.Error("KNC must support single and double")
+	}
+}
+
+func TestMapRejectsHalf(t *testing.T) {
+	_, err := New().Map(arch.NewWorkload(kernels.NewGEMM(8, 1), 1, 1), fp.Half)
+	if !errors.Is(err, arch.ErrUnsupported) {
+		t.Errorf("expected ErrUnsupported, got %v", err)
+	}
+}
+
+// Section 5: the compiler instantiates 47% more registers for single
+// MxM, 33% more for single LavaMD, and the same count for LUD.
+func TestCompilerRegisterModel(t *testing.T) {
+	cases := []struct {
+		k     kernels.Kernel
+		boost float64
+	}{
+		{kernels.NewGEMM(8, 1), 1.47},
+		{kernels.NewLavaMD(2, 3, 1), 1.33},
+		{kernels.NewLUD(8, 1), 1.00},
+	}
+	for _, c := range cases {
+		d := mapKernel(t, c.k, fp.Double, 1).Resources["vregs"]
+		s := mapKernel(t, c.k, fp.Single, 1).Resources["vregs"]
+		if got := s / d; got < c.boost-0.02 || got > c.boost+0.02 {
+			t.Errorf("%s: single/double register ratio %.2f, want %.2f", c.k.Name(), got, c.boost)
+		}
+	}
+}
+
+// Fig. 6 shape: single SDC exposure exceeds double for LavaMD and MxM;
+// LUD is equal. (Exposure drives FIT at equal propagation, which Fig. 7
+// shows is precision-independent.)
+func TestSDCExposureShape(t *testing.T) {
+	rate := func(k kernels.Kernel, f fp.Format) float64 {
+		return mapKernel(t, k, f, 1).ExposureFor(arch.FunctionalUnit).Rate()
+	}
+	for _, k := range []kernels.Kernel{kernels.NewGEMM(8, 1), kernels.NewLavaMD(2, 3, 1)} {
+		s, d := rate(k, fp.Single), rate(k, fp.Double)
+		if !(s > d) {
+			t.Errorf("%s: single FU exposure %v not above double %v", k.Name(), s, d)
+		}
+	}
+	lud := kernels.NewLUD(8, 1)
+	s, d := rate(lud, fp.Single), rate(lud, fp.Double)
+	if s != d {
+		t.Errorf("LUD: single FU exposure %v != double %v", s, d)
+	}
+}
+
+// Fig. 6: DUE rises with single precision for all codes (16 SP lanes
+// carry twice the control bits of 8 DP lanes).
+func TestDUEExposureDoublesForSingle(t *testing.T) {
+	for _, k := range []kernels.Kernel{kernels.NewGEMM(8, 1), kernels.NewLavaMD(2, 3, 1), kernels.NewLUD(8, 1)} {
+		s := mapKernel(t, k, fp.Single, 1).ExposureFor(arch.ControlLogic)
+		d := mapKernel(t, k, fp.Double, 1).ExposureFor(arch.ControlLogic)
+		if s.Rate() != 2*d.Rate() {
+			t.Errorf("%s: control exposure single %v != 2x double %v", k.Name(), s.Rate(), d.Rate())
+		}
+		if s.DUEFraction <= 0 {
+			t.Errorf("%s: control exposure without DUE fraction", k.Name())
+		}
+	}
+}
+
+func TestRegisterFileProtected(t *testing.T) {
+	m := mapKernel(t, kernels.NewGEMM(8, 1), fp.Single, 1)
+	rf := m.ExposureFor(arch.RegisterFile)
+	if !rf.Protected {
+		t.Error("KNC register file must be MCA/ECC protected")
+	}
+}
+
+// Table 2 shape: single is ~1.6x faster for LavaMD and LUD
+// (compute-bound, 16 vs 8 lanes at imperfect efficiency) but ~13% slower
+// for MxM (prefetch-limited).
+func TestTimingShapeMatchesTable2(t *testing.T) {
+	ratio := func(k kernels.Kernel) float64 {
+		// Paper-scale op counts keep the modeled times well above the
+		// nanosecond resolution of time.Duration.
+		d := mapKernel(t, k, fp.Double, 1e7).Time.Seconds()
+		s := mapKernel(t, k, fp.Single, 1e7).Time.Seconds()
+		return d / s
+	}
+	if r := ratio(kernels.NewLavaMD(2, 3, 1)); r < 1.45 || r > 1.85 {
+		t.Errorf("LavaMD double/single = %.2f, Table 2 gives 1.63", r)
+	}
+	if r := ratio(kernels.NewLUD(8, 1)); r < 1.4 || r > 1.75 {
+		t.Errorf("LUD double/single = %.2f, Table 2 gives 1.55", r)
+	}
+	if r := ratio(kernels.NewGEMM(8, 1)); r < 0.80 || r > 0.95 {
+		t.Errorf("MxM double/single = %.2f, Table 2 gives 0.88 (single slower)", r)
+	}
+}
+
+// Paper-scale absolute time: MxM 2048 should land near Table 2's 10.6 s
+// for double.
+func TestAbsoluteMxMTime(t *testing.T) {
+	k := kernels.NewGEMM(16, 1)
+	// ops scale from 16^3 to 2048^3.
+	scale := float64(2048*2048*2048) / float64(16*16*16)
+	td := mapKernel(t, k, fp.Double, scale).Time.Seconds()
+	if td < 8 || td > 13.5 {
+		t.Errorf("modeled double MxM(2048) = %.1fs, Table 2 reports 10.6s", td)
+	}
+}
+
+func TestUnknownKernelDefaultProfile(t *testing.T) {
+	m := mapKernel(t, kernels.NewMicro(kernels.MicroADD, 4, 10, 1), fp.Single, 1e7)
+	if m.Resources["vregs"] <= 0 {
+		t.Error("default profile should allocate registers")
+	}
+}
+
+func TestMapRejectsNilKernel(t *testing.T) {
+	if _, err := New().Map(arch.Workload{}, fp.Single); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
