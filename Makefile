@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel execution engine and the packages that drive it get an
+# additional race-detector pass.
+race:
+	$(GO) test -race ./internal/exec/... ./internal/inject/... ./internal/beam/...
+
+# verify is the tier-1 gate: build, vet, full tests, race pass.
+verify: build vet test race
+
+# bench records the benchmark suite as BENCH_<date>.json (see
+# scripts/bench.sh for knobs).
+bench:
+	scripts/bench.sh

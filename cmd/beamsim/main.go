@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"mixedrel"
+	"mixedrel/internal/exec"
 )
 
 func main() {
@@ -27,8 +29,11 @@ func main() {
 	opScale := flag.Float64("opscale", 1e6, "paper-scale multiplier for dynamic operations")
 	dataScale := flag.Float64("datascale", 1e3, "paper-scale multiplier for resident data")
 	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
-	workers := flag.Int("workers", 1, "beam-trial goroutines")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler goroutine bound for this process")
+	sampleWorkers := flag.Int("sample-workers", 1, "beam-trial goroutines (>1 changes the sample but stays deterministic)")
 	flag.Parse()
+
+	exec.SetMaxWorkers(*workers)
 
 	device, err := pickDevice(*deviceName)
 	if err != nil {
@@ -51,7 +56,7 @@ func main() {
 		fail(err)
 	}
 	res, err := mixedrel.BeamExperiment{Mapping: m, Trials: *trials, Seed: *seed,
-		Workers: *workers}.Run()
+		Workers: *sampleWorkers}.Run()
 	if err != nil {
 		fail(err)
 	}

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"mixedrel"
+	"mixedrel/internal/exec"
 )
 
 func main() {
@@ -26,8 +28,11 @@ func main() {
 	size := flag.Int("size", 16, "kernel size parameter")
 	sitesFlag := flag.String("sites", "operand,memory", "comma-separated fault sites: operation, operand, memory")
 	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
-	workers := flag.Int("workers", 1, "injection goroutines")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler goroutine bound for this process")
+	sampleWorkers := flag.Int("sample-workers", 1, "injection goroutines (>1 changes the sample but stays deterministic)")
 	flag.Parse()
+
+	exec.SetMaxWorkers(*workers)
 
 	kernel, err := pickKernel(*kernelName, *size, *seed)
 	if err != nil {
@@ -48,7 +53,7 @@ func main() {
 		Faults:  *faults,
 		Seed:    *seed,
 		Sites:   sites,
-		Workers: *workers,
+		Workers: *sampleWorkers,
 	}
 	res, err := c.Run()
 	if err != nil {

@@ -7,8 +7,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mixedrel/internal/core"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/report"
 )
 
@@ -19,11 +21,14 @@ func main() {
 	trials := flag.Int("trials", 2000, "beam strikes per configuration")
 	faults := flag.Int("faults", 2000, "injected faults per configuration")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	workers := flag.Int("workers", 1, "beam-trial goroutines (>1 changes the sample but stays deterministic)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "cross-configuration goroutines (campaigns run concurrently; never changes the tables)")
+	sampleWorkers := flag.Int("sample-workers", 1, "beam-trial/injection goroutines inside one campaign (>1 changes the sample but stays deterministic)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed, Trials: *trials, Faults: *faults, Quick: *quick, Workers: *workers}
+	exec.SetMaxWorkers(*workers)
+	cfg := core.Config{Seed: *seed, Trials: *trials, Faults: *faults, Quick: *quick,
+		Workers: *workers, SampleWorkers: *sampleWorkers}
 
 	if *list {
 		for _, d := range core.Experiments {

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"mixedrel"
+	"mixedrel/internal/exec"
 )
 
 func main() {
@@ -26,8 +28,11 @@ func main() {
 	trials := flag.Int("trials", 1000, "beam strikes per point")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	opScale := flag.Float64("opscale", 1e6, "paper-scale multiplier for ops at the smallest size")
-	workers := flag.Int("workers", 4, "beam-trial goroutines")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent (size, format) campaigns (never changes the numbers)")
+	sampleWorkers := flag.Int("sample-workers", 1, "beam-trial goroutines inside one campaign (>1 changes the sample but stays deterministic)")
 	flag.Parse()
+
+	exec.SetMaxWorkers(*workers)
 
 	device, err := pickDevice(*deviceName)
 	if err != nil {
@@ -44,31 +49,50 @@ func main() {
 
 	fmt.Printf("%-6s  %-9s  %-12s  %-12s  %-12s  %-10s\n",
 		"size", "format", "exec time", "FIT-SDC", "FIT-DUE", "MEBF")
-	base := float64(sizes[0])
+	type point struct {
+		n int
+		f mixedrel.Format
+	}
+	var pts []point
 	for _, n := range sizes {
-		kernel, scalePow, err := pickKernel(*kernelName, n, *seed)
+		for _, f := range formats {
+			pts = append(pts, point{n, f})
+		}
+	}
+	base := float64(sizes[0])
+	// Each (size, format) point is an independent campaign, so the grid
+	// runs concurrently and the rows print in order afterwards.
+	lines := make([]string, len(pts))
+	err = exec.ForEach(*workers, len(pts), func(i int) error {
+		p := pts[i]
+		kernel, scalePow, err := pickKernel(*kernelName, p.n, *seed)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		// Keep the modeled machine workload a constant multiple of the
 		// executed instance: ops grow as size^scalePow.
-		ratio := pow(float64(n)/base, scalePow)
+		ratio := pow(float64(p.n)/base, scalePow)
 		w := mixedrel.NewWorkload(kernel, *opScale*ratio, *opScale/100*ratio)
-		for _, f := range formats {
-			m, err := device.Map(w, f)
-			if err != nil {
-				fail(err)
-			}
-			res, err := mixedrel.BeamExperiment{
-				Mapping: m, Trials: *trials, Seed: *seed, Workers: *workers,
-			}.Run()
-			if err != nil {
-				fail(err)
-			}
-			fmt.Printf("%-6d  %-9v  %-12v  %-12.4g  %-12.4g  %-10.4g\n",
-				n, f, m.Time.Round(1e6), res.FITSDC, res.FITDUE,
-				mixedrel.MEBF(res.FITSDC, m.Time))
+		m, err := device.Map(w, p.f)
+		if err != nil {
+			return err
 		}
+		res, err := mixedrel.BeamExperiment{
+			Mapping: m, Trials: *trials, Seed: *seed, Workers: *sampleWorkers,
+		}.Run()
+		if err != nil {
+			return err
+		}
+		lines[i] = fmt.Sprintf("%-6d  %-9v  %-12v  %-12.4g  %-12.4g  %-10.4g",
+			p.n, p.f, m.Time.Round(1e6), res.FITSDC, res.FITDUE,
+			mixedrel.MEBF(res.FITSDC, m.Time))
+		return nil
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
 	}
 }
 

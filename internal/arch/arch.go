@@ -140,6 +140,11 @@ type Mapping struct {
 	// base environment.
 	Wrap func(fp.Env) fp.Env
 
+	// WrapKey identifies Wrap's arithmetic behavior for golden/profile
+	// memoization (e.g. fp.ExpShape.Key). Empty when Wrap is nil, or to
+	// opt the mapping out of caching.
+	WrapKey string
+
 	// Resources holds device-specific synthesis results (FPGA LUT/DSP/
 	// BRAM, Phi register allocation, GPU occupancy) for reporting.
 	Resources map[string]float64

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"mixedrel/internal/arch"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/inject"
-	"mixedrel/internal/kernels"
 	"mixedrel/internal/rng"
 )
 
@@ -72,7 +72,7 @@ func (a Accumulation) Run() (*AccumulationResult, error) {
 		mod = 1
 	}
 
-	golden := kernels.Decode(m.Format, kernels.GoldenWith(m.Kernel, m.Format, m.Wrap))
+	golden := exec.Artifact(m.Kernel, m.Format, m.WrapKey, m.Wrap).Golden()
 	r := rng.New(a.Seed)
 
 	sdc := make([]int, a.MaxFaults+1)

@@ -32,13 +32,11 @@ package beam
 import (
 	"encoding/json"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"mixedrel/internal/arch"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/inject"
-	"mixedrel/internal/kernels"
 	"mixedrel/internal/rng"
 	"mixedrel/internal/stats"
 )
@@ -153,11 +151,10 @@ func (e Experiment) Run() (*Result, error) {
 		return nil, fmt.Errorf("beam: mapping has no unprotected exposure")
 	}
 
-	golden := kernels.Decode(m.Format, kernels.GoldenWith(m.Kernel, m.Format, m.Wrap))
-	var arrayLens []int
-	for _, a := range m.Kernel.Inputs(m.Format) {
-		arrayLens = append(arrayLens, len(a))
-	}
+	// The runner memoizes the golden output and reuses per-worker
+	// scratch buffers across trials; fault-free execution happens at
+	// most once per (kernel, format, wrap) in the whole process.
+	runner := inject.NewRunner(m.Kernel, m.Format, m.WrapKey, m.Wrap)
 
 	res := &Result{Trials: e.Trials, ExposureRate: rate,
 		ByClass: make(map[arch.ResourceClass]*ClassCounts)}
@@ -166,43 +163,23 @@ func (e Experiment) Run() (*Result, error) {
 	}
 
 	ctx := &trialCtx{exp: e, exposures: exposures, rate: rate,
-		golden: golden, arrayLens: arrayLens}
+		runner: runner, arrayLens: runner.ArrayLens()}
 
-	if e.Workers > 1 {
-		// Parallel mode: every trial draws from its own stream derived
-		// from the campaign seed, so the outcome is deterministic in
-		// Seed and independent of scheduling (but a different — equally
-		// valid — sample than the sequential mode's single stream).
-		outs := make([]trialOutcome, e.Trials)
-		master := rng.New(e.Seed)
-		seeds := make([]uint64, e.Trials)
-		for t := range seeds {
-			seeds[t] = master.Uint64()
-		}
-		var wg sync.WaitGroup
-		next := int64(-1)
-		for w := 0; w < e.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					t := int(atomic.AddInt64(&next, 1))
-					if t >= e.Trials {
-						return
-					}
-					outs[t] = ctx.runTrial(rng.New(seeds[t]))
-				}
-			}()
-		}
-		wg.Wait()
-		for _, o := range outs {
-			res.record(o, e.KeepOutputs)
-		}
-	} else {
-		r := rng.New(e.Seed)
-		for t := 0; t < e.Trials; t++ {
-			res.record(ctx.runTrial(r), e.KeepOutputs)
-		}
+	// Sequential mode (Workers <= 1) threads one random stream through
+	// the trials in order; parallel mode gives every trial its own
+	// stream derived from the campaign seed, so the outcome is
+	// deterministic in Seed and independent of scheduling (but a
+	// different — equally valid — sample than the sequential one).
+	outs := make([]trialOutcome, e.Trials)
+	err := exec.Sample(e.Workers, e.Trials, e.Seed, func(t int, r *rng.Rand) error {
+		outs[t] = ctx.runTrial(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		res.record(o, e.KeepOutputs)
 	}
 
 	res.FITSDC = rate * float64(res.SDC) / float64(res.Trials)
@@ -253,7 +230,7 @@ type trialCtx struct {
 	exp       Experiment
 	exposures []arch.Exposure
 	rate      float64
-	golden    []float64
+	runner    *inject.Runner
 	arrayLens []int
 }
 
@@ -299,7 +276,7 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 			Width:  width,
 			Target: inject.TargetResult,
 		}
-		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+		rr = c.runner.Run(&fault, nil, e.KeepOutputs)
 
 	case arch.FunctionalUnit:
 		if r.Float64() >= x.Vuln() {
@@ -322,7 +299,7 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 				Bit:    r.Intn(5),
 				Target: inject.TargetIntState,
 			}
-			rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+			rr = c.runner.Run(&fault, nil, e.KeepOutputs)
 			break
 		}
 		kind := sampleOpKind(r, x.OpWeights, m.Counts)
@@ -333,17 +310,17 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 			Width:  width,
 			Target: inject.TargetResult,
 		}
-		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+		rr = c.runner.Run(&fault, nil, e.KeepOutputs)
 
 	case arch.RegisterFile:
 		fault := inject.SampleOpFault(r, m.Counts, m.Format, 0, true, inject.TargetOperand)
 		fault.Width = width
-		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, &fault, nil, e.KeepOutputs, m.Wrap)
+		rr = c.runner.Run(&fault, nil, e.KeepOutputs)
 
 	case arch.MemorySRAM:
 		mf := inject.SampleMemFault(r, c.arrayLens, m.Format)
 		mf.Width = width
-		rr = inject.RunWrapped(m.Kernel, m.Format, c.golden, nil, []inject.MemFault{mf}, e.KeepOutputs, m.Wrap)
+		rr = c.runner.Run(nil, []inject.MemFault{mf}, e.KeepOutputs)
 
 	default:
 		panic(fmt.Sprintf("beam: unhandled resource class %v", x.Class))

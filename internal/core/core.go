@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mixedrel/internal/arch"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/kernels"
 	"mixedrel/internal/report"
@@ -33,10 +34,19 @@ type Config struct {
 	Faults int
 	// Quick shrinks campaigns for fast test runs.
 	Quick bool
-	// Workers > 1 runs beam trials on that many goroutines (per-trial
-	// random streams; deterministic in Seed, but a different sample
-	// than the sequential default).
+	// Workers bounds the cross-configuration parallelism: how many
+	// (benchmark x format) campaigns an experiment — and how many
+	// experiments ReproduceAll — may run concurrently on the shared
+	// scheduler. Every campaign derives an independent seed via
+	// seedFor, so this parallelism never changes any table. Zero
+	// defaults to the scheduler bound (exec.MaxWorkers); 1 forces
+	// sequential execution.
 	Workers int
+	// SampleWorkers > 1 additionally parallelizes sampling inside each
+	// campaign (per-trial random streams; deterministic in Seed, but a
+	// different — equally valid — sample than the sequential default,
+	// which 0 or 1 select).
+	SampleWorkers int
 }
 
 // DefaultConfig returns the paper-sized campaign configuration.
@@ -77,6 +87,39 @@ func (c Config) seedFor(id string, idx uint64) uint64 {
 		h = h*1099511628211 + uint64(b)
 	}
 	return h*31 + idx
+}
+
+// gridWorkers returns the effective cross-configuration parallelism.
+func (c Config) gridWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return exec.MaxWorkers()
+}
+
+// runGrid runs an experiment's n independent configuration jobs on the
+// shared scheduler and appends each job's rows to t in job order, so
+// the rendered table is identical for every worker count (each job
+// draws its campaign seed from seedFor, never from a shared stream).
+func runGrid(cfg Config, t *report.Table, n int, job func(i int) ([][]string, error)) (*report.Table, error) {
+	rows := make([][][]string, n)
+	err := exec.ForEach(cfg.gridWorkers(), n, func(i int) error {
+		r, err := job(i)
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rs := range rows {
+		for _, r := range rs {
+			t.AddRow(r...)
+		}
+	}
+	return t, nil
 }
 
 // Definition is one runnable experiment.
@@ -124,13 +167,23 @@ func Get(id string) (Definition, bool) {
 	return Definition{}, false
 }
 
-// RunAll executes every experiment and renders the tables to w.
+// RunAll executes every experiment — concurrently on the shared
+// scheduler, since each campaign seeds independently — and renders the
+// tables to w in paper order.
 func RunAll(cfg Config, w io.Writer) error {
-	for _, d := range Experiments {
-		t, err := d.Run(cfg)
+	tables := make([]*report.Table, len(Experiments))
+	err := exec.ForEach(cfg.gridWorkers(), len(Experiments), func(i int) error {
+		t, err := Experiments[i].Run(cfg)
 		if err != nil {
-			return fmt.Errorf("core: %s: %w", d.ID, err)
+			return fmt.Errorf("core: %s: %w", Experiments[i].ID, err)
 		}
+		tables[i] = t
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
 		if err := t.WriteASCII(w); err != nil {
 			return err
 		}
@@ -193,9 +246,11 @@ func microKernel(op kernels.MicroOp) *kernels.Micro {
 
 // opScaleTo returns the OpScale that brings kernel k to targetOps total
 // dynamic operations (op counts are precision-independent for all the
-// paper's kernels).
+// paper's kernels). The profile comes from the process cache, so the
+// repeated workload-map construction inside grid loops costs one kernel
+// execution per kernel for the whole process.
 func opScaleTo(k kernels.Kernel, targetOps float64) float64 {
-	total := kernels.Profile(k, fp.Double).Total()
+	total := exec.Artifact(k, fp.Double, "", nil).Counts.Total()
 	return targetOps / float64(total)
 }
 

@@ -40,44 +40,44 @@ func ExtBF16(cfg Config) (*report.Table, error) {
 		},
 	}
 	d := gpu.New()
-	for ni, name := range []string{"MxM", "LavaMD"} {
-		w := gpuWorkloads()[name]
-		for fi, f := range []fp.Format{fp.Half, fp.BFloat16} {
-			m, err := mapOn(d, w, f)
-			if err != nil {
-				return nil, err
-			}
-			res, err := beam.Experiment{
-				Mapping:     m,
-				Trials:      cfg.trials(),
-				Seed:        cfg.seedFor("ext-bf16-"+name, uint64(ni*10+fi)),
-				KeepOutputs: true,
-				Workers:     cfg.Workers,
-			}.Run()
-			if err != nil {
-				return nil, err
-			}
-			// Count SDCs whose output saturated to Inf/NaN — the
-			// overflow failure mode binary16's narrow exponent invites.
-			nonFinite := 0
-			for _, out := range res.Outputs {
-				for _, v := range out {
-					if math.IsNaN(v) || math.IsInf(v, 0) {
-						nonFinite++
-						break
-					}
+	names := []string{"MxM", "LavaMD"}
+	formats := []fp.Format{fp.Half, fp.BFloat16}
+	return runGrid(cfg, t, len(names)*len(formats), func(i int) ([][]string, error) {
+		ni, fi := i/len(formats), i%len(formats)
+		name, f := names[ni], formats[fi]
+		m, err := mapOn(d, gpuWorkloads()[name], f)
+		if err != nil {
+			return nil, err
+		}
+		res, err := beam.Experiment{
+			Mapping:     m,
+			Trials:      cfg.trials(),
+			Seed:        cfg.seedFor("ext-bf16-"+name, uint64(ni*10+fi)),
+			KeepOutputs: true,
+			Workers:     cfg.SampleWorkers,
+		}.Run()
+		if err != nil {
+			return nil, err
+		}
+		// Count SDCs whose output saturated to Inf/NaN — the
+		// overflow failure mode binary16's narrow exponent invites.
+		nonFinite := 0
+		for _, out := range res.Outputs {
+			for _, v := range out {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					nonFinite++
+					break
 				}
 			}
-			curve := metrics.TRECurve(res.FITSDC, res.RelErrs, []float64{0.01})
-			nfShare := 0.0
-			if res.SDC > 0 {
-				nfShare = float64(nonFinite) / float64(res.SDC)
-			}
-			t.AddRow(name, f.String(), fmtAU(res.FITSDC),
-				fmtPct(curve[0].Reduction), fmtPct(nfShare))
 		}
-	}
-	return t, nil
+		curve := metrics.TRECurve(res.FITSDC, res.RelErrs, []float64{0.01})
+		nfShare := 0.0
+		if res.SDC > 0 {
+			nfShare = float64(nonFinite) / float64(res.SDC)
+		}
+		return [][]string{{name, f.String(), fmtAU(res.FITSDC),
+			fmtPct(curve[0].Reduction), fmtPct(nfShare)}}, nil
+	})
 }
 
 // ExtMBU repeats the Xeon Phi LavaMD campaign with multi-bit upsets
@@ -94,32 +94,34 @@ func ExtMBU(cfg Config) (*report.Table, error) {
 			"sharply while SDC stays almost unchanged",
 		},
 	}
-	for ni, name := range []string{"LavaMD", "MxM"} {
-		for fi, f := range phiFormats {
-			m, err := mapOn(xeonphi.New(), phiWorkloads()[name], f)
+	names := []string{"LavaMD", "MxM"}
+	return runGrid(cfg, t, len(names)*len(phiFormats), func(i int) ([][]string, error) {
+		ni, fi := i/len(phiFormats), i%len(phiFormats)
+		name, f := names[ni], phiFormats[fi]
+		m, err := mapOn(xeonphi.New(), phiWorkloads()[name], f)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]string
+		for mi, mbu := range []beam.MBU{{}, {P2: 0.10, P3: 0.03}} {
+			res, err := beam.Experiment{
+				Mapping: m,
+				Trials:  cfg.trials(),
+				Seed:    cfg.seedFor("ext-mbu-"+name, uint64(ni*100+fi*10+mi)),
+				MBU:     mbu,
+				Workers: cfg.SampleWorkers,
+			}.Run()
 			if err != nil {
 				return nil, err
 			}
-			for mi, mbu := range []beam.MBU{{}, {P2: 0.10, P3: 0.03}} {
-				res, err := beam.Experiment{
-					Mapping: m,
-					Trials:  cfg.trials(),
-					Seed:    cfg.seedFor("ext-mbu-"+name, uint64(ni*100+fi*10+mi)),
-					MBU:     mbu,
-					Workers: cfg.Workers,
-				}.Run()
-				if err != nil {
-					return nil, err
-				}
-				label := "off"
-				if mbu.Enabled() {
-					label = "on"
-				}
-				t.AddRow(name, f.String(), label, fmtAU(res.FITSDC), fmtAU(res.FITDUE))
+			label := "off"
+			if mbu.Enabled() {
+				label = "on"
 			}
+			rows = append(rows, []string{name, f.String(), label, fmtAU(res.FITSDC), fmtAU(res.FITDUE)})
 		}
-	}
-	return t, nil
+		return rows, nil
+	})
 }
 
 // ExtAccum simulates FPGA configuration-fault accumulation without
@@ -139,7 +141,9 @@ func ExtAccum(cfg Config) (*report.Table, error) {
 	if rounds < 10 {
 		rounds = 10
 	}
-	for fi, f := range []fp.Format{fp.Double, fp.Half} {
+	formats := []fp.Format{fp.Double, fp.Half}
+	return runGrid(cfg, t, len(formats), func(fi int) ([][]string, error) {
+		f := formats[fi]
 		m, err := mapOn(fpga.New(), fpgaWorkloads()["MxM"], f)
 		if err != nil {
 			return nil, err
@@ -153,12 +157,13 @@ func ExtAccum(cfg Config) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows [][]string
 		for _, p := range res.Points {
-			t.AddRow(f.String(), fmt.Sprintf("%d", p.Faults),
-				fmt.Sprintf("%.3f", p.PSDC), fmt.Sprintf("%.3f", p.PDead))
+			rows = append(rows, []string{f.String(), fmt.Sprintf("%d", p.Faults),
+				fmt.Sprintf("%.3f", p.PSDC), fmt.Sprintf("%.3f", p.PDead)})
 		}
-	}
-	return t, nil
+		return rows, nil
+	})
 }
 
 // ExtMitigation evaluates TMR and ABFT protection of GEMM: residual
@@ -177,27 +182,27 @@ func ExtMitigation(cfg Config) (*report.Table, error) {
 		},
 	}
 	g := gemmKernel()
-	for fi, f := range []fp.Format{fp.Double, fp.Half} {
-		schemes := []struct {
-			name string
-			k    kernels.Kernel
-		}{
-			{"none", g},
-			{"TMR", mitigate.NewTMR(g)},
-			{"ABFT", mitigate.NewABFTGEMM(g)},
-		}
-		for si, s := range schemes {
-			rep, err := mitigate.Evaluate(s.k, g, f, cfg.faults(),
-				cfg.seedFor("ext-mitigation", uint64(fi*10+si)))
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(s.name, f.String(), fmt.Sprintf("%.3f", rep.ResidualPVF),
-				fmt.Sprintf("%d", rep.Corrected), fmt.Sprintf("%d", rep.Detected),
-				fmt.Sprintf("%.2fx", rep.OverheadOps))
-		}
+	formats := []fp.Format{fp.Double, fp.Half}
+	schemes := []struct {
+		name string
+		k    kernels.Kernel
+	}{
+		{"none", g},
+		{"TMR", mitigate.NewTMR(g)},
+		{"ABFT", mitigate.NewABFTGEMM(g)},
 	}
-	return t, nil
+	return runGrid(cfg, t, len(formats)*len(schemes), func(i int) ([][]string, error) {
+		fi, si := i/len(schemes), i%len(schemes)
+		f, s := formats[fi], schemes[si]
+		rep, err := mitigate.Evaluate(s.k, g, f, cfg.faults(),
+			cfg.seedFor("ext-mitigation", uint64(fi*10+si)))
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{s.name, f.String(), fmt.Sprintf("%.3f", rep.ResidualPVF),
+			fmt.Sprintf("%d", rep.Corrected), fmt.Sprintf("%d", rep.Detected),
+			fmt.Sprintf("%.2fx", rep.OverheadOps)}}, nil
+	})
 }
 
 // ExtSolver contrasts algorithmic fault absorption: conjugate gradient
@@ -222,23 +227,24 @@ func ExtSolver(cfg Config) (*report.Table, error) {
 		{"CG", kernels.NewCG(16, 16, seedGEMM)},
 		{"LUD", ludKernel()},
 	}
-	for si, s := range solvers {
-		for fi, f := range []fp.Format{fp.Double, fp.Single} {
-			c := inject.Campaign{
-				Kernel: s.k,
-				Format: f,
-				Faults: cfg.faults(),
-				Seed:   cfg.seedFor("ext-solver", uint64(si*10+fi)),
-				Sites:  []inject.Site{inject.SiteOperation},
-			}
-			res, err := c.Run()
-			if err != nil {
-				return nil, err
-			}
-			curve := metrics.TRECurve(1, res.RelErrs, []float64{0.0001, 0.01})
-			t.AddRow(s.name, f.String(), fmt.Sprintf("%.3f", res.PVF),
-				fmtPct(curve[0].Reduction), fmtPct(curve[1].Reduction))
+	formats := []fp.Format{fp.Double, fp.Single}
+	return runGrid(cfg, t, len(solvers)*len(formats), func(i int) ([][]string, error) {
+		si, fi := i/len(formats), i%len(formats)
+		s, f := solvers[si], formats[fi]
+		c := inject.Campaign{
+			Kernel:  s.k,
+			Format:  f,
+			Faults:  cfg.faults(),
+			Seed:    cfg.seedFor("ext-solver", uint64(si*10+fi)),
+			Sites:   []inject.Site{inject.SiteOperation},
+			Workers: cfg.SampleWorkers,
 		}
-	}
-	return t, nil
+		res, err := c.Run()
+		if err != nil {
+			return nil, err
+		}
+		curve := metrics.TRECurve(1, res.RelErrs, []float64{0.0001, 0.01})
+		return [][]string{{s.name, f.String(), fmt.Sprintf("%.3f", res.PVF),
+			fmtPct(curve[0].Reduction), fmtPct(curve[1].Reduction)}}, nil
+	})
 }

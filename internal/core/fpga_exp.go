@@ -5,9 +5,9 @@ import (
 
 	"mixedrel/internal/arch"
 	"mixedrel/internal/beam"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/fpga"
-	"mixedrel/internal/kernels"
 	"mixedrel/internal/metrics"
 	"mixedrel/internal/report"
 )
@@ -86,7 +86,7 @@ func fpgaBeam(cfg Config, name string, f fp.Format, keep bool, idx uint64) (*arc
 		Trials:      cfg.trials(),
 		Seed:        cfg.seedFor("fpga-"+name, idx),
 		KeepOutputs: keep,
-		Workers:     cfg.Workers,
+		Workers:     cfg.SampleWorkers,
 	}.Run()
 	return m, res, err
 }
@@ -105,26 +105,27 @@ func Fig3(cfg Config) (*report.Table, error) {
 		},
 	}
 	mnist := mnistKernel()
-	for _, name := range []string{"MxM", "MNIST"} {
-		for fi, f := range []fp.Format{fp.Double, fp.Single, fp.Half} {
-			_, res, err := fpgaBeam(cfg, name, f, name == "MNIST", uint64(fi))
-			if err != nil {
-				return nil, err
-			}
-			critical, tolerable := res.FITSDC, 0.0
-			share := 1.0
-			if name == "MNIST" {
-				golden := kernels.Decode(f, kernels.Golden(mnist, f))
-				crit := metrics.ClassifyMNIST(mnist, golden, res.Outputs)
-				share = crit.CriticalFraction()
-				critical = res.FITSDC * share
-				tolerable = res.FITSDC - critical
-			}
-			t.AddRow(name, f.String(), fmtAU(res.FITSDC), fmtAU(critical),
-				fmtAU(tolerable), fmtPct(share), fmtAU(res.FITDUE))
+	names := []string{"MxM", "MNIST"}
+	formats := []fp.Format{fp.Double, fp.Single, fp.Half}
+	return runGrid(cfg, t, len(names)*len(formats), func(i int) ([][]string, error) {
+		name, fi := names[i/len(formats)], i%len(formats)
+		f := formats[fi]
+		_, res, err := fpgaBeam(cfg, name, f, name == "MNIST", uint64(fi))
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		critical, tolerable := res.FITSDC, 0.0
+		share := 1.0
+		if name == "MNIST" {
+			golden := exec.Artifact(mnist, f, "", nil).Golden()
+			crit := metrics.ClassifyMNIST(mnist, golden, res.Outputs)
+			share = crit.CriticalFraction()
+			critical = res.FITSDC * share
+			tolerable = res.FITSDC - critical
+		}
+		return [][]string{{name, f.String(), fmtAU(res.FITSDC), fmtAU(critical),
+			fmtAU(tolerable), fmtPct(share), fmtAU(res.FITDUE)}}, nil
+	})
 }
 
 // Fig4 reproduces the FPGA TRE sweep for MxM.
@@ -138,16 +139,19 @@ func Fig4(cfg Config) (*report.Table, error) {
 			"half almost none — faults in lower precisions corrupt larger value shares",
 		},
 	}
-	for fi, f := range []fp.Format{fp.Double, fp.Single, fp.Half} {
+	formats := []fp.Format{fp.Double, fp.Single, fp.Half}
+	return runGrid(cfg, t, len(formats), func(fi int) ([][]string, error) {
+		f := formats[fi]
 		_, res, err := fpgaBeam(cfg, "MxM", f, false, uint64(100+fi))
 		if err != nil {
 			return nil, err
 		}
+		var rows [][]string
 		for _, p := range metrics.TRECurve(res.FITSDC, res.RelErrs, nil) {
-			t.AddRow(f.String(), fmtTRE(p.TRE), fmtAU(p.FIT), fmtPct(p.Reduction))
+			rows = append(rows, []string{f.String(), fmtTRE(p.TRE), fmtAU(p.FIT), fmtPct(p.Reduction)})
 		}
-	}
-	return t, nil
+		return rows, nil
+	})
 }
 
 // Fig5 reproduces the FPGA MEBF figure.
@@ -161,18 +165,26 @@ func Fig5(cfg Config) (*report.Table, error) {
 			"executions between errors than single, half MNIST ~26% more",
 		},
 	}
-	for _, name := range []string{"MxM", "MNIST"} {
-		mebfs := map[fp.Format]float64{}
-		for fi, f := range []fp.Format{fp.Double, fp.Single, fp.Half} {
-			m, res, err := fpgaBeam(cfg, name, f, false, uint64(200+fi))
-			if err != nil {
-				return nil, err
-			}
-			mebfs[f] = metrics.MEBF(res.FITSDC, m.Time)
+	names := []string{"MxM", "MNIST"}
+	formats := []fp.Format{fp.Double, fp.Single, fp.Half}
+	mebfs := make([]float64, len(names)*len(formats))
+	err := exec.ForEach(cfg.gridWorkers(), len(mebfs), func(i int) error {
+		name, fi := names[i/len(formats)], i%len(formats)
+		m, res, err := fpgaBeam(cfg, name, formats[fi], false, uint64(200+fi))
+		if err != nil {
+			return err
 		}
-		for _, f := range []fp.Format{fp.Double, fp.Single, fp.Half} {
-			t.AddRow(name, f.String(), fmt.Sprintf("%.3g", mebfs[f]),
-				metrics.Ratio(mebfs[f], mebfs[fp.Single]))
+		mebfs[i] = metrics.MEBF(res.FITSDC, m.Time)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		base := ni * len(formats)
+		for fi, f := range formats {
+			t.AddRow(name, f.String(), fmt.Sprintf("%.3g", mebfs[base+fi]),
+				metrics.Ratio(mebfs[base+fi], mebfs[base+1])) // vs single
 		}
 	}
 	return t, nil

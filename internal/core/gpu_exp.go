@@ -5,6 +5,7 @@ import (
 
 	"mixedrel/internal/arch"
 	"mixedrel/internal/beam"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/gpu"
 	"mixedrel/internal/inject"
@@ -72,7 +73,7 @@ func gpuBeam(cfg Config, name string, f fp.Format, keep bool, idx uint64) (*arch
 		Trials:      cfg.trials(),
 		Seed:        cfg.seedFor("gpu-"+name, idx),
 		KeepOutputs: keep,
-		Workers:     cfg.Workers,
+		Workers:     cfg.SampleWorkers,
 	}.Run()
 	return m, res, err
 }
@@ -85,16 +86,15 @@ func gpuFITTable(cfg Config, id, title string, names []string, notes []string, i
 		Columns: []string{"Benchmark", "Format", "FIT-SDC", "FIT-DUE"},
 		Notes:   notes,
 	}
-	for ni, name := range names {
-		for fi, f := range gpuFormats {
-			_, res, err := gpuBeam(cfg, name, f, false, idxBase+uint64(ni*10+fi))
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, f.String(), fmtAU(res.FITSDC), fmtAU(res.FITDUE))
+	return runGrid(cfg, t, len(names)*len(gpuFormats), func(i int) ([][]string, error) {
+		ni, fi := i/len(gpuFormats), i%len(gpuFormats)
+		name, f := names[ni], gpuFormats[fi]
+		_, res, err := gpuBeam(cfg, name, f, false, idxBase+uint64(ni*10+fi))
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		return [][]string{{name, f.String(), fmtAU(res.FITSDC), fmtAU(res.FITDUE)}}, nil
+	})
 }
 
 // Fig10a reproduces the GPU microbenchmark FIT figure.
@@ -133,18 +133,19 @@ func gpuTRETable(cfg Config, id, title string, names []string, notes []string, i
 		Columns: []string{"Benchmark", "Format", "TRE", "FIT (a.u.)", "reduction"},
 		Notes:   notes,
 	}
-	for ni, name := range names {
-		for fi, f := range gpuFormats {
-			_, res, err := gpuBeam(cfg, name, f, false, idxBase+uint64(ni*10+fi))
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range metrics.TRECurve(res.FITSDC, res.RelErrs, nil) {
-				t.AddRow(name, f.String(), fmtTRE(p.TRE), fmtAU(p.FIT), fmtPct(p.Reduction))
-			}
+	return runGrid(cfg, t, len(names)*len(gpuFormats), func(i int) ([][]string, error) {
+		ni, fi := i/len(gpuFormats), i%len(gpuFormats)
+		name, f := names[ni], gpuFormats[fi]
+		_, res, err := gpuBeam(cfg, name, f, false, idxBase+uint64(ni*10+fi))
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		var rows [][]string
+		for _, p := range metrics.TRECurve(res.FITSDC, res.RelErrs, nil) {
+			rows = append(rows, []string{name, f.String(), fmtTRE(p.TRE), fmtAU(p.FIT), fmtPct(p.Reduction)})
+		}
+		return rows, nil
+	})
 }
 
 // Fig11a reproduces the GPU microbenchmark TRE figure.
@@ -177,17 +178,17 @@ func Fig11c(cfg Config) (*report.Table, error) {
 		},
 	}
 	y := yoloKernel()
-	for fi, f := range gpuFormats {
+	return runGrid(cfg, t, len(gpuFormats), func(fi int) ([][]string, error) {
+		f := gpuFormats[fi]
 		_, res, err := gpuBeam(cfg, "YOLOv3", f, true, uint64(5000+fi))
 		if err != nil {
 			return nil, err
 		}
-		golden := kernels.Decode(f, kernels.Golden(y, f))
+		golden := exec.Artifact(y, f, "", nil).Golden()
 		crit := metrics.ClassifyYOLO(y, golden, res.Outputs)
 		tf, df, cf := crit.Fractions()
-		t.AddRow(f.String(), fmt.Sprintf("%d", crit.SDCs), fmtPct(tf), fmtPct(df), fmtPct(cf))
-	}
-	return t, nil
+		return [][]string{{f.String(), fmt.Sprintf("%d", crit.SDCs), fmtPct(tf), fmtPct(df), fmtPct(cf)}}, nil
+	})
 }
 
 // Fig12 reproduces the GPU AVF figure: single-bit flips on a randomly
@@ -204,31 +205,31 @@ func Fig12(cfg Config) (*report.Table, error) {
 		},
 	}
 	d := gpu.New()
-	for _, name := range gpuMicroOrder {
+	return runGrid(cfg, t, len(gpuMicroOrder)*len(gpuFormats), func(i int) ([][]string, error) {
+		name, fi := gpuMicroOrder[i/len(gpuFormats)], i%len(gpuFormats)
+		f := gpuFormats[fi]
 		w := gpuWorkloads()[name]
-		for fi, f := range gpuFormats {
-			m, err := mapOn(d, w, f)
-			if err != nil {
-				return nil, err
-			}
-			vuln := m.ExposureFor(arch.FunctionalUnit).Vuln()
-			c := inject.Campaign{
-				Kernel: w.Kernel,
-				Format: f,
-				Faults: cfg.faults(),
-				Seed:   cfg.seedFor("gpu-avf-"+name, uint64(fi)),
-				Sites:  []inject.Site{inject.SiteOperation},
-			}
-			res, err := c.Run()
-			if err != nil {
-				return nil, err
-			}
-			avf := vuln * res.PVF
-			t.AddRow(name, f.String(), fmt.Sprintf("%.2f", vuln),
-				fmt.Sprintf("%.3f", res.PVF), fmt.Sprintf("%.3f", avf))
+		m, err := mapOn(d, w, f)
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		vuln := m.ExposureFor(arch.FunctionalUnit).Vuln()
+		c := inject.Campaign{
+			Kernel:  w.Kernel,
+			Format:  f,
+			Faults:  cfg.faults(),
+			Seed:    cfg.seedFor("gpu-avf-"+name, uint64(fi)),
+			Sites:   []inject.Site{inject.SiteOperation},
+			Workers: cfg.SampleWorkers,
+		}
+		res, err := c.Run()
+		if err != nil {
+			return nil, err
+		}
+		avf := vuln * res.PVF
+		return [][]string{{name, f.String(), fmt.Sprintf("%.2f", vuln),
+			fmt.Sprintf("%.3f", res.PVF), fmt.Sprintf("%.3f", avf)}}, nil
+	})
 }
 
 // Fig13 reproduces the GPU MEBF figure.
@@ -242,18 +243,25 @@ func Fig13(cfg Config) (*report.Table, error) {
 			"combines with shorter execution times",
 		},
 	}
-	for ni, name := range []string{"Micro-MUL", "Micro-ADD", "Micro-FMA", "LavaMD", "MxM", "YOLOv3"} {
-		mebfs := map[fp.Format]float64{}
-		for fi, f := range gpuFormats {
-			m, res, err := gpuBeam(cfg, name, f, false, uint64(6000+ni*10+fi))
-			if err != nil {
-				return nil, err
-			}
-			mebfs[f] = metrics.MEBF(res.FITSDC, m.Time)
+	names := []string{"Micro-MUL", "Micro-ADD", "Micro-FMA", "LavaMD", "MxM", "YOLOv3"}
+	mebfs := make([]float64, len(names)*len(gpuFormats))
+	err := exec.ForEach(cfg.gridWorkers(), len(mebfs), func(i int) error {
+		ni, fi := i/len(gpuFormats), i%len(gpuFormats)
+		m, res, err := gpuBeam(cfg, names[ni], gpuFormats[fi], false, uint64(6000+ni*10+fi))
+		if err != nil {
+			return err
 		}
-		for _, f := range gpuFormats {
-			t.AddRow(name, f.String(), fmt.Sprintf("%.3g", mebfs[f]),
-				metrics.Ratio(mebfs[f], mebfs[fp.Double]))
+		mebfs[i] = metrics.MEBF(res.FITSDC, m.Time)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		base := ni * len(gpuFormats)
+		for fi, f := range gpuFormats {
+			t.AddRow(name, f.String(), fmt.Sprintf("%.3g", mebfs[base+fi]),
+				metrics.Ratio(mebfs[base+fi], mebfs[base])) // vs double
 		}
 	}
 	return t, nil

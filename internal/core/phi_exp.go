@@ -5,6 +5,7 @@ import (
 
 	"mixedrel/internal/arch"
 	"mixedrel/internal/beam"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/inject"
 	"mixedrel/internal/metrics"
@@ -64,7 +65,7 @@ func phiBeam(cfg Config, name string, f fp.Format, idx uint64) (*arch.Mapping, *
 		Mapping: m,
 		Trials:  cfg.trials(),
 		Seed:    cfg.seedFor("phi-"+name, idx),
-		Workers: cfg.Workers,
+		Workers: cfg.SampleWorkers,
 	}.Run()
 	return m, res, err
 }
@@ -81,16 +82,15 @@ func Fig6(cfg Config) (*report.Table, error) {
 			"(16 SP lanes carry twice the control bits of 8 DP lanes)",
 		},
 	}
-	for _, name := range phiOrder {
-		for fi, f := range phiFormats {
-			_, res, err := phiBeam(cfg, name, f, uint64(fi))
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, f.String(), fmtAU(res.FITSDC), fmtAU(res.FITDUE))
+	return runGrid(cfg, t, len(phiOrder)*len(phiFormats), func(i int) ([][]string, error) {
+		name, fi := phiOrder[i/len(phiFormats)], i%len(phiFormats)
+		f := phiFormats[fi]
+		_, res, err := phiBeam(cfg, name, f, uint64(fi))
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		return [][]string{{name, f.String(), fmtAU(res.FITSDC), fmtAU(res.FITDUE)}}, nil
+	})
 }
 
 // Fig7 reproduces the Xeon Phi PVF figure via CAROL-FI-style injection
@@ -106,31 +106,32 @@ func Fig7(cfg Config) (*report.Table, error) {
 			"the beam FIT difference comes from resource usage, not propagation",
 		},
 	}
-	for _, name := range phiOrder {
-		for fi, f := range phiFormats {
-			// Use the device mapping's environment (software exp and
-			// all) so the injector sees the same dataflow the beam does.
-			m, err := mapOn(xeonphi.New(), phiWorkloads()[name], f)
-			if err != nil {
-				return nil, err
-			}
-			c := inject.Campaign{
-				Kernel: m.Kernel,
-				Format: f,
-				Faults: cfg.faults(),
-				Seed:   cfg.seedFor("phi-pvf-"+name, uint64(fi)),
-				Sites:  []inject.Site{inject.SiteOperand, inject.SiteMemory},
-				Wrap:   m.Wrap,
-			}
-			res, err := c.Run()
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(name, f.String(), fmt.Sprintf("%d", res.Faults),
-				fmt.Sprintf("%d", res.SDCs), fmt.Sprintf("%.3f", res.PVF))
+	return runGrid(cfg, t, len(phiOrder)*len(phiFormats), func(i int) ([][]string, error) {
+		name, fi := phiOrder[i/len(phiFormats)], i%len(phiFormats)
+		f := phiFormats[fi]
+		// Use the device mapping's environment (software exp and
+		// all) so the injector sees the same dataflow the beam does.
+		m, err := mapOn(xeonphi.New(), phiWorkloads()[name], f)
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		c := inject.Campaign{
+			Kernel:  m.Kernel,
+			Format:  f,
+			Faults:  cfg.faults(),
+			Seed:    cfg.seedFor("phi-pvf-"+name, uint64(fi)),
+			Sites:   []inject.Site{inject.SiteOperand, inject.SiteMemory},
+			Wrap:    m.Wrap,
+			WrapKey: m.WrapKey,
+			Workers: cfg.SampleWorkers,
+		}
+		res, err := c.Run()
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{{name, f.String(), fmt.Sprintf("%d", res.Faults),
+			fmt.Sprintf("%d", res.SDCs), fmt.Sprintf("%.3f", res.PVF)}}, nil
+	})
 }
 
 // Fig8 reproduces the Xeon Phi TRE sweep.
@@ -145,18 +146,19 @@ func Fig8(cfg Config) (*report.Table, error) {
 			"steps, so faults strike mid-computation state with larger downstream effect",
 		},
 	}
-	for _, name := range phiOrder {
-		for fi, f := range phiFormats {
-			_, res, err := phiBeam(cfg, name, f, uint64(100+fi))
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range metrics.TRECurve(res.FITSDC, res.RelErrs, nil) {
-				t.AddRow(name, f.String(), fmtTRE(p.TRE), fmtAU(p.FIT), fmtPct(p.Reduction))
-			}
+	return runGrid(cfg, t, len(phiOrder)*len(phiFormats), func(i int) ([][]string, error) {
+		name, fi := phiOrder[i/len(phiFormats)], i%len(phiFormats)
+		f := phiFormats[fi]
+		_, res, err := phiBeam(cfg, name, f, uint64(100+fi))
+		if err != nil {
+			return nil, err
 		}
-	}
-	return t, nil
+		var rows [][]string
+		for _, p := range metrics.TRECurve(res.FITSDC, res.RelErrs, nil) {
+			rows = append(rows, []string{name, f.String(), fmtTRE(p.TRE), fmtAU(p.FIT), fmtPct(p.Reduction)})
+		}
+		return rows, nil
+	})
 }
 
 // Fig9 reproduces the Xeon Phi MEBF figure.
@@ -170,18 +172,24 @@ func Fig9(cfg Config) (*report.Table, error) {
 			"increase); double wins for MxM (single is slower AND more exposed)",
 		},
 	}
-	for _, name := range phiOrder {
-		mebfs := map[fp.Format]float64{}
-		for fi, f := range phiFormats {
-			m, res, err := phiBeam(cfg, name, f, uint64(200+fi))
-			if err != nil {
-				return nil, err
-			}
-			mebfs[f] = metrics.MEBF(res.FITSDC, m.Time)
+	mebfs := make([]float64, len(phiOrder)*len(phiFormats))
+	err := exec.ForEach(cfg.gridWorkers(), len(mebfs), func(i int) error {
+		name, fi := phiOrder[i/len(phiFormats)], i%len(phiFormats)
+		m, res, err := phiBeam(cfg, name, phiFormats[fi], uint64(200+fi))
+		if err != nil {
+			return err
 		}
-		for _, f := range phiFormats {
-			t.AddRow(name, f.String(), fmt.Sprintf("%.3g", mebfs[f]),
-				metrics.Ratio(mebfs[f], mebfs[fp.Double]))
+		mebfs[i] = metrics.MEBF(res.FITSDC, m.Time)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range phiOrder {
+		base := ni * len(phiFormats)
+		for fi, f := range phiFormats {
+			t.AddRow(name, f.String(), fmt.Sprintf("%.3g", mebfs[base+fi]),
+				metrics.Ratio(mebfs[base+fi], mebfs[base])) // vs double
 		}
 	}
 	return t, nil

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"sync"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// Artifacts bundles the memoized fault-free products of one
+// (kernel, format, wrap) configuration: the dynamic operation profile,
+// the golden output (raw and decoded), and the pristine encoded inputs.
+// All slices returned by accessors other than CopyInputs/NewInputs are
+// shared and must be treated as immutable.
+type Artifacts struct {
+	// Counts is the dynamic operation profile with the wrap applied,
+	// Loads/Stores included — exactly kernels.ProfileWith's result.
+	Counts fp.OpCounts
+
+	golden  []fp.Bits
+	decoded []float64
+	inputs  [][]fp.Bits
+	lens    []int
+	results []fp.Bits
+}
+
+// GoldenBits returns the fault-free output in the configuration's
+// format. Shared; do not mutate.
+func (a *Artifacts) GoldenBits() []fp.Bits { return a.golden }
+
+// Golden returns the decoded fault-free output. Shared; do not mutate.
+func (a *Artifacts) Golden() []float64 { return a.decoded }
+
+// ArrayLens returns the input array lengths (for memory-fault
+// sampling). Shared; do not mutate.
+func (a *Artifacts) ArrayLens() []int { return a.lens }
+
+// Results returns the per-operation result trace of the fault-free run:
+// element i is the bits produced by the i-th dynamic arithmetic
+// operation (post-wrap order). Until a fault is applied, a faulty run's
+// operations see bit-identical operands, so injectors replay this trace
+// instead of recomputing the pre-fault prefix. Nil when the kernel
+// exceeds the recording cap. Shared; do not mutate.
+func (a *Artifacts) Results() []fp.Bits { return a.results }
+
+// NewInputs returns a freshly allocated mutable copy of the kernel's
+// pristine encoded inputs.
+func (a *Artifacts) NewInputs() [][]fp.Bits { return a.CopyInputs(nil) }
+
+// CopyInputs fills dst with the kernel's pristine encoded inputs,
+// reusing dst's backing arrays where they fit, and returns it. This is
+// the scratch-buffer path of fault injection: campaigns hold one dst per
+// worker so repeated runs re-encode nothing and allocate nothing.
+func (a *Artifacts) CopyInputs(dst [][]fp.Bits) [][]fp.Bits {
+	if cap(dst) < len(a.inputs) {
+		dst = make([][]fp.Bits, len(a.inputs))
+	}
+	dst = dst[:len(a.inputs)]
+	for i, src := range a.inputs {
+		if cap(dst[i]) < len(src) {
+			dst[i] = make([]fp.Bits, len(src))
+		}
+		dst[i] = dst[i][:len(src)]
+		copy(dst[i], src)
+	}
+	return dst
+}
+
+// cacheKey identifies one cached configuration.
+type cacheKey struct {
+	kernel string
+	format fp.Format
+	wrap   string
+}
+
+// cacheSlot guarantees the artifacts of one key are computed exactly
+// once even under concurrent first access.
+type cacheSlot struct {
+	once sync.Once
+	art  *Artifacts
+}
+
+var cacheMap sync.Map // cacheKey -> *cacheSlot
+
+// Artifact returns the memoized fault-free artifacts for (k, f, wrap).
+// wrapKey must uniquely identify wrap's arithmetic behavior (empty for a
+// nil wrap); the cache key is (k.Key(), f, wrapKey). Configurations that
+// cannot be identified — k.Key() empty, or a non-nil wrap with an empty
+// wrapKey — are computed uncached, so correctness never depends on key
+// discipline. Safe for concurrent use; each configuration is executed at
+// most once per process.
+func Artifact(k kernels.Kernel, f fp.Format, wrapKey string, wrap func(fp.Env) fp.Env) *Artifacts {
+	kk := k.Key()
+	if kk == "" || (wrap != nil && wrapKey == "") {
+		return compute(k, f, wrap)
+	}
+	if wrap == nil {
+		wrapKey = ""
+	}
+	v, _ := cacheMap.LoadOrStore(cacheKey{kernel: kk, format: f, wrap: wrapKey}, &cacheSlot{})
+	slot := v.(*cacheSlot)
+	slot.once.Do(func() { slot.art = compute(k, f, wrap) })
+	return slot.art
+}
+
+// ResetCache drops every memoized artifact. Intended for tests that
+// measure cold-path behavior.
+func ResetCache() {
+	cacheMap.Range(func(key, _ any) bool {
+		cacheMap.Delete(key)
+		return true
+	})
+}
+
+// maxRecordedOps bounds the per-configuration result trace: beyond this
+// many dynamic operations (32 MiB of Bits) the trace is dropped and
+// injectors fall back to full recomputation.
+const maxRecordedOps = 1 << 22
+
+// recorder wraps the reference machine and appends every operation
+// result to a trace. It sits below fp.Counting — the same stream
+// position an injecting environment occupies in a faulty run — so trace
+// index i is exactly the i-th operation an injector observes.
+type recorder struct {
+	inner fp.Env
+	trace []fp.Bits
+}
+
+func (r *recorder) rec(b fp.Bits) fp.Bits {
+	if len(r.trace) < maxRecordedOps {
+		r.trace = append(r.trace, b)
+	}
+	return b
+}
+
+func (r *recorder) Format() fp.Format          { return r.inner.Format() }
+func (r *recorder) Add(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Add(a, b)) }
+func (r *recorder) Sub(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Sub(a, b)) }
+func (r *recorder) Mul(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Mul(a, b)) }
+func (r *recorder) Div(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Div(a, b)) }
+func (r *recorder) FMA(a, b, c fp.Bits) fp.Bits { return r.rec(r.inner.FMA(a, b, c)) }
+func (r *recorder) Sqrt(a fp.Bits) fp.Bits     { return r.rec(r.inner.Sqrt(a)) }
+func (r *recorder) Exp(a fp.Bits) fp.Bits      { return r.rec(r.inner.Exp(a)) }
+func (r *recorder) FromFloat64(v float64) fp.Bits { return r.inner.FromFloat64(v) }
+func (r *recorder) ToFloat64(b fp.Bits) float64   { return r.inner.ToFloat64(b) }
+
+// compute executes the kernel once through a counting environment,
+// yielding profile, golden output, and the per-operation result trace
+// from a single fault-free run (fp.Counting and the recorder delegate
+// arithmetic unchanged, so the counted run's output is bit-identical to
+// kernels.GoldenWith's).
+func compute(k kernels.Kernel, f fp.Format, wrap func(fp.Env) fp.Env) *Artifacts {
+	in := k.Inputs(f)
+	// Keep a pristine copy: the Kernel contract forbids Run from
+	// mutating in, but artifacts outlive the process-local call and a
+	// defensive copy is a one-time cost per configuration.
+	pristine := make([][]fp.Bits, len(in))
+	lens := make([]int, len(in))
+	for i, arr := range in {
+		pristine[i] = append([]fp.Bits(nil), arr...)
+		lens[i] = len(arr)
+	}
+
+	rec := &recorder{inner: fp.NewMachine(f)}
+	counting := fp.NewCounting(rec)
+	var env fp.Env = counting
+	if wrap != nil {
+		env = wrap(env)
+	}
+	out := k.Run(env, in)
+	counts := counting.Counts
+	for _, arr := range in {
+		counts.Loads += uint64(len(arr))
+	}
+	counts.Stores += uint64(len(out))
+
+	results := rec.trace
+	if counts.Total() > maxRecordedOps {
+		results = nil // truncated trace: unusable for replay
+	}
+
+	return &Artifacts{
+		Counts:  counts,
+		golden:  out,
+		decoded: kernels.Decode(f, out),
+		inputs:  pristine,
+		lens:    lens,
+		results: results,
+	}
+}

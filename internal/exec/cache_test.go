@@ -1,0 +1,86 @@
+package exec
+
+import (
+	"testing"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+func TestArtifactMatchesDirectComputation(t *testing.T) {
+	k := kernels.NewGEMM(8, 42)
+	for _, f := range []fp.Format{fp.Double, fp.Single, fp.Half} {
+		art := Artifact(k, f, "", nil)
+		want := kernels.Golden(k, f)
+		got := art.GoldenBits()
+		if len(got) != len(want) {
+			t.Fatalf("%v: golden length %d, want %d", f, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: golden[%d] = %#x, want %#x", f, i, got[i], want[i])
+			}
+		}
+		if art.Counts != kernels.Profile(k, f) {
+			t.Fatalf("%v: cached counts %+v differ from direct profile %+v",
+				f, art.Counts, kernels.Profile(k, f))
+		}
+	}
+}
+
+func TestArtifactMatchesDirectComputationWrapped(t *testing.T) {
+	shape := fp.ExpShape{Terms: 5, Squarings: 1, IntSites: 1}
+	k := kernels.NewLavaMD(1, 3, 7) // exercises exp
+	art := Artifact(k, fp.Single, shape.Key(), fp.WrapExp(shape))
+	want := kernels.GoldenWith(k, fp.Single, fp.WrapExp(shape))
+	got := art.GoldenBits()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wrapped golden[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	if wc := kernels.ProfileWith(k, fp.Single, fp.WrapExp(shape)); art.Counts != wc {
+		t.Fatalf("wrapped counts %+v differ from direct profile %+v", art.Counts, wc)
+	}
+}
+
+func TestArtifactSharedAcrossEqualKeys(t *testing.T) {
+	a := Artifact(kernels.NewGEMM(8, 42), fp.Double, "", nil)
+	b := Artifact(kernels.NewGEMM(8, 42), fp.Double, "", nil)
+	if a != b {
+		t.Fatal("two kernels with equal keys should share one cached artifact")
+	}
+}
+
+func TestCopyInputsLeavesCachePristine(t *testing.T) {
+	k := kernels.NewGEMM(8, 43)
+	art := Artifact(k, fp.Double, "", nil)
+	in := art.NewInputs()
+	for _, arr := range in {
+		for i := range arr {
+			arr[i] = ^arr[i]
+		}
+	}
+	fresh := art.NewInputs()
+	want := k.Inputs(fp.Double)
+	for ai := range want {
+		for i := range want[ai] {
+			if fresh[ai][i] != want[ai][i] {
+				t.Fatalf("cached inputs corrupted at [%d][%d]", ai, i)
+			}
+		}
+	}
+	// CopyInputs reuses the destination backing arrays and restores the
+	// pristine values.
+	restored := art.CopyInputs(in)
+	for ai := range want {
+		if &restored[ai][0] != &in[ai][0] {
+			t.Fatalf("CopyInputs reallocated array %d", ai)
+		}
+		for i := range want[ai] {
+			if restored[ai][i] != want[ai][i] {
+				t.Fatalf("CopyInputs did not restore [%d][%d]", ai, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package exec is the campaign execution engine: a shared bounded
+// scheduler for cross-configuration parallelism plus a process-wide memo
+// cache of fault-free campaign artifacts (golden outputs, operation
+// profiles, pristine encoded inputs).
+//
+// Determinism is the organizing constraint. Every parallel construct in
+// this package is designed so that results are bitwise-identical to the
+// sequential order of the same work:
+//
+//   - ForEach runs index-addressed jobs; callers store job i's result in
+//     slot i, so assembly order never depends on scheduling.
+//   - Sample derives the random stream for each item from the campaign
+//     seed alone (never from goroutine interleaving). Sequential mode
+//     (workers <= 1) threads one stream through all items — the seed
+//     repo's historical sampling — while parallel mode gives item i the
+//     stream seeded by the i-th draw of a master stream. Which mode runs
+//     is decided purely by the workers parameter, never by pool
+//     occupancy, so a given (workers, seed) pair always produces the
+//     same sample.
+//
+// The scheduler is a single process-wide token pool rather than
+// per-call-site worker counts, so nested fan-out (experiments over
+// configurations over trials) cannot multiply into unbounded goroutines:
+// a worker that cannot get a token simply runs jobs inline on its own
+// goroutine.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mixedrel/internal/rng"
+)
+
+var (
+	poolMu   sync.Mutex
+	poolSize = runtime.GOMAXPROCS(0)
+	// tokens gates helper goroutines across every concurrent ForEach in
+	// the process. Capacity is poolSize-1: the caller's goroutine always
+	// counts as one worker, so total parallelism stays <= poolSize.
+	tokens = make(chan struct{}, helperCap(runtime.GOMAXPROCS(0)))
+)
+
+func helperCap(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return n - 1
+}
+
+// MaxWorkers returns the process-wide parallelism bound.
+func MaxWorkers() int {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	return poolSize
+}
+
+// SetMaxWorkers bounds total parallelism across all concurrent ForEach
+// calls to n goroutines (minimum 1, i.e. fully sequential). It replaces
+// the token pool, so it should be called at startup or between runs, not
+// while work is in flight (in-flight helpers drain against the pool they
+// were acquired from).
+func SetMaxWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	poolSize = n
+	tokens = make(chan struct{}, helperCap(n))
+}
+
+// acquireToken claims one helper slot if any is free. It returns the
+// pool the token must be released to (the pool may be swapped by
+// SetMaxWorkers between acquire and release).
+func acquireToken() (chan struct{}, bool) {
+	poolMu.Lock()
+	t := tokens
+	poolMu.Unlock()
+	select {
+	case t <- struct{}{}:
+		return t, true
+	default:
+		return nil, false
+	}
+}
+
+// ForEach runs fn(0..n-1), using up to workers goroutines (the caller
+// plus up to workers-1 helpers, subject to the process-wide token pool).
+// workers <= 1 runs inline. On error, remaining unstarted jobs are
+// cancelled (in-flight jobs run to completion) and the lowest-indexed
+// error among jobs that ran is returned. fn must be safe for concurrent
+// invocation when workers > 1.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errMu    sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	next.Store(-1)
+	worker := func() {
+		for !stop.Load() {
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				errMu.Lock()
+				if i < errIdx {
+					errIdx, firstErr = i, err
+				}
+				errMu.Unlock()
+				stop.Store(true)
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for h := 0; h < workers-1; h++ {
+		pool, ok := acquireToken()
+		if !ok {
+			break // pool exhausted: the caller still runs everything
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-pool
+				wg.Done()
+			}()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	return firstErr
+}
+
+// Sample runs fn(0..n-1), handing each call a deterministic random
+// stream derived from seed. With workers <= 1 a single stream threads
+// through all items in order (the historical sequential sampling); with
+// workers > 1 item i gets its own stream seeded by the i-th draw of a
+// master stream — deterministic in seed and independent of scheduling,
+// but a different (equally valid) sample than sequential mode. The mode
+// depends only on workers, never on pool occupancy.
+func Sample(workers, n int, seed uint64, fn func(i int, r *rng.Rand) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		r := rng.New(seed)
+		for i := 0; i < n; i++ {
+			if err := fn(i, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	master := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	return ForEach(workers, n, func(i int) error {
+		return fn(i, rng.New(seeds[i]))
+	})
+}

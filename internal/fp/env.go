@@ -137,6 +137,18 @@ func (m *Machine) Div(a, b Bits) Bits {
 
 // FMA implements Env.
 func (m *Machine) FMA(a, b, c Bits) Bits {
+	switch m.f {
+	case Single:
+		return Bits(math.Float32bits(float32(math.FMA(
+			float64(math.Float32frombits(uint32(a))),
+			float64(math.Float32frombits(uint32(b))),
+			float64(math.Float32frombits(uint32(c)))))))
+	case Double:
+		return Bits(math.Float64bits(math.FMA(
+			math.Float64frombits(uint64(a)),
+			math.Float64frombits(uint64(b)),
+			math.Float64frombits(uint64(c)))))
+	}
 	return m.round(math.FMA(m.f.ToFloat64(a), m.f.ToFloat64(b), m.f.ToFloat64(c)))
 }
 

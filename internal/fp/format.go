@@ -186,9 +186,9 @@ func (f Format) FromFloat64(v float64) Bits {
 func (f Format) ToFloat64(b Bits) float64 {
 	switch f {
 	case Half:
-		return halfToFloat64(uint16(b))
+		return halfDecode[uint16(b)]
 	case BFloat16:
-		return bfloatToFloat64(uint16(b))
+		return bfloatDecode[uint16(b)]
 	case Single:
 		return float64(math.Float32frombits(uint32(b)))
 	case Double:

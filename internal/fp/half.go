@@ -97,13 +97,13 @@ func roundPack16(biasedExp uint16, sig uint64, shift uint) uint16 {
 	if shift >= 64 {
 		return 0
 	}
+	// Round-to-nearest-even on the discarded bits: increment when the
+	// remainder exceeds half an ulp, or equals it and the kept part is
+	// odd (equivalent to the round/sticky formulation, one mask cheaper).
 	kept := sig >> shift
-	round := sig >> (shift - 1) & 1
-	sticky := uint64(0)
-	if shift >= 2 && sig&(1<<(shift-1)-1) != 0 {
-		sticky = 1
-	}
-	if round == 1 && (sticky == 1 || kept&1 == 1) {
+	rem := sig & (1<<shift - 1)
+	half := uint64(1) << (shift - 1)
+	if rem > half || (rem == half && kept&1 == 1) {
 		kept++
 	}
 	// kept holds implicit bit + 10 significand bits for normals

@@ -1,6 +1,9 @@
 package fp
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // ExpDecomp wraps an Env and replaces the atomic Exp with a software
 // implementation — range reduction, a Horner polynomial, repeated
@@ -189,6 +192,13 @@ type ExpShape struct {
 	// IntSites is the number of integer sequencing decisions per call
 	// (see ExpDecomp.IntSites). Zero means 1.
 	IntSites int
+}
+
+// Key returns a string identifying the arithmetic behavior of the
+// wrap WrapExp(s) produces, for memoizing fault-free artifacts
+// (arch.Mapping.WrapKey).
+func (s ExpShape) Key() string {
+	return fmt.Sprintf("softexp/t%d/q%d/i%d", s.Terms, s.Squarings, s.IntSites)
 }
 
 // WrapExp returns an Env transform installing a software exp of the

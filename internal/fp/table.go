@@ -1,0 +1,21 @@
+package fp
+
+// Decoding a 16-bit operand is the hottest primitive of the injection
+// engine: every dynamic operation in the Half and BFloat16 formats
+// decodes up to three operands before computing in binary64. The
+// encodings are only 16 bits wide, so the branchy bit manipulation of
+// halfToFloat64/bfloatToFloat64 is replaced on the hot path by one load
+// from an exhaustive table (512 KiB per format), filled at init from
+// those same functions — the table is exact by construction, and the
+// scalar functions remain the reference the tests exercise.
+var (
+	halfDecode   [1 << 16]float64
+	bfloatDecode [1 << 16]float64
+)
+
+func init() {
+	for i := range halfDecode {
+		halfDecode[i] = halfToFloat64(uint16(i))
+		bfloatDecode[i] = bfloatToFloat64(uint16(i))
+	}
+}

@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"mixedrel/internal/arch"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
-	"mixedrel/internal/kernels"
 )
 
 // opCost is the synthesis cost of one pipelined operator instance.
@@ -161,7 +161,8 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 	if dataScale <= 0 {
 		dataScale = 1
 	}
-	counts := kernels.Profile(w.Kernel, f)
+	art := exec.Artifact(w.Kernel, f, "", nil)
+	counts := art.Counts
 	total := counts.Total()
 	if total == 0 {
 		return nil, fmt.Errorf("fpga: kernel %s executes no operations", w.Kernel.Name())
@@ -198,10 +199,10 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 
 	// BRAM holds inputs and outputs at paper scale.
 	var elems float64
-	for _, a := range w.Kernel.Inputs(f) {
-		elems += float64(len(a))
+	for _, n := range art.ArrayLens() {
+		elems += float64(n)
 	}
-	elems += float64(len(kernels.Golden(w.Kernel, f)))
+	elems += float64(len(art.GoldenBits()))
 	bramBits := elems * dataScale * float64(f.Width())
 
 	configBits := luts*configBitsPerLUT + dsps*configBitsPerDSP

@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"mixedrel/internal/arch"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
-	"mixedrel/internal/kernels"
 )
 
 // Machine constants for the Titan V model.
@@ -222,7 +222,7 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 	if dataScale <= 0 {
 		dataScale = 1
 	}
-	baseCounts := kernels.Profile(w.Kernel, f)
+	baseCounts := exec.Artifact(w.Kernel, f, "", nil).Counts
 	if baseCounts.Total() == 0 {
 		return nil, fmt.Errorf("gpu: kernel %s executes no operations", w.Kernel.Name())
 	}
@@ -231,10 +231,13 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 	// (undcomposed) counts — data volume does not grow with the
 	// transcendental's instruction count.
 	var wrap func(fp.Env) fp.Env
+	var wrapKey string
 	counts := baseCounts
 	if baseCounts.ByOp[fp.OpExp] > 0 {
-		wrap = fp.WrapExp(expShapes[f])
-		counts = kernels.ProfileWith(w.Kernel, f, wrap)
+		shape := expShapes[f]
+		wrap = fp.WrapExp(shape)
+		wrapKey = shape.Key()
+		counts = exec.Artifact(w.Kernel, f, wrapKey, wrap).Counts
 	}
 	total := counts.Total()
 	prof, ok := profiles[w.Kernel.Name()]
@@ -301,6 +304,7 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 		Format:     f,
 		Counts:     counts,
 		Wrap:       wrap,
+		WrapKey:    wrapKey,
 		Time:       time.Duration(execSeconds * float64(time.Second)),
 		Exposures: []arch.Exposure{
 			{

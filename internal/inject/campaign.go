@@ -3,9 +3,8 @@ package inject
 import (
 	"encoding/json"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/kernels"
 	"mixedrel/internal/rng"
@@ -101,6 +100,11 @@ type Campaign struct {
 	// (e.g. a software exp) between the kernel and the injector, for
 	// both the golden and the faulty runs.
 	Wrap func(fp.Env) fp.Env
+	// WrapKey identifies Wrap's arithmetic behavior (e.g.
+	// fp.ExpShape.Key) so the campaign's fault-free artifacts can be
+	// memoized across campaigns. Leave empty for a nil Wrap; a non-nil
+	// Wrap with an empty WrapKey is simply not cached.
+	WrapKey string
 	// Workers, when above 1, runs injections on that many goroutines
 	// with per-fault random streams: deterministic in Seed and
 	// independent of scheduling, but a different (equally valid) sample
@@ -134,27 +138,24 @@ func (c Campaign) Run() (*Result, error) {
 		sites = []Site{SiteOperand, SiteMemory}
 	}
 
-	counts := kernels.ProfileWith(c.Kernel, c.Format, c.Wrap)
+	runner := NewRunner(c.Kernel, c.Format, c.WrapKey, c.Wrap)
+	counts := runner.Counts()
 	if counts.Total() == 0 {
 		return nil, fmt.Errorf("inject: kernel %s executes no operations", c.Kernel.Name())
 	}
-	var arrayLens []int
-	for _, arr := range c.Kernel.Inputs(c.Format) {
-		arrayLens = append(arrayLens, len(arr))
-	}
-	golden := kernels.Decode(c.Format, kernels.GoldenWith(c.Kernel, c.Format, c.Wrap))
+	arrayLens := runner.ArrayLens()
 
 	runOne := func(r *rng.Rand) (RunResult, error) {
 		switch site := sites[r.Intn(len(sites))]; site {
 		case SiteOperation:
 			f := SampleOpFault(r, counts, c.Format, 0, true, TargetResult)
-			return RunWrapped(c.Kernel, c.Format, golden, &f, nil, c.KeepOutputs, c.Wrap), nil
+			return runner.Run(&f, nil, c.KeepOutputs), nil
 		case SiteOperand:
 			f := SampleOpFault(r, counts, c.Format, 0, true, TargetOperand)
-			return RunWrapped(c.Kernel, c.Format, golden, &f, nil, c.KeepOutputs, c.Wrap), nil
+			return runner.Run(&f, nil, c.KeepOutputs), nil
 		case SiteMemory:
 			mf := SampleMemFault(r, arrayLens, c.Format)
-			return RunWrapped(c.Kernel, c.Format, golden, nil, []MemFault{mf}, c.KeepOutputs, c.Wrap), nil
+			return runner.Run(nil, []MemFault{mf}, c.KeepOutputs), nil
 		default:
 			return RunResult{}, fmt.Errorf("inject: unknown site %v", site)
 		}
@@ -162,48 +163,16 @@ func (c Campaign) Run() (*Result, error) {
 
 	res := &Result{Faults: c.Faults}
 	outcomes := make([]RunResult, c.Faults)
-	if c.Workers > 1 {
-		// Parallel mode: per-fault random streams keep the campaign
-		// deterministic in Seed regardless of scheduling.
-		master := rng.New(c.Seed)
-		seeds := make([]uint64, c.Faults)
-		for i := range seeds {
-			seeds[i] = master.Uint64()
+	err := exec.Sample(c.Workers, c.Faults, c.Seed, func(i int, r *rng.Rand) error {
+		rr, err := runOne(r)
+		if err != nil {
+			return err
 		}
-		var wg sync.WaitGroup
-		var firstErr atomic.Value
-		next := int64(-1)
-		for w := 0; w < c.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= c.Faults {
-						return
-					}
-					rr, err := runOne(rng.New(seeds[i]))
-					if err != nil {
-						firstErr.Store(err)
-						return
-					}
-					outcomes[i] = rr
-				}
-			}()
-		}
-		wg.Wait()
-		if err, ok := firstErr.Load().(error); ok {
-			return nil, err
-		}
-	} else {
-		r := rng.New(c.Seed)
-		for i := 0; i < c.Faults; i++ {
-			rr, err := runOne(r)
-			if err != nil {
-				return nil, err
-			}
-			outcomes[i] = rr
-		}
+		outcomes[i] = rr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	for _, rr := range outcomes {

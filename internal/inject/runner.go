@@ -1,0 +1,143 @@
+package inject
+
+import (
+	"fmt"
+	"sync"
+
+	"mixedrel/internal/exec"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// Runner executes faulty runs of one (kernel, format, wrap)
+// configuration against memoized fault-free artifacts. Campaign-style
+// callers get three things over the one-shot Run/RunWrapped helpers:
+//
+//   - the golden output and operation profile come from the process
+//     cache (exec.Artifact), so fault-free kernel executions happen once
+//     per configuration instead of twice per campaign;
+//   - inputs are copied from the cached pristine encoding instead of
+//     re-encoded from float64 on every run;
+//   - the injecting environment chain, input buffers, and the decode
+//     buffer live in a per-worker scratch pool, so steady-state runs
+//     allocate almost nothing.
+//
+// A Runner is safe for concurrent use.
+type Runner struct {
+	kernel  kernels.Kernel
+	format  fp.Format
+	wrap    func(fp.Env) fp.Env
+	art     *exec.Artifacts
+	scratch sync.Pool // *scratch
+}
+
+// scratch is one worker's reusable run state.
+type scratch struct {
+	in    [][]fp.Bits
+	dirty bool // in was corrupted by memory faults and needs restoring
+	out   []float64
+	ienv  *Env
+	env   fp.Env // wrap(ienv), built once (wraps are stateless across runs)
+}
+
+// NewRunner builds a runner for the configuration, computing (or
+// fetching from the process cache, when wrapKey identifies wrap) its
+// fault-free artifacts.
+func NewRunner(k kernels.Kernel, f fp.Format, wrapKey string, wrap func(fp.Env) fp.Env) *Runner {
+	return &Runner{kernel: k, format: f, wrap: wrap, art: exec.Artifact(k, f, wrapKey, wrap)}
+}
+
+// Counts returns the configuration's dynamic operation profile.
+func (r *Runner) Counts() fp.OpCounts { return r.art.Counts }
+
+// Golden returns the decoded fault-free output. Shared; do not mutate.
+func (r *Runner) Golden() []float64 { return r.art.Golden() }
+
+// GoldenBits returns the raw fault-free output. Shared; do not mutate.
+func (r *Runner) GoldenBits() []fp.Bits { return r.art.GoldenBits() }
+
+// ArrayLens returns the input array lengths for memory-fault sampling.
+// Shared; do not mutate.
+func (r *Runner) ArrayLens() []int { return r.art.ArrayLens() }
+
+func (r *Runner) get() *scratch {
+	if sc, ok := r.scratch.Get().(*scratch); ok {
+		return sc
+	}
+	sc := &scratch{ienv: NewEnv(fp.NewMachine(r.format), neverFault)}
+	sc.env = fp.Env(sc.ienv)
+	if r.wrap != nil {
+		sc.env = r.wrap(sc.env)
+	}
+	return sc
+}
+
+// Run executes one faulty run with an optional operation fault plus any
+// number of memory faults and classifies the outcome against the golden
+// output, exactly like RunWrapped on the same configuration.
+func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) RunResult {
+	sc := r.get()
+	defer r.scratch.Put(sc)
+
+	f := r.format
+	// The Kernel contract forbids Run from mutating its inputs, so the
+	// scratch encoding only needs restoring after a memory-fault run.
+	if sc.in == nil || sc.dirty {
+		sc.in = r.art.CopyInputs(sc.in)
+	}
+	sc.dirty = len(memFaults) > 0
+	for _, mf := range memFaults {
+		if len(sc.in) == 0 {
+			break
+		}
+		arr := sc.in[mf.Array%len(sc.in)]
+		if len(arr) == 0 {
+			continue
+		}
+		i := mf.Elem % len(arr)
+		arr[i] = FlipBits(f, arr[i], mf.Bit, mf.Width)
+	}
+
+	sc.ienv.reset(opFault)
+	if len(memFaults) == 0 {
+		// Inputs are pristine, so the fault-free result trace is valid
+		// until the operation fault strikes.
+		sc.ienv.replay = r.art.Results()
+	} else {
+		sc.ienv.replay = nil
+	}
+	outBits := r.kernel.Run(sc.env, sc.in)
+	golden := r.art.Golden()
+	if len(outBits) != len(golden) {
+		panic(fmt.Sprintf("inject: output length %d vs golden %d", len(outBits), len(golden)))
+	}
+	if cap(sc.out) < len(outBits) {
+		sc.out = make([]float64, len(outBits))
+	}
+	out := sc.out[:len(outBits)]
+	for i, b := range outBits {
+		out[i] = f.ToFloat64(b)
+	}
+
+	res := RunResult{FaultApplied: len(memFaults) > 0 || sc.ienv.Applied() > 0}
+	var worst float64
+	same := true
+	for i := range out {
+		if out[i] != golden[i] {
+			same = false
+			if e := fp.RelErr(golden[i], out[i]); e > worst {
+				worst = e
+			}
+		}
+	}
+	if same {
+		res.Outcome = Masked
+	} else {
+		res.Outcome = SDC
+		res.MaxRelErr = worst
+	}
+	if keepOutput {
+		res.Output = append([]float64(nil), out...)
+	}
+	return res
+}

@@ -26,6 +26,7 @@ type CG struct {
 	iters int
 	a     []float64
 	b     []float64
+	key   string
 }
 
 // NewCG creates an n x n SPD system solved with iters CG steps.
@@ -51,11 +52,15 @@ func NewCG(n, iters int, seed uint64) *CG {
 			a[j*n+i] = s
 		}
 	}
-	return &CG{n: n, iters: iters, a: a, b: uniform(r, n, 0.5, 1)}
+	return &CG{n: n, iters: iters, a: a, b: uniform(r, n, 0.5, 1),
+		key: fmt.Sprintf("cg/n%d/i%d/s%d", n, iters, seed)}
 }
 
 // Name implements Kernel.
 func (c *CG) Name() string { return "CG" }
+
+// Key implements Kernel.
+func (c *CG) Key() string { return c.key }
 
 // N returns the system dimension.
 func (c *CG) N() int { return c.n }

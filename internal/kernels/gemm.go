@@ -20,6 +20,7 @@ import (
 type GEMM struct {
 	n    int
 	a, b []float64
+	key  string
 }
 
 // NewGEMM creates an n x n matrix multiplication with deterministic
@@ -30,14 +31,18 @@ func NewGEMM(n int, seed uint64) *GEMM {
 	}
 	r := rng.New(seed)
 	return &GEMM{
-		n: n,
-		a: uniform(r, n*n, 0.5, 1),
-		b: uniform(r, n*n, 0.5, 1),
+		n:   n,
+		a:   uniform(r, n*n, 0.5, 1),
+		b:   uniform(r, n*n, 0.5, 1),
+		key: fmt.Sprintf("gemm/n%d/s%d", n, seed),
 	}
 }
 
 // Name implements Kernel.
 func (g *GEMM) Name() string { return "MxM" }
+
+// Key implements Kernel.
+func (g *GEMM) Key() string { return g.key }
 
 // N returns the matrix dimension.
 func (g *GEMM) N() int { return g.n }

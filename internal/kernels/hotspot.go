@@ -28,6 +28,7 @@ type Hotspot struct {
 	steps int
 	temp  []float64
 	power []float64
+	key   string
 }
 
 // Stencil coefficients (Rodinia's defaults, scaled to keep half-range).
@@ -52,12 +53,16 @@ func NewHotspot(n, steps int, seed uint64) *Hotspot {
 		steps: steps,
 		temp:  uniform(r, n*n, 70, 90),
 		power: uniform(r, n*n, 0, 2),
+		key:   fmt.Sprintf("hotspot/n%d/t%d/s%d", n, steps, seed),
 	}
 	return h
 }
 
 // Name implements Kernel.
 func (h *Hotspot) Name() string { return "Hotspot" }
+
+// Key implements Kernel.
+func (h *Hotspot) Key() string { return h.key }
 
 // N returns the grid edge length.
 func (h *Hotspot) N() int { return h.n }

@@ -26,6 +26,14 @@ type Kernel interface {
 	// Name returns the workload's short name as used in the paper
 	// (e.g. "MxM", "LavaMD").
 	Name() string
+	// Key returns a string that uniquely identifies this kernel
+	// instance's computation — name, shape parameters, and input seed —
+	// so fault-free artifacts (goldens, profiles) can be memoized per
+	// process. Two kernels with equal keys must produce identical
+	// Inputs and Run behavior. An empty key opts the instance out of
+	// caching (constructed-by-literal instances without a key are
+	// simply recomputed every time).
+	Key() string
 	// Inputs returns a fresh, caller-owned copy of the kernel's input
 	// arrays encoded in format f. Fault injectors may mutate the copy
 	// before passing it to Run.

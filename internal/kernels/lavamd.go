@@ -29,6 +29,7 @@ type LavaMD struct {
 	alpha float64
 	rv    []float64 // 4 values per particle: v, x, y, z
 	qv    []float64 // 1 charge per particle
+	key   string
 }
 
 // NewLavaMD creates a dim^3-box grid with perBox particles per box and
@@ -45,11 +46,15 @@ func NewLavaMD(dim, perBox int, seed uint64) *LavaMD {
 		alpha: 0.5,
 		rv:    uniform(r, 4*n, 0.1, 1.0),
 		qv:    uniform(r, n, 0.1, 1.0),
+		key:   fmt.Sprintf("lavamd/d%d/p%d/s%d", dim, perBox, seed),
 	}
 }
 
 // Name implements Kernel.
 func (l *LavaMD) Name() string { return "LavaMD" }
+
+// Key implements Kernel.
+func (l *LavaMD) Key() string { return l.key }
 
 // Particles returns the total particle count.
 func (l *LavaMD) Particles() int { return l.dim * l.dim * l.dim * l.perBx }

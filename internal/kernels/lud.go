@@ -16,8 +16,9 @@ import (
 // The output is the packed in-place factorization (L below the diagonal,
 // U on and above it), which is what the paper's golden check compares.
 type LUD struct {
-	n int
-	a []float64
+	n   int
+	a   []float64
+	key string
 }
 
 // NewLUD creates an n x n decomposition with a deterministic, strictly
@@ -42,11 +43,14 @@ func NewLUD(n int, seed uint64) *LUD {
 		}
 		a[i*n+i] = rowSum + 1
 	}
-	return &LUD{n: n, a: a}
+	return &LUD{n: n, a: a, key: fmt.Sprintf("lud/n%d/s%d", n, seed)}
 }
 
 // Name implements Kernel.
 func (l *LUD) Name() string { return "LUD" }
+
+// Key implements Kernel.
+func (l *LUD) Key() string { return l.key }
 
 // N returns the matrix dimension.
 func (l *LUD) N() int { return l.n }

@@ -49,6 +49,7 @@ type Micro struct {
 	Threads      int
 	OpsPerThread int
 	seeds        []float64
+	key          string
 }
 
 // NewMicro creates a microbenchmark with the given operation, thread
@@ -65,11 +66,15 @@ func NewMicro(op MicroOp, threads, opsPerThread int, seed uint64) *Micro {
 		// Small integers: exactly representable in binary16.
 		seeds[i] = float64(1 + r.Intn(32))
 	}
-	return &Micro{Op: op, Threads: threads, OpsPerThread: (opsPerThread + 1) &^ 1, seeds: seeds}
+	return &Micro{Op: op, Threads: threads, OpsPerThread: (opsPerThread + 1) &^ 1, seeds: seeds,
+		key: fmt.Sprintf("micro/%s/t%d/o%d/s%d", op, threads, opsPerThread, seed)}
 }
 
 // Name implements Kernel.
 func (m *Micro) Name() string { return m.Op.String() }
+
+// Key implements Kernel.
+func (m *Micro) Key() string { return m.key }
 
 // Inputs implements Kernel: one seed value per thread.
 func (m *Micro) Inputs(f fp.Format) [][]fp.Bits {

@@ -37,6 +37,7 @@ type MNIST struct {
 	test   *DigitSet
 	labels []int
 	acc    float64
+	key    string
 }
 
 // NewMNIST builds and trains the classifier and prepares a deterministic
@@ -64,11 +65,15 @@ func NewMNIST(batch int, seed uint64) *MNIST {
 	m.test = NewDigitSet((batch+9)/10, r.Uint64())
 	m.test.Images = m.test.Images[:batch]
 	m.labels = m.test.Labels[:batch]
+	m.key = fmt.Sprintf("mnist/b%d/s%d", batch, seed)
 	return m
 }
 
 // Name implements Kernel.
 func (m *MNIST) Name() string { return "MNIST" }
+
+// Key implements Kernel.
+func (m *MNIST) Key() string { return m.key }
 
 // CleanAccuracy returns the fault-free float64 accuracy on a held-out
 // render set.

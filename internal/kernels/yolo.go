@@ -32,6 +32,7 @@ type YOLO struct {
 	image               []float64
 	threshold           float64
 	numClasses          int
+	key                 string
 }
 
 // YOLOGrid is the detection-head edge length (grid is YOLOGrid^2 cells).
@@ -66,8 +67,12 @@ func NewYOLO(seed uint64) *YOLO {
 	// and 5th scores so that clean-run rounding differences between
 	// precisions cannot flip a borderline detection.
 	y.threshold = (scores[len(scores)-5] + scores[len(scores)-4]) / 2
+	y.key = fmt.Sprintf("yolo/s%d", seed)
 	return y
 }
+
+// Key implements Kernel.
+func (y *YOLO) Key() string { return y.key }
 
 // renderScene draws up to three geometric objects on a 32x32 canvas.
 func renderScene(r *rng.Rand) []float64 {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/inject"
 	"mixedrel/internal/kernels"
@@ -44,6 +45,15 @@ func NewTMR(inner kernels.Kernel) *TMR { return &TMR{Inner: inner} }
 
 // Name implements Kernel.
 func (t *TMR) Name() string { return t.Inner.Name() + "+TMR" }
+
+// Key implements Kernel: derived from the inner kernel's key, so an
+// unkeyed inner kernel opts the TMR wrapper out of caching too.
+func (t *TMR) Key() string {
+	if k := t.Inner.Key(); k != "" {
+		return "tmr(" + k + ")"
+	}
+	return ""
+}
 
 // Inputs implements Kernel: the replicas share one input image, exactly
 // like a TMR'd kernel sharing device memory.
@@ -93,6 +103,15 @@ func NewABFTGEMM(g *kernels.GEMM) *ABFTGEMM { return &ABFTGEMM{G: g} }
 
 // Name implements Kernel.
 func (a *ABFTGEMM) Name() string { return a.G.Name() + "+ABFT" }
+
+// Key implements Kernel: the tolerance changes Run's output (the status
+// word), so it is part of the identity.
+func (a *ABFTGEMM) Key() string {
+	if k := a.G.Key(); k != "" {
+		return fmt.Sprintf("abft(%s)/tol%g", k, a.TolUlps)
+	}
+	return ""
+}
 
 // Inputs implements Kernel.
 func (a *ABFTGEMM) Inputs(f fp.Format) [][]fp.Bits { return a.G.Inputs(f) }
@@ -256,19 +275,17 @@ func Evaluate(mitigated, baseline kernels.Kernel, f fp.Format, faults int, seed 
 	if faults <= 0 {
 		return nil, fmt.Errorf("mitigate: %d faults", faults)
 	}
-	goldenBase := kernels.Decode(f, kernels.Golden(baseline, f))
-	goldenMit := kernels.Decode(f, kernels.Golden(mitigated, f))
+	runner := inject.NewRunner(mitigated, f, "", nil)
+	goldenBase := exec.Artifact(baseline, f, "", nil).Golden()
+	goldenMit := runner.Golden()
 	if len(goldenMit) < len(goldenBase) {
 		return nil, fmt.Errorf("mitigate: mitigated output shorter than baseline")
 	}
 	abft, isABFT := mitigated.(*ABFTGEMM)
 
-	counts := kernels.Profile(mitigated, f)
-	baseCounts := kernels.Profile(baseline, f)
-	var arrayLens []int
-	for _, arr := range mitigated.Inputs(f) {
-		arrayLens = append(arrayLens, len(arr))
-	}
+	counts := runner.Counts()
+	baseCounts := exec.Artifact(baseline, f, "", nil).Counts
+	arrayLens := runner.ArrayLens()
 
 	r := rng.New(seed)
 	rep := &Report{
@@ -280,13 +297,13 @@ func Evaluate(mitigated, baseline kernels.Kernel, f fp.Format, faults int, seed 
 		switch r.Intn(3) {
 		case 0:
 			fl := inject.SampleOpFault(r, counts, f, 0, true, inject.TargetResult)
-			rr = inject.Run(mitigated, f, goldenMit, &fl, nil, true)
+			rr = runner.Run(&fl, nil, true)
 		case 1:
 			fl := inject.SampleOpFault(r, counts, f, 0, true, inject.TargetOperand)
-			rr = inject.Run(mitigated, f, goldenMit, &fl, nil, true)
+			rr = runner.Run(&fl, nil, true)
 		default:
 			mf := inject.SampleMemFault(r, arrayLens, f)
-			rr = inject.Run(mitigated, f, goldenMit, nil, []inject.MemFault{mf}, true)
+			rr = runner.Run(nil, []inject.MemFault{mf}, true)
 		}
 
 		// Correctness is judged on the data region only (memory faults

@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"mixedrel/internal/arch"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
-	"mixedrel/internal/kernels"
 )
 
 // Machine constants for the 3120A.
@@ -134,17 +134,20 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 	if opScale <= 0 {
 		opScale = 1
 	}
-	baseCounts := kernels.Profile(w.Kernel, f)
+	baseCounts := exec.Artifact(w.Kernel, f, "", nil).Counts
 	if baseCounts.Total() == 0 {
 		return nil, fmt.Errorf("xeonphi: kernel %s executes no operations", w.Kernel.Name())
 	}
 	// Kernels that call exp run it through the KNC transcendental
 	// sequence; its steps become individually exposed operations.
 	var wrap func(fp.Env) fp.Env
+	var wrapKey string
 	counts := baseCounts
 	if baseCounts.ByOp[fp.OpExp] > 0 {
-		wrap = fp.WrapExp(expShapes[f])
-		counts = kernels.ProfileWith(w.Kernel, f, wrap)
+		shape := expShapes[f]
+		wrap = fp.WrapExp(shape)
+		wrapKey = shape.Key()
+		counts = exec.Artifact(w.Kernel, f, wrapKey, wrap).Counts
 	}
 	total := counts.Total()
 	prof, ok := profiles[w.Kernel.Name()]
@@ -199,6 +202,7 @@ func (d *Device) Map(w arch.Workload, f fp.Format) (*arch.Mapping, error) {
 		Format:     f,
 		Counts:     counts,
 		Wrap:       wrap,
+		WrapKey:    wrapKey,
 		Time:       time.Duration(execSeconds * float64(time.Second)),
 		Exposures: []arch.Exposure{
 			{

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the benchmark suite and records the results as BENCH_<date>.json
+# in the repo root, so performance changes can be compared run-to-run
+# (see the benchmark table in EXPERIMENTS.md).
+#
+# Usage:
+#   scripts/bench.sh                 # experiment + campaign benchmarks
+#   BENCH_RE=Fig3 scripts/bench.sh   # restrict to matching benchmarks
+#   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_RE:-.}"
+benchtime="${BENCHTIME:-1x}"
+out_file="BENCH_$(date +%Y%m%d).json"
+
+raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .)
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = 0; bop = 0; aop = 0
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i - 1)
+        if ($i == "B/op")      bop = $(i - 1)
+        if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, $2, ns, bop, aop
+}
+END { print "\n]" }' > "$out_file"
+
+echo
+echo "wrote $out_file"
