@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet lint race verify bench
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The parallel execution engine and the packages that drive it get an
-# additional race-detector pass.
-race:
-	$(GO) test -race ./internal/exec/... ./internal/inject/... ./internal/beam/...
+# lint is the static-analysis gate: go vet plus mixedrelvet, the repo's
+# own invariant checker (softfloat, bitsops, determinism, boundedgo —
+# see DESIGN.md "Static invariants").
+lint:
+	scripts/lint.sh
 
-# verify is the tier-1 gate: build, vet, full tests, race pass.
-verify: build vet test race
+# The deterministic scheduler means any package may run concurrently, so
+# the race-detector pass covers the whole tree.
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: build, static analysis, full tests, race
+# pass.
+verify: build lint test race
 
 # bench records the benchmark suite as BENCH_<date>.json (see
 # scripts/bench.sh for knobs).

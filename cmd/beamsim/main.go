@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"mixedrel"
+	"mixedrel/internal/arch"
 	"mixedrel/internal/exec"
 )
 
@@ -85,7 +87,13 @@ func main() {
 	fmt.Printf("FIT-DUE   %.4g\n", res.FITDUE)
 	fmt.Printf("MEBF      %.4g\n", mixedrel.MEBF(res.FITSDC, m.Time))
 	fmt.Println("\nper resource class:")
-	for class, cc := range res.ByClass {
+	classes := make([]arch.ResourceClass, 0, len(res.ByClass))
+	for class := range res.ByClass {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		cc := res.ByClass[class]
 		fmt.Printf("  %-16v strikes %5d  SDC %5d  DUE %4d  masked %5d\n",
 			class, cc.Strikes, cc.SDC, cc.DUE, cc.Masked)
 	}

@@ -1,0 +1,155 @@
+// Command mixedrelvet is the repository's invariant checker: a
+// multichecker driving the analyzers under internal/analysis over the
+// module, built entirely on the standard library so it runs in offline
+// build environments.
+//
+// The suite mechanically enforces what the simulator's correctness
+// argument assumes: kernel arithmetic goes through fp.Env (softfloat),
+// raw encodings are never treated as numbers (bitsops), results are a
+// function of the seed alone and render in deterministic order
+// (determinism), and all concurrency stays under the bounded scheduler
+// (boundedgo).
+//
+// Usage:
+//
+//	mixedrelvet [-only name,name] [-list] [packages...]
+//
+// Packages default to ./... resolved against the enclosing module. The
+// exit status is 1 if any diagnostic was reported, 2 on load/driver
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/bitsops"
+	"mixedrel/internal/analysis/boundedgo"
+	"mixedrel/internal/analysis/determinism"
+	"mixedrel/internal/analysis/softfloat"
+)
+
+// suite lists every registered analyzer. Adding a new invariant checker
+// means appending it here and documenting it in DESIGN.md §Static
+// invariants.
+var suite = []*analysis.Analyzer{
+	bitsops.Analyzer,
+	boundedgo.Analyzer,
+	determinism.Analyzer,
+	softfloat.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, module, err := findModule()
+	if err != nil {
+		fatal(err)
+	}
+	loader := &analysis.Loader{Dir: root, Module: module}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(relativize(f))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func findModule() (dir, module string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// relativize shortens a finding's path relative to the working directory
+// when possible.
+func relativize(f analysis.Finding) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return f.String()
+	}
+	rel, err := filepath.Rel(wd, f.Pos.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return f.String()
+	}
+	f.Pos.Filename = rel
+	return f.String()
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mixedrelvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,212 @@
+// Package analysis is a self-contained static-analysis framework for the
+// repo-specific invariant checkers under internal/analysis/... and the
+// cmd/mixedrelvet multichecker.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic, Reportf) so the analyzers could be ported to the real
+// framework by changing imports, but the driver is built entirely on the
+// standard library (go/parser + go/types + the "source" importer): the
+// build environment has no module proxy access, and the invariants these
+// analyzers enforce are too important to leave contingent on a network
+// fetch.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only selections.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant. The
+	// first line is used as a summary.
+	Doc string
+	// Run applies the analyzer to one type-checked package, reporting
+	// violations through pass.Report. The returned value is unused by the
+	// driver (kept for go/analysis signature compatibility).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path as resolved by the loader
+	// ("mixedrel/internal/fp", or a testdata-relative path under
+	// analysistest).
+	Path string
+	Fset *token.FileSet
+	// Files holds the package's parsed files, including in-package
+	// _test.go files when the loader was asked for them.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Every analyzer
+// in the suite restricts itself to non-test code: tests legitimately use
+// native floats, wall clocks, goroutines and raw bit patterns to check
+// the deterministic core from outside.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// allowDirective is the comment escape hatch: a declaration or statement
+// preceded by
+//
+//	//mixedrelvet:allow <analyzer-name> [reason]
+//
+// is exempt from that analyzer. The reason is free text; requiring the
+// analyzer name keeps one exemption from silencing the whole suite.
+const allowDirective = "//mixedrelvet:allow"
+
+// Allowed reports whether node (or a comment group attached to it via
+// file comment maps built lazily per pass) carries an allow directive for
+// this pass's analyzer. Directives are matched against the comment group
+// immediately preceding the node's line.
+func (p *Pass) Allowed(file *ast.File, node ast.Node) bool {
+	if node == nil {
+		return false
+	}
+	nodeLine := p.Fset.Position(node.Pos()).Line
+	for _, cg := range file.Comments {
+		endLine := p.Fset.Position(cg.End()).Line
+		if endLine != nodeLine-1 && endLine != nodeLine {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+			if name, _, _ := strings.Cut(rest, " "); name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// collected diagnostics sorted by position. Analyzer run errors are
+// returned after all packages have been attempted.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	var errs []string
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Path:      pkg.Path,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Package:  pkg.Path,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, pkg.Path, err))
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if len(errs) > 0 {
+		return findings, fmt.Errorf("analyzer errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return findings, nil
+}
+
+// Finding is a resolved diagnostic ready for printing or comparison.
+type Finding struct {
+	Analyzer string
+	Package  string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Named unwraps t to a *types.Named, looking through pointers but not
+// through other composites. Returns nil if t is not (a pointer to) a
+// named type.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsPkgType reports whether t is (a pointer to) a named type called
+// typeName declared in a package whose *name* is pkgName. Matching by
+// package name rather than full import path keeps the analyzers testable
+// under analysistest, where stand-in packages live at short fake import
+// paths; no two packages in this repository share a name.
+func IsPkgType(t types.Type, pkgName, typeName string) bool {
+	n := Named(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// CalleeFunc resolves the called function or method of call, or nil for
+// indirect calls through non-constant function values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over GOPATH-style testdata
+// package trees and checks its diagnostics against // want annotations,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata tree lives at <testdata>/src/<pkg>/..., where import paths
+// are directories relative to src (so a stand-in "fp" package lives at
+// testdata/src/fp and is imported as "fp"). An expectation
+//
+//	x := a + b // want `operator "\+" on fp\.Bits`
+//
+// is a regular expression that must match a diagnostic reported on the
+// same line; several quoted expectations may follow one want. Every
+// diagnostic must be matched by an expectation and vice versa — so
+// clean negative cases (allowlisted helpers, _test.go files, exempt
+// packages) are asserted simply by carrying no annotations.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mixedrel/internal/analysis"
+)
+
+// TestData returns the test's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run loads the patterns from dir/src, applies the analyzer, and reports
+// any mismatch between diagnostics and // want annotations as test
+// errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	loader := &analysis.Loader{Dir: filepath.Join(dir, "src"), IncludeTests: true}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading %v from %s: %v", patterns, dir, err)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					exps, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], exps...)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the quoted regular expressions from a // want
+// comment, returning nil for comments without the marker.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(strings.TrimSpace(text), "//")
+	if !ok {
+		return nil, nil // /* */ comments carry no expectations
+	}
+	body, ok = strings.CutPrefix(strings.TrimSpace(body), "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		lit, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want expectation %q: expected a quoted regexp", rest)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want expectation %q: %v", lit, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", unq, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(lit):])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment carries no expectations")
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package analysistest
+
+import "testing"
+
+func TestParseWant(t *testing.T) {
+	cases := []struct {
+		text    string
+		matches []string // a probe string each parsed regexp must match
+		wantErr bool
+	}{
+		{text: "// ordinary comment", matches: nil},
+		{text: "// wanting is not the marker", matches: nil},
+		{text: "// want `a \\+ b`", matches: []string{"a + b"}},
+		{text: "// want \"first\" `second`", matches: []string{"the first one", "a second one"}},
+		{text: "/* block comments carry no expectations */", matches: nil},
+		{text: "// want unquoted", wantErr: true},
+		{text: "// want `broken(`", wantErr: true},
+	}
+	for _, tc := range cases {
+		res, err := parseWant(tc.text)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseWant(%q): expected error, got %v", tc.text, res)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWant(%q): %v", tc.text, err)
+			continue
+		}
+		if len(res) != len(tc.matches) {
+			t.Errorf("parseWant(%q) = %d expectations, want %d", tc.text, len(res), len(tc.matches))
+			continue
+		}
+		for i, probe := range tc.matches {
+			if !res[i].MatchString(probe) {
+				t.Errorf("parseWant(%q)[%d] = %v does not match %q", tc.text, i, res[i], probe)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package bitsops_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/bitsops"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), bitsops.Analyzer, "fp", "use")
+}

@@ -1,0 +1,38 @@
+// Package use applies operators to fp.Bits outside the defining package;
+// everything but == and != is bit-pattern arithmetic and gets flagged.
+package use
+
+import "fp"
+
+// mask is a typed constant: constant-folded expressions are compile-time
+// encodings (masks, sentinels), not dynamic arithmetic, and stay legal.
+const mask = fp.Bits(1)<<15 - 1
+
+func bad(a, b fp.Bits) {
+	_ = a + b  // want `operator "\+" on fp\.Bits`
+	_ = a - b  // want `operator "-" on fp\.Bits`
+	_ = a * b  // want `operator "\*" on fp\.Bits`
+	_ = a / b  // want `operator "/" on fp\.Bits`
+	_ = a < b  // want `operator "<" on fp\.Bits`
+	_ = a >= b // want `operator ">=" on fp\.Bits`
+	_ = a << 2 // want `operator "<<" on fp\.Bits`
+	_ = a & b  // want `operator "&" on fp\.Bits`
+	_ = a | b  // want `operator "\|" on fp\.Bits`
+	_ = a ^ b  // want `operator "\^" on fp\.Bits`
+	_ = ^a     // want `operator "\^" on fp\.Bits`
+	a += b     // want `operator "\+" on fp\.Bits`
+	a >>= 1    // want `operator ">>" on fp\.Bits`
+	a++        // want `operator "\+\+" on fp\.Bits`
+	_ = a
+}
+
+func good(a, b fp.Bits, f fp.Format) {
+	_ = a == b          // bit equality is exactly what golden comparison means
+	_ = a != b
+	_ = uint64(a) ^ 1   // explicit conversion opts out: the programmer now holds an integer
+	_ = f.FlipBit(a, 3) // the sanctioned mutation primitive
+	_ = mask
+
+	//mixedrelvet:allow bitsops cache key packing, not numeric
+	_ = a<<32 | b
+}

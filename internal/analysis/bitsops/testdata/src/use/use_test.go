@@ -1,0 +1,12 @@
+package use
+
+import "fp"
+
+// Tests probe encodings directly (bit flips, adjacency scans); operator
+// use on fp.Bits in _test.go files is exempt.
+func flipAll(b fp.Bits) fp.Bits {
+	for i := 0; i < 16; i++ {
+		b = b ^ (1 << uint(i))
+	}
+	return b + 1
+}

@@ -1,0 +1,12 @@
+package boundedgo_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/boundedgo"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), boundedgo.Analyzer, "b", "internal/exec")
+}

@@ -1,0 +1,16 @@
+package b
+
+// Tests race goroutines against the deterministic core from outside;
+// _test.go files are exempt.
+func hammer(f func(), n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			f()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,19 @@
+// Package exec stands in for the real scheduler package at the exempt
+// import path: the one place goroutines may be launched.
+package exec
+
+func forEach(n int, job func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			job(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// ForEach is the exported entry point of the stand-in.
+func ForEach(n int, job func(int)) { forEach(n, job) }

@@ -1,0 +1,163 @@
+// Package determinism forbids the three nondeterminism vectors that the
+// campaign engine's bit-exactness guarantee cannot survive:
+//
+//  1. math/rand (v1 or v2): every stochastic draw must come from a
+//     splittable rng.Rand stream derived from the campaign seed, so a
+//     campaign re-run with the same seed replays bit-identically and
+//     parallel shards get decorrelated streams by construction;
+//  2. wall-clock reads (time.Now, time.Since, time.Until): clock-derived
+//     seeds or timings leak host state into results;
+//  3. map iteration feeding rendered output: Go randomizes map iteration
+//     order, so a `for k := range m` that prints, writes a builder, or
+//     appends report.Table rows produces differently-ordered artifacts
+//     run to run — exactly what the byte-identical-tables contract of
+//     the execution engine forbids. Iterate a sorted key slice instead.
+//
+// Test files are exempt (benchmarks time things; tests may exercise
+// disorder deliberately), as is any statement carrying
+// //mixedrelvet:allow determinism <reason>.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"mixedrel/internal/analysis"
+)
+
+// Analyzer is the determinism invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand, wall-clock reads, and map-ordered rendered output in the deterministic simulator",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		checkImports(pass, file)
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if fn := analysis.CalleeFunc(pass.TypesInfo, e); fn != nil && wallClock(fn) {
+					if !allowedOnStack(pass, file, stack) {
+						pass.Reportf(e.Pos(), "wall-clock read time.%s in deterministic code; results must be a function of the seed alone", fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[e.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink := findSink(pass, e.Body); sink != "" && !allowedOnStack(pass, file, stack) {
+					pass.Reportf(e.For, "map iteration order is nondeterministic but this loop feeds rendered output (%s); iterate sorted keys", sink)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkImports(pass *analysis.Pass, file *ast.File) {
+	for _, spec := range file.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			if !pass.Allowed(file, spec) {
+				pass.Reportf(spec.Pos(), "import of %s in deterministic code; draw from a seeded, splittable rng.Rand stream instead", path)
+			}
+		}
+	}
+}
+
+func wallClock(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}
+
+// findSink reports the first output-rendering operation in the loop
+// body: a fmt print, a write into a strings.Builder or bytes.Buffer, or
+// any use of the report package (method call or field assignment). These
+// are the operations whose effect preserves iteration order.
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, e)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				sink = "fmt." + fn.Name()
+				return false
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv := sig.Recv().Type()
+				if recvPkgName(recv) == "report" {
+					sink = "report method " + fn.Name()
+					return false
+				}
+				if analysis.IsPkgType(recv, "strings", "Builder") || analysis.IsPkgType(recv, "bytes", "Buffer") {
+					named := analysis.Named(recv)
+					sink = "write into " + named.Obj().Pkg().Name() + "." + named.Obj().Name()
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if tv, ok := pass.TypesInfo.Types[sel.X]; ok && recvPkgName(tv.Type) == "report" {
+						sink = "assignment to report field " + sel.Sel.Name
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+func recvPkgName(t types.Type) string {
+	n := analysis.Named(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Name()
+}
+
+func allowedOnStack(pass *analysis.Pass, file *ast.File, stack []ast.Node) bool {
+	for _, n := range stack {
+		if pass.Allowed(file, n) {
+			return true
+		}
+	}
+	return false
+}

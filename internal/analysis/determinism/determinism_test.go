@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/determinism"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "d", "report")
+}

@@ -1,0 +1,72 @@
+// Package d exercises the three nondeterminism vectors.
+package d
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand in deterministic code`
+	"sort"
+	"strings"
+	"time"
+
+	"report"
+)
+
+func seeds() (int64, time.Duration, time.Time) {
+	t0 := time.Now()            // want `wall-clock read time\.Now in deterministic code`
+	d := time.Since(t0)         // want `wall-clock read time\.Since in deterministic code`
+	return rand.Int63(), d, t0
+}
+
+func renderMap(m map[string]float64) {
+	for k, v := range m { // want `map iteration order is nondeterministic but this loop feeds rendered output \(fmt\.Printf\)`
+		fmt.Printf("%s %g\n", k, v)
+	}
+}
+
+func tableFromMap(m map[string]float64, t *report.Table) {
+	for k, v := range m { // want `map iteration order is nondeterministic but this loop feeds rendered output \(report method AddRow\)`
+		t.AddRow(k, fmt.Sprint(v))
+	}
+}
+
+func rowsFromMap(m map[string]string, t *report.Table) {
+	for k, v := range m { // want `map iteration order is nondeterministic but this loop feeds rendered output \(assignment to report field Rows\)`
+		t.Rows = append(t.Rows, []string{k, v})
+	}
+}
+
+func buildFromMap(m map[string]string) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order is nondeterministic but this loop feeds rendered output \(write into strings\.Builder\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// renderSorted is the sanctioned shape: collect, sort, then render.
+func renderSorted(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m { // accumulating keys is order-insensitive
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // a slice range is deterministic
+		fmt.Printf("%s %g\n", k, m[k])
+	}
+}
+
+// total folds a map commutatively: no rendering sink, no diagnostic.
+func total(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func debugDump(m map[string]float64) {
+	//mixedrelvet:allow determinism debug helper, output is not a campaign artifact
+	for k, v := range m {
+		fmt.Printf("%s %g\n", k, v)
+	}
+}

@@ -1,0 +1,16 @@
+package d
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Tests and benchmarks legitimately read clocks, use math/rand, and dump
+// maps unordered; _test.go files are exempt.
+func testOnlyHelpers(m map[string]int) {
+	start := time.Now()
+	for k, v := range m {
+		fmt.Println(k, v, rand.Int(), time.Since(start))
+	}
+}

@@ -1,0 +1,12 @@
+// Package report is a stand-in for mixedrel/internal/report: the
+// determinism analyzer recognizes rendering sinks by this package name.
+package report
+
+type Table struct {
+	Columns []string
+	Rows    [][]string
+}
+
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes file contents under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoaderGopathStyle(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"a/a.go": `package a
+
+import (
+	"fmt"
+
+	"b"
+)
+
+func Greet() string { return fmt.Sprint("hi ", b.Name) }
+`,
+		"a/a_test.go": `package a
+
+func testOnly() string { return Greet() }
+`,
+		"a/ext_test.go": `package a_test
+`,
+		"b/b.go": `package b
+
+const Name = "b"
+`,
+	})
+
+	loader := &Loader{Dir: dir, IncludeTests: true}
+	pkgs, err := loader.Load("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "a" {
+		t.Fatalf("Load(a) = %v packages, want exactly package a", len(pkgs))
+	}
+	var names []string
+	for _, f := range pkgs[0].Files {
+		names = append(names, filepath.Base(loader.Fset().File(f.Pos()).Name()))
+	}
+	got := strings.Join(names, " ")
+	if got != "a.go a_test.go" {
+		t.Errorf("package a files = %q, want in-package test included and external test excluded", got)
+	}
+	if pkgs[0].Types.Name() != "a" {
+		t.Errorf("type-checked package name = %q", pkgs[0].Types.Name())
+	}
+}
+
+func TestLoaderRecursivePattern(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"x/x.go":               "package x\n",
+		"x/sub/sub.go":         "package sub\n",
+		"x/testdata/ignore.go": "package ignore\n",
+		"x/_skip/skip.go":      "package skip\n",
+	})
+	loader := &Loader{Dir: dir}
+	pkgs, err := loader.Load("x/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if got := strings.Join(paths, " "); got != "x x/sub" {
+		t.Errorf("Load(x/...) = %q, want testdata and _-prefixed directories skipped", got)
+	}
+}
+
+func TestLoaderImportCycle(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"c1/c1.go": "package c1\n\nimport \"c2\"\n\nconst N = c2.N\n",
+		"c2/c2.go": "package c2\n\nimport \"c1\"\n\nconst N = c1.N\n",
+	})
+	loader := &Loader{Dir: dir}
+	if _, err := loader.Load("c1"); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Load of cyclic packages: err = %v, want import cycle", err)
+	}
+}
+
+func TestLoaderTypeErrorsSurface(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"bad/bad.go": "package bad\n\nvar X int = \"not an int\"\n",
+	})
+	loader := &Loader{Dir: dir}
+	if _, err := loader.Load("bad"); err == nil || !strings.Contains(err.Error(), "type errors") {
+		t.Fatalf("Load of ill-typed package: err = %v, want type errors", err)
+	}
+}
+
+// TestLoaderModuleLayout loads a real package of the enclosing module to
+// cover module-path import resolution and the std source importer.
+func TestLoaderModuleLayout(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &Loader{Dir: root, Module: "mixedrel"}
+	pkgs, err := loader.Load("./internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "mixedrel/internal/rng" {
+		t.Fatalf("Load(./internal/rng) = %+v, want mixedrel/internal/rng", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("Rand") == nil {
+		t.Error("loaded rng package does not declare Rand")
+	}
+}

@@ -1,0 +1,203 @@
+// Package softfloat flags native float32/float64 arithmetic on the
+// injected compute path of the kernels package.
+//
+// The paper's FIT model is only valid if every dynamic arithmetic
+// operation of a workload flows through fp.Env: that is where operations
+// are counted (sizing the campaign), where faults are injected, and where
+// reduced-precision formats are emulated bit-exactly. A stray native
+// `a*b` inside Kernel.Run — or in any helper Run reaches — computes in
+// the host's binary64, escapes both the op counter and the injector, and
+// silently skews sensitive-bit counts and vulnerability factors.
+//
+// The analyzer builds the intra-package call graph rooted at every
+// method named Run and reports non-constant float arithmetic (binary
+// + - * /, the compound assignment forms, and unary minus) in any
+// reachable function. Input-generation helpers (uniform) are allowlisted:
+// they run at construction time against the seed, before the injected
+// computation starts, and deliberately produce float64 values that are
+// then encoded. Native reference implementations (forward64, relu64, ...)
+// are untouched as long as nothing on the Run path calls them.
+package softfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"mixedrel/internal/analysis"
+)
+
+// Analyzer is the softfloat invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "softfloat",
+	Doc:  "flag native float arithmetic reachable from Kernel.Run; the injected compute path must go through fp.Env",
+	Run:  run,
+}
+
+// constructionHelpers are input-generation functions that legitimately
+// use native float64: they execute at kernel construction, not on the
+// injected path, even if a Run method shares code with them.
+var constructionHelpers = map[string]bool{
+	"uniform": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The invariant is specific to the workload package: everything else
+	// either is the soft-float implementation itself or works on decoded
+	// outputs where native arithmetic is the point.
+	if pass.Pkg.Name() != "kernels" {
+		return nil, nil
+	}
+
+	type declInfo struct {
+		decl *ast.FuncDecl
+		file *ast.File
+	}
+	decls := make(map[*types.Func]declInfo)
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = declInfo{fd, file}
+			}
+		}
+	}
+
+	// Intra-package call graph over declared functions. Indirect calls
+	// through function values are invisible here; the kernels package
+	// calls its helpers directly.
+	callees := make(map[*types.Func][]*types.Func)
+	for fn, di := range decls {
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+				callees[fn] = append(callees[fn], callee)
+			}
+			return true
+		})
+	}
+
+	// Roots: every method named Run, in source order for deterministic
+	// attribution when helpers are shared between kernels.
+	var roots []*types.Func
+	for fn, di := range decls {
+		if fn.Name() == "Run" && di.decl.Recv != nil {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return decls[roots[i]].decl.Pos() < decls[roots[j]].decl.Pos()
+	})
+
+	reachedFrom := make(map[*types.Func]*types.Func)
+	for _, root := range roots {
+		stack := []*types.Func{root}
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if _, seen := reachedFrom[fn]; seen {
+				continue
+			}
+			di, declared := decls[fn]
+			if !declared || constructionHelpers[fn.Name()] || pass.Allowed(di.file, di.decl) {
+				continue
+			}
+			reachedFrom[fn] = root
+			stack = append(stack, callees[fn]...)
+		}
+	}
+
+	for fn, root := range reachedFrom {
+		di := decls[fn]
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				// Literals inherit the enclosing function's reachability.
+				return true
+			case *ast.BinaryExpr:
+				if !arithOp(e.Op) || isConst(pass, e) {
+					return true
+				}
+				if isFloat(pass.TypesInfo.Types[e.X].Type) || isFloat(pass.TypesInfo.Types[e.Y].Type) {
+					report(pass, e.OpPos, e.Op, fn, root)
+				}
+			case *ast.UnaryExpr:
+				if e.Op == token.SUB && !isConst(pass, e) && isFloat(pass.TypesInfo.Types[e.X].Type) {
+					report(pass, e.OpPos, e.Op, fn, root)
+				}
+			case *ast.AssignStmt:
+				if op, ok := arithAssign(e.Tok); ok && len(e.Lhs) == 1 && isFloat(pass.TypesInfo.Types[e.Lhs[0]].Type) {
+					report(pass, e.TokPos, op, fn, root)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, op token.Token, fn, root *types.Func) {
+	if fn == root {
+		pass.Reportf(pos, "native float arithmetic %q in %s; the injected compute path must go through fp.Env",
+			op.String(), shortName(root))
+		return
+	}
+	pass.Reportf(pos, "native float arithmetic %q in %s, reachable from %s; the injected compute path must go through fp.Env",
+		op.String(), shortName(fn), shortName(root))
+}
+
+// shortName renders a function as Name or (Recv).Name without package
+// qualification.
+func shortName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		q := func(*types.Package) string { return "" }
+		return "(" + types.TypeString(sig.Recv().Type(), q) + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+func arithAssign(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	}
+	return 0, false
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

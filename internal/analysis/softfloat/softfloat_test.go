@@ -1,0 +1,12 @@
+package softfloat_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/softfloat"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), softfloat.Analyzer, "kernels", "other")
+}

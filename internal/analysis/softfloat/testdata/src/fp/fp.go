@@ -1,0 +1,20 @@
+// Package fp is a stand-in for mixedrel/internal/fp: the analyzers match
+// the protected vocabulary by package name, so this minimal shape is all
+// the testdata packages need.
+package fp
+
+type Bits uint64
+
+type Format int
+
+func (f Format) FromFloat64(v float64) Bits { return Bits(v) }
+func (f Format) ToFloat64(b Bits) float64   { return float64(b) }
+
+type Env interface {
+	Format() Format
+	FromFloat64(v float64) Bits
+	ToFloat64(b Bits) float64
+	Add(a, b Bits) Bits
+	Mul(a, b Bits) Bits
+	FMA(a, b, c Bits) Bits
+}

@@ -1,0 +1,78 @@
+package kernels
+
+import "fp"
+
+type K struct {
+	n    int
+	bias float64
+}
+
+func (k *K) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	a := in[0]
+	out := make([]fp.Bits, len(a))
+	scale := 2 * 3.5 // constant-folded: no dynamic arithmetic happens
+	x := env.ToFloat64(a[0])
+	y := x * scale // want `native float arithmetic "\*" in \(\*K\)\.Run`
+	y += k.bias    // want `native float arithmetic "\+" in \(\*K\)\.Run`
+	z := -y        // want `native float arithmetic "-" in \(\*K\)\.Run`
+	_ = z
+	_ = k.runTolerance(env, a[0], a[0])
+	acc := env.FromFloat64(0)
+	for i := range a {
+		acc = env.FMA(a[i], a[i], acc) // the sanctioned path
+		out[i] = acc
+	}
+	helper(env, out)
+	return out
+}
+
+// helper is reachable from Run, so its native arithmetic is on the
+// injected path too.
+func helper(env fp.Env, out []fp.Bits) {
+	v := env.ToFloat64(out[0])
+	v = v / 3 // want `native float arithmetic "/" in helper, reachable from \(\*K\)\.Run`
+	out[0] = env.FromFloat64(v)
+}
+
+// uniform is the allowlisted input-generation helper: construction-time
+// float64 is legitimate even when Run shares code with it.
+func uniform(n int, lo, hi float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*0.5
+	}
+	return xs
+}
+
+// NewK builds inputs natively at construction time; it is not reachable
+// from Run, so nothing here is flagged.
+func NewK(n int) *K {
+	xs := uniform(n, 0.5, 1)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return &K{n: n, bias: sum / float64(n)}
+}
+
+// forward64 is a native reference implementation used only by tests and
+// post-processing; unreachable from Run, so untouched.
+func forward64(xs []float64) float64 {
+	acc := 0.0
+	for _, x := range xs {
+		acc += x * x
+	}
+	return acc
+}
+
+//mixedrelvet:allow softfloat decode-side tolerance check, measured not injected
+func tolerance(env fp.Env, a, b fp.Bits) float64 {
+	return env.ToFloat64(a) - env.ToFloat64(b)
+}
+
+// runTolerance sits between Run and the allowlisted tolerance helper; it
+// performs no arithmetic itself, so only the directive keeps the suite
+// quiet here.
+func (k *K) runTolerance(env fp.Env, a, b fp.Bits) float64 {
+	return tolerance(env, a, b)
+}

@@ -1,0 +1,14 @@
+package kernels
+
+import "fp"
+
+// testKernel lives in a _test.go file: its Run method and native float
+// arithmetic are outside the analyzer's scope even though the package
+// matches.
+type testKernel struct{}
+
+func (testKernel) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	x := env.ToFloat64(in[0][0])
+	x = x*2 + 1
+	return []fp.Bits{env.FromFloat64(x)}
+}

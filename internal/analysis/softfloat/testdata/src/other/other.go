@@ -1,0 +1,14 @@
+// Package other does native float arithmetic in a Run method, but is not
+// the kernels package, so the softfloat analyzer leaves it alone (decoded
+// outputs, metrics, and architecture models compute natively on purpose).
+package other
+
+type M struct{}
+
+func (M) Run(xs []float64) float64 {
+	acc := 0.0
+	for _, x := range xs {
+		acc += x * x
+	}
+	return acc
+}

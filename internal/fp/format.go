@@ -163,6 +163,15 @@ func (f Format) FlipBit(b Bits, i int) Bits {
 	return b ^ (1 << uint(i))
 }
 
+// Majority returns the bitwise majority vote of three encodings: each
+// output bit is set iff it is set in at least two of a, b, c. This is
+// the TMR voter primitive; like FlipBit it deliberately works on the raw
+// bit pattern, which is why it lives here rather than with the numeric
+// Env operations.
+func Majority(a, b, c Bits) Bits {
+	return a&b | a&c | b&c
+}
+
 // FromFloat64 rounds v to format f (round-to-nearest-even) and returns
 // its encoding. Overflow produces the correctly signed infinity; NaN maps
 // to the format's canonical quiet NaN.

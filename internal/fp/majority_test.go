@@ -1,0 +1,49 @@
+package fp
+
+import "testing"
+
+func TestMajority(t *testing.T) {
+	cases := []struct {
+		a, b, c, want Bits
+	}{
+		{0, 0, 0, 0},
+		{0xffff, 0xffff, 0xffff, 0xffff},
+		// One corrupted replica is outvoted regardless of position.
+		{0xffff, 0xffff, 0x0000, 0xffff},
+		{0xffff, 0x0000, 0xffff, 0xffff},
+		{0x0000, 0xffff, 0xffff, 0xffff},
+		// Per-bit: 0b110, 0b101, 0b011 -> every bit has exactly two
+		// votes set.
+		{0b110, 0b101, 0b011, 0b111},
+		// Disjoint single-replica bits all lose the vote.
+		{0b100, 0b010, 0b001, 0b000},
+	}
+	for _, tc := range cases {
+		if got := Majority(tc.a, tc.b, tc.c); got != tc.want {
+			t.Errorf("Majority(%#x, %#x, %#x) = %#x, want %#x", tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestMajorityMatchesPerBitVote(t *testing.T) {
+	r := uint64(0x9e3779b97f4a7c15)
+	next := func() Bits {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		return Bits(r)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := next(), next(), next()
+		var want Bits
+		for i := 0; i < 64; i++ {
+			votes := a>>uint(i)&1 + b>>uint(i)&1 + c>>uint(i)&1
+			if votes >= 2 {
+				want |= 1 << uint(i)
+			}
+		}
+		if got := Majority(a, b, c); got != want {
+			t.Fatalf("Majority(%#x, %#x, %#x) = %#x, want %#x", a, b, c, got, want)
+		}
+	}
+}

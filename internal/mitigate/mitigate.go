@@ -66,9 +66,7 @@ func (t *TMR) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 	c := t.Inner.Run(env, in)
 	out := make([]fp.Bits, len(a))
 	for i := range out {
-		// Bitwise majority: a bit is set iff set in at least two
-		// replicas.
-		out[i] = a[i]&b[i] | a[i]&c[i] | b[i]&c[i]
+		out[i] = fp.Majority(a[i], b[i], c[i])
 	}
 	return out
 }

@@ -54,6 +54,45 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestSplitStreamsAreIndependent guards the splittable-stream contract
+// the determinism analyzer assumes: after Split, parent and child are
+// fully decoupled, so the order in which the two streams are consumed —
+// which under the parallel scheduler depends on worker count, not on
+// interleaving — can never change either stream's outputs.
+func TestSplitStreamsAreIndependent(t *testing.T) {
+	const n = 512
+	p1 := New(0xfeedface)
+	c1 := p1.Split()
+	p2 := New(0xfeedface)
+	c2 := p2.Split()
+
+	// Pair 1: drain the child in one burst, then the parent.
+	cOut1 := make([]uint64, n)
+	for i := range cOut1 {
+		cOut1[i] = c1.Uint64()
+	}
+	pOut1 := make([]uint64, n)
+	for i := range pOut1 {
+		pOut1[i] = p1.Uint64()
+	}
+	// Pair 2: alternate parent and child draws.
+	pOut2 := make([]uint64, n)
+	cOut2 := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		pOut2[i] = p2.Uint64()
+		cOut2[i] = c2.Uint64()
+	}
+
+	for i := 0; i < n; i++ {
+		if pOut1[i] != pOut2[i] {
+			t.Fatalf("parent output %d depends on child consumption: %#x vs %#x", i, pOut1[i], pOut2[i])
+		}
+		if cOut1[i] != cOut2[i] {
+			t.Fatalf("child output %d depends on parent consumption: %#x vs %#x", i, cOut1[i], cOut2[i])
+		}
+	}
+}
+
 func TestUint64nBounds(t *testing.T) {
 	r := New(3)
 	for _, n := range []uint64{1, 2, 3, 7, 10, 1 << 20, 1<<63 + 12345} {

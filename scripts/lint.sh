@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the static-analysis gate: go vet plus mixedrelvet, the repo's own
+# invariant checker (see DESIGN.md "Static invariants"). Both must exit
+# clean for make verify to pass.
+#
+# Usage:
+#   scripts/lint.sh                 # whole tree
+#   scripts/lint.sh ./internal/...  # restrict the mixedrelvet half
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+patterns=("${@:-./...}")
+
+echo "go vet ./..."
+"$GO" vet ./...
+
+echo "mixedrelvet ${patterns[*]}"
+"$GO" run ./cmd/mixedrelvet "${patterns[@]}"
