@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench
+.PHONY: build test vet lint race verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,8 @@ vet:
 	$(GO) vet ./...
 
 # lint is the static-analysis gate: go vet plus mixedrelvet, the repo's
-# own invariant checker (softfloat, bitsops, determinism, boundedgo —
-# see DESIGN.md "Static invariants").
+# own invariant checker (softfloat, bitsops, batchops, determinism,
+# boundedgo — see DESIGN.md "Static invariants").
 lint:
 	scripts/lint.sh
 
@@ -22,9 +22,15 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# bench-smoke runs every benchmark for exactly one iteration under the
+# race detector: a cheap proof that benchmark code stays runnable and
+# race-free without paying full measurement time.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./...
+
 # verify is the tier-1 gate: build, static analysis, full tests, race
-# pass.
-verify: build lint test race
+# pass, benchmark smoke.
+verify: build lint test race bench-smoke
 
 # bench records the benchmark suite as BENCH_<date>.json (see
 # scripts/bench.sh for knobs).

@@ -1,0 +1,117 @@
+// Command benchdiff compares two BENCH_<date>.json files produced by
+// scripts/bench.sh and prints a per-benchmark delta table. Time
+// regressions beyond a noise threshold are flagged in the rightmost
+// column; the exit status stays 0 either way (the table is a review
+// aid, not a gate — benchmark machines differ run to run).
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// entry mirrors one scripts/bench.sh record.
+type entry struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// regressionPct is the ns/op increase treated as a real regression
+// rather than run-to-run noise.
+const regressionPct = 10.0
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldE, err := load(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	newE, err := load(os.Args[2])
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(newE))
+	for name := range newE {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchmark comparison: %s -> %s\n", os.Args[1], os.Args[2])
+	fmt.Printf("%-36s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "")
+	regressions := 0
+	for _, name := range names {
+		n := newE[name]
+		o, ok := oldE[name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14.0f %9s  new\n", name, "-", n.NsPerOp, "-")
+			continue
+		}
+		var pct float64
+		if o.NsPerOp > 0 {
+			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		flag := ""
+		if pct > regressionPct {
+			flag = "REGRESSION"
+			regressions++
+		}
+		note := allocNote(o, n)
+		fmt.Printf("%-36s %14.0f %14.0f %+8.1f%%  %s%s\n", name, o.NsPerOp, n.NsPerOp, pct, flag, note)
+	}
+	removed := make([]string, 0)
+	for name := range oldE {
+		if _, ok := newE[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-36s %14.0f %14s %9s  removed\n", name, oldE[name].NsPerOp, "-", "-")
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, regressionPct)
+	}
+}
+
+// allocNote renders the allocation movement when it changed.
+func allocNote(o, n entry) string {
+	if o.AllocsPerOp == n.AllocsPerOp && o.BytesPerOp == n.BytesPerOp {
+		return ""
+	}
+	return fmt.Sprintf("  [allocs %.0f->%.0f, B/op %.0f->%.0f]",
+		o.AllocsPerOp, n.AllocsPerOp, o.BytesPerOp, n.BytesPerOp)
+}
+
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	byName := make(map[string]entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	return byName, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -5,7 +5,9 @@
 //
 // The suite mechanically enforces what the simulator's correctness
 // argument assumes: kernel arithmetic goes through fp.Env (softfloat),
-// raw encodings are never treated as numbers (bitsops), results are a
+// raw encodings are never treated as numbers (bitsops), kernel inner
+// loops use the batch execution layer where one exists (batchops),
+// results are a
 // function of the seed alone and render in deterministic order
 // (determinism), and all concurrency stays under the bounded scheduler
 // (boundedgo).
@@ -27,6 +29,7 @@ import (
 	"strings"
 
 	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/batchops"
 	"mixedrel/internal/analysis/bitsops"
 	"mixedrel/internal/analysis/boundedgo"
 	"mixedrel/internal/analysis/determinism"
@@ -37,6 +40,7 @@ import (
 // means appending it here and documenting it in DESIGN.md §Static
 // invariants.
 var suite = []*analysis.Analyzer{
+	batchops.Analyzer,
 	bitsops.Analyzer,
 	boundedgo.Analyzer,
 	determinism.Analyzer,

@@ -1,0 +1,12 @@
+package batchops_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/batchops"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), batchops.Analyzer, "fp", "kernels")
+}

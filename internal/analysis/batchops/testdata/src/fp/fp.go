@@ -1,0 +1,34 @@
+// Package fp is a stand-in for mixedrel/internal/fp: the Env interface
+// the analyzer matches receivers against, plus representative batch
+// helpers. The analyzer skips this package (only "kernels" is checked),
+// so the scalar fallback loops below are not flagged.
+package fp
+
+type Bits uint64
+
+type Format int
+
+// Env is the scalar soft-float environment.
+type Env interface {
+	Format() Format
+	FromFloat64(float64) Bits
+	Add(a, b Bits) Bits
+	Mul(a, b Bits) Bits
+	Div(a, b Bits) Bits
+	FMA(a, b, c Bits) Bits
+}
+
+// AddN sets dst[i] = env.Add(a[i], b[i]).
+func AddN(env Env, dst, a, b []Bits) {
+	for i, ai := range a {
+		dst[i] = env.Add(ai, b[i])
+	}
+}
+
+// DotFMA folds acc through the chain acc = env.FMA(a[i], b[i], acc).
+func DotFMA(env Env, acc Bits, a, b []Bits) Bits {
+	for i, ai := range a {
+		acc = env.FMA(ai, b[i], acc)
+	}
+	return acc
+}

@@ -1,0 +1,665 @@
+package fp
+
+import (
+	"math"
+	"sync"
+)
+
+// f64Buf pools the decoded-operand scratch used by Machine.GemmFMA. The
+// pointer boxing keeps sync.Pool round-trips allocation-free.
+type f64Buf struct{ s []float64 }
+
+var f64Pool = sync.Pool{New: func() any { return new(f64Buf) }}
+
+func getF64(n int) *f64Buf {
+	b := f64Pool.Get().(*f64Buf)
+	if cap(b.s) < n {
+		b.s = make([]float64, n)
+	}
+	b.s = b.s[:n]
+	return b
+}
+
+func putF64(b *f64Buf) { f64Pool.Put(b) }
+
+// BatchEnv is an optional extension of Env for kernel inner loops. Each
+// batch operation is defined as *exactly* the sequence of scalar Env
+// operations its fallback performs — same operation kinds, same order,
+// same per-element round-to-nearest-even — so implementations may only
+// differ in speed, never in bits. Kernels never call these methods
+// directly; they go through the package-level DotFMA/AddN/MulN/FMAN/AXPY
+// helpers, which decompose into scalar Env calls whenever the
+// environment does not implement BatchEnv. That keeps every wrapper that
+// intercepts scalar operations (injectors, recorders, custom
+// instrumentation) in full control of the operation stream by default:
+// only environments that explicitly implement BatchEnv take over a
+// batch, and they are responsible for preserving scalar semantics.
+//
+// Slice contracts: a, b, c and x must have at least len(a) (respectively
+// len(x) for AXPY) elements; dst must be at least as long as the driving
+// slice. dst may alias c in FMAN and is itself the accumulator in AXPY,
+// but must not otherwise alias the inputs.
+type BatchEnv interface {
+	Env
+	// DotFMA folds acc through the chain acc = FMA(a[i], b[i], acc)
+	// for i = 0..len(a)-1 and returns the final accumulator.
+	DotFMA(acc Bits, a, b []Bits) Bits
+	// AddN sets dst[i] = Add(a[i], b[i]).
+	AddN(dst, a, b []Bits)
+	// MulN sets dst[i] = Mul(a[i], b[i]).
+	MulN(dst, a, b []Bits)
+	// FMAN sets dst[i] = FMA(a[i], b[i], c[i]).
+	FMAN(dst, a, b, c []Bits)
+	// AXPY sets dst[i] = FMA(s, x[i], dst[i]) — the broadcast
+	// multiply-accumulate of elimination updates.
+	AXPY(dst []Bits, s Bits, x []Bits)
+	// DotFMABlock computes len(out) independent dot-product chains
+	// against one shared vector: out[t] = DotFMA(acc, u,
+	// v[t*stride:t*stride+len(u)]), chain t strictly before chain t+1.
+	// The chains are mutually independent, so a fast path may overlap
+	// their (individually serial) computations without any observable
+	// difference; instrumented environments must run them in order.
+	DotFMABlock(out []Bits, acc Bits, u, v []Bits, stride int)
+	// GemmFMA computes the rows x cols grid of independent chains
+	// out[i*cols+j] = DotFMA(acc_i, a[i*k:(i+1)*k], bt[j*k:(j+1)*k])
+	// in row-major (i, j) order, where acc_i is accs[i], or
+	// FromFloat64(0) for every row when accs is nil. This is GEMM
+	// against a pre-transposed right-hand side, and equally the im2col
+	// convolution (rows = output channels, cols = pixels) and the dense
+	// layer (cols = 1). A fast path may decode a and bt once for the
+	// whole grid; instrumented environments run the chains in order.
+	GemmFMA(out, accs, a, bt []Bits, rows, cols, k int)
+}
+
+// DotFMA computes the FMA chain acc = env.FMA(a[i], b[i], acc) over the
+// slices and returns the final accumulator, using env's batch fast path
+// when it has one.
+func DotFMA(env Env, acc Bits, a, b []Bits) Bits {
+	if be, ok := env.(BatchEnv); ok {
+		return be.DotFMA(acc, a, b)
+	}
+	for i, ai := range a {
+		acc = env.FMA(ai, b[i], acc)
+	}
+	return acc
+}
+
+// AddN sets dst[i] = env.Add(a[i], b[i]) for i = 0..len(a)-1.
+func AddN(env Env, dst, a, b []Bits) {
+	if be, ok := env.(BatchEnv); ok {
+		be.AddN(dst, a, b)
+		return
+	}
+	for i, ai := range a {
+		dst[i] = env.Add(ai, b[i])
+	}
+}
+
+// MulN sets dst[i] = env.Mul(a[i], b[i]) for i = 0..len(a)-1.
+func MulN(env Env, dst, a, b []Bits) {
+	if be, ok := env.(BatchEnv); ok {
+		be.MulN(dst, a, b)
+		return
+	}
+	for i, ai := range a {
+		dst[i] = env.Mul(ai, b[i])
+	}
+}
+
+// FMAN sets dst[i] = env.FMA(a[i], b[i], c[i]) for i = 0..len(a)-1.
+func FMAN(env Env, dst, a, b, c []Bits) {
+	if be, ok := env.(BatchEnv); ok {
+		be.FMAN(dst, a, b, c)
+		return
+	}
+	for i, ai := range a {
+		dst[i] = env.FMA(ai, b[i], c[i])
+	}
+}
+
+// AXPY sets dst[i] = env.FMA(s, x[i], dst[i]) for i = 0..len(x)-1.
+func AXPY(env Env, dst []Bits, s Bits, x []Bits) {
+	if be, ok := env.(BatchEnv); ok {
+		be.AXPY(dst, s, x)
+		return
+	}
+	for i, xi := range x {
+		dst[i] = env.FMA(s, xi, dst[i])
+	}
+}
+
+// DotFMABlock computes out[t] = DotFMA(env, acc, u,
+// v[t*stride:t*stride+len(u)]) for t = 0..len(out)-1 — the row-times-
+// matrix shape of GEMM and im2col convolution — using env's batch fast
+// path when it has one.
+func DotFMABlock(env Env, out []Bits, acc Bits, u, v []Bits, stride int) {
+	if be, ok := env.(BatchEnv); ok {
+		be.DotFMABlock(out, acc, u, v, stride)
+		return
+	}
+	for t := range out {
+		out[t] = DotFMA(env, acc, u, v[t*stride:t*stride+len(u)])
+	}
+}
+
+// FromFloat64N encodes xs into dst (which must be at least as long),
+// hoisting the per-element format dispatch of Format.FromFloat64 out of
+// the loop. Encoding is a pure conversion, not an Env operation, so no
+// wrapper semantics are involved.
+func FromFloat64N(f Format, dst []Bits, xs []float64) {
+	switch f {
+	case Half:
+		for i, x := range xs {
+			dst[i] = Bits(halfFromFloat64(x))
+		}
+	case BFloat16:
+		for i, x := range xs {
+			dst[i] = Bits(bfloatFromFloat64(x))
+		}
+	case Single:
+		for i, x := range xs {
+			dst[i] = Bits(math.Float32bits(float32(x)))
+		}
+	case Double:
+		for i, x := range xs {
+			dst[i] = Bits(math.Float64bits(x))
+		}
+	default:
+		for i, x := range xs {
+			dst[i] = f.FromFloat64(x)
+		}
+	}
+}
+
+// ToFloat64N decodes bs (encodings in format f) into dst (which must be
+// at least as long), hoisting the per-element format dispatch.
+func ToFloat64N(f Format, dst []float64, bs []Bits) {
+	switch f {
+	case Half:
+		for i, b := range bs {
+			dst[i] = halfDecode[uint16(b)]
+		}
+	case BFloat16:
+		for i, b := range bs {
+			dst[i] = bfloatDecode[uint16(b)]
+		}
+	case Single:
+		for i, b := range bs {
+			dst[i] = float64(math.Float32frombits(uint32(b)))
+		}
+	case Double:
+		for i, b := range bs {
+			dst[i] = math.Float64frombits(uint64(b))
+		}
+	default:
+		for i, b := range bs {
+			dst[i] = f.ToFloat64(b)
+		}
+	}
+}
+
+// GemmFMA computes out[i*cols+j] = DotFMA(env, acc_i, a[i*k:(i+1)*k],
+// bt[j*k:(j+1)*k]) for the whole rows x cols grid in row-major order,
+// with acc_i = accs[i] (or env.FromFloat64(0) when accs is nil), using
+// env's batch fast path when it has one.
+func GemmFMA(env Env, out, accs, a, bt []Bits, rows, cols, k int) {
+	if be, ok := env.(BatchEnv); ok {
+		be.GemmFMA(out, accs, a, bt, rows, cols, k)
+		return
+	}
+	zero := env.FromFloat64(0)
+	for i := 0; i < rows; i++ {
+		acc := zero
+		if accs != nil {
+			acc = accs[i]
+		}
+		DotFMABlock(env, out[i*cols:(i+1)*cols], acc, a[i*k:(i+1)*k], bt, k)
+	}
+}
+
+// Machine's batch fast paths perform bit-for-bit the scalar computation
+// — decode each operand, one binary64 operation, one round-to-nearest-
+// even encode per element — minus the per-operation costs the scalar
+// path cannot avoid: the interface dispatch, the format switch, and for
+// the 16-bit formats three separate ToFloat64 switch dispatches. The
+// 16-bit loops read the PR 1 decode tables directly and the accumulator
+// of a DotFMA chain stays in registers between steps (re-encoded and
+// re-decoded each step, exactly as the scalar chain would through Bits).
+
+// DotFMA implements BatchEnv.
+func (m *Machine) DotFMA(acc Bits, a, b []Bits) Bits {
+	switch m.f {
+	case Single:
+		x := math.Float32frombits(uint32(acc))
+		for i, ai := range a {
+			x = float32(math.FMA(
+				float64(math.Float32frombits(uint32(ai))),
+				float64(math.Float32frombits(uint32(b[i]))),
+				float64(x)))
+		}
+		return Bits(math.Float32bits(x))
+	case Double:
+		x := math.Float64frombits(uint64(acc))
+		for i, ai := range a {
+			x = math.FMA(math.Float64frombits(uint64(ai)), math.Float64frombits(uint64(b[i])), x)
+		}
+		return Bits(math.Float64bits(x))
+	case Half:
+		h := uint16(acc)
+		for i, ai := range a {
+			h = halfFromFloat64(math.FMA(halfDecode[uint16(ai)], halfDecode[uint16(b[i])], halfDecode[h]))
+		}
+		return Bits(h)
+	case BFloat16:
+		h := uint16(acc)
+		for i, ai := range a {
+			h = bfloatFromFloat64(math.FMA(bfloatDecode[uint16(ai)], bfloatDecode[uint16(b[i])], bfloatDecode[h]))
+		}
+		return Bits(h)
+	}
+	for i, ai := range a {
+		acc = m.FMA(ai, b[i], acc)
+	}
+	return acc
+}
+
+// AddN implements BatchEnv.
+func (m *Machine) AddN(dst, a, b []Bits) {
+	switch m.f {
+	case Single:
+		for i, ai := range a {
+			dst[i] = Bits(math.Float32bits(math.Float32frombits(uint32(ai)) + math.Float32frombits(uint32(b[i]))))
+		}
+	case Double:
+		for i, ai := range a {
+			dst[i] = Bits(math.Float64bits(math.Float64frombits(uint64(ai)) + math.Float64frombits(uint64(b[i]))))
+		}
+	case Half:
+		for i, ai := range a {
+			dst[i] = Bits(halfFromFloat64(halfDecode[uint16(ai)] + halfDecode[uint16(b[i])]))
+		}
+	case BFloat16:
+		for i, ai := range a {
+			dst[i] = Bits(bfloatFromFloat64(bfloatDecode[uint16(ai)] + bfloatDecode[uint16(b[i])]))
+		}
+	default:
+		for i, ai := range a {
+			dst[i] = m.Add(ai, b[i])
+		}
+	}
+}
+
+// MulN implements BatchEnv.
+func (m *Machine) MulN(dst, a, b []Bits) {
+	switch m.f {
+	case Single:
+		for i, ai := range a {
+			dst[i] = Bits(math.Float32bits(math.Float32frombits(uint32(ai)) * math.Float32frombits(uint32(b[i]))))
+		}
+	case Double:
+		for i, ai := range a {
+			dst[i] = Bits(math.Float64bits(math.Float64frombits(uint64(ai)) * math.Float64frombits(uint64(b[i]))))
+		}
+	case Half:
+		for i, ai := range a {
+			dst[i] = Bits(halfFromFloat64(halfDecode[uint16(ai)] * halfDecode[uint16(b[i])]))
+		}
+	case BFloat16:
+		for i, ai := range a {
+			dst[i] = Bits(bfloatFromFloat64(bfloatDecode[uint16(ai)] * bfloatDecode[uint16(b[i])]))
+		}
+	default:
+		for i, ai := range a {
+			dst[i] = m.Mul(ai, b[i])
+		}
+	}
+}
+
+// FMAN implements BatchEnv.
+func (m *Machine) FMAN(dst, a, b, c []Bits) {
+	switch m.f {
+	case Single:
+		for i, ai := range a {
+			dst[i] = Bits(math.Float32bits(float32(math.FMA(
+				float64(math.Float32frombits(uint32(ai))),
+				float64(math.Float32frombits(uint32(b[i]))),
+				float64(math.Float32frombits(uint32(c[i])))))))
+		}
+	case Double:
+		for i, ai := range a {
+			dst[i] = Bits(math.Float64bits(math.FMA(
+				math.Float64frombits(uint64(ai)),
+				math.Float64frombits(uint64(b[i])),
+				math.Float64frombits(uint64(c[i])))))
+		}
+	case Half:
+		for i, ai := range a {
+			dst[i] = Bits(halfFromFloat64(math.FMA(halfDecode[uint16(ai)], halfDecode[uint16(b[i])], halfDecode[uint16(c[i])])))
+		}
+	case BFloat16:
+		for i, ai := range a {
+			dst[i] = Bits(bfloatFromFloat64(math.FMA(bfloatDecode[uint16(ai)], bfloatDecode[uint16(b[i])], bfloatDecode[uint16(c[i])])))
+		}
+	default:
+		for i, ai := range a {
+			dst[i] = m.FMA(ai, b[i], c[i])
+		}
+	}
+}
+
+// AXPY implements BatchEnv.
+func (m *Machine) AXPY(dst []Bits, s Bits, x []Bits) {
+	switch m.f {
+	case Single:
+		sv := float64(math.Float32frombits(uint32(s)))
+		for i, xi := range x {
+			dst[i] = Bits(math.Float32bits(float32(math.FMA(
+				sv,
+				float64(math.Float32frombits(uint32(xi))),
+				float64(math.Float32frombits(uint32(dst[i])))))))
+		}
+	case Double:
+		sv := math.Float64frombits(uint64(s))
+		for i, xi := range x {
+			dst[i] = Bits(math.Float64bits(math.FMA(sv, math.Float64frombits(uint64(xi)), math.Float64frombits(uint64(dst[i])))))
+		}
+	case Half:
+		sv := halfDecode[uint16(s)]
+		for i, xi := range x {
+			dst[i] = Bits(halfFromFloat64(math.FMA(sv, halfDecode[uint16(xi)], halfDecode[uint16(dst[i])])))
+		}
+	case BFloat16:
+		sv := bfloatDecode[uint16(s)]
+		for i, xi := range x {
+			dst[i] = Bits(bfloatFromFloat64(math.FMA(sv, bfloatDecode[uint16(xi)], bfloatDecode[uint16(dst[i])])))
+		}
+	default:
+		for i, xi := range x {
+			dst[i] = m.FMA(s, xi, dst[i])
+		}
+	}
+}
+
+// DotFMABlock implements BatchEnv. Four chains advance together so one
+// chain's serial decode→FMA→round latency overlaps the others'; each
+// chain's own operation sequence is untouched, so every out[t] is
+// bit-identical to a standalone DotFMA over the same slices. The shared
+// vector u is decoded once per step for all four chains.
+func (m *Machine) DotFMABlock(out []Bits, acc Bits, u, v []Bits, stride int) {
+	L := len(u)
+	t := 0
+	switch m.f {
+	case Single:
+		// Eight chains: the per-step critical path (cvtss2sd, FMA,
+		// cvtsd2ss) is ~13 cycles of latency, so four chains still
+		// leave the FMA unit half idle.
+		a0 := math.Float32frombits(uint32(acc))
+		for ; t+8 <= len(out); t += 8 {
+			v0 := v[t*stride:][:L]
+			v1 := v[(t+1)*stride:][:L]
+			v2 := v[(t+2)*stride:][:L]
+			v3 := v[(t+3)*stride:][:L]
+			v4 := v[(t+4)*stride:][:L]
+			v5 := v[(t+5)*stride:][:L]
+			v6 := v[(t+6)*stride:][:L]
+			v7 := v[(t+7)*stride:][:L]
+			x0, x1, x2, x3 := a0, a0, a0, a0
+			x4, x5, x6, x7 := a0, a0, a0, a0
+			for k := 0; k < L; k++ {
+				uk := float64(math.Float32frombits(uint32(u[k])))
+				x0 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v0[k]))), float64(x0)))
+				x1 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v1[k]))), float64(x1)))
+				x2 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v2[k]))), float64(x2)))
+				x3 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v3[k]))), float64(x3)))
+				x4 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v4[k]))), float64(x4)))
+				x5 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v5[k]))), float64(x5)))
+				x6 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v6[k]))), float64(x6)))
+				x7 = float32(math.FMA(uk, float64(math.Float32frombits(uint32(v7[k]))), float64(x7)))
+			}
+			out[t] = Bits(math.Float32bits(x0))
+			out[t+1] = Bits(math.Float32bits(x1))
+			out[t+2] = Bits(math.Float32bits(x2))
+			out[t+3] = Bits(math.Float32bits(x3))
+			out[t+4] = Bits(math.Float32bits(x4))
+			out[t+5] = Bits(math.Float32bits(x5))
+			out[t+6] = Bits(math.Float32bits(x6))
+			out[t+7] = Bits(math.Float32bits(x7))
+		}
+	case Double:
+		a0 := math.Float64frombits(uint64(acc))
+		for ; t+8 <= len(out); t += 8 {
+			v0 := v[t*stride:][:L]
+			v1 := v[(t+1)*stride:][:L]
+			v2 := v[(t+2)*stride:][:L]
+			v3 := v[(t+3)*stride:][:L]
+			v4 := v[(t+4)*stride:][:L]
+			v5 := v[(t+5)*stride:][:L]
+			v6 := v[(t+6)*stride:][:L]
+			v7 := v[(t+7)*stride:][:L]
+			x0, x1, x2, x3 := a0, a0, a0, a0
+			x4, x5, x6, x7 := a0, a0, a0, a0
+			for k := 0; k < L; k++ {
+				uk := math.Float64frombits(uint64(u[k]))
+				x0 = math.FMA(uk, math.Float64frombits(uint64(v0[k])), x0)
+				x1 = math.FMA(uk, math.Float64frombits(uint64(v1[k])), x1)
+				x2 = math.FMA(uk, math.Float64frombits(uint64(v2[k])), x2)
+				x3 = math.FMA(uk, math.Float64frombits(uint64(v3[k])), x3)
+				x4 = math.FMA(uk, math.Float64frombits(uint64(v4[k])), x4)
+				x5 = math.FMA(uk, math.Float64frombits(uint64(v5[k])), x5)
+				x6 = math.FMA(uk, math.Float64frombits(uint64(v6[k])), x6)
+				x7 = math.FMA(uk, math.Float64frombits(uint64(v7[k])), x7)
+			}
+			out[t] = Bits(math.Float64bits(x0))
+			out[t+1] = Bits(math.Float64bits(x1))
+			out[t+2] = Bits(math.Float64bits(x2))
+			out[t+3] = Bits(math.Float64bits(x3))
+			out[t+4] = Bits(math.Float64bits(x4))
+			out[t+5] = Bits(math.Float64bits(x5))
+			out[t+6] = Bits(math.Float64bits(x6))
+			out[t+7] = Bits(math.Float64bits(x7))
+		}
+	case Half:
+		for ; t+4 <= len(out); t += 4 {
+			v0 := v[t*stride:][:L]
+			v1 := v[(t+1)*stride:][:L]
+			v2 := v[(t+2)*stride:][:L]
+			v3 := v[(t+3)*stride:][:L]
+			h0, h1, h2, h3 := uint16(acc), uint16(acc), uint16(acc), uint16(acc)
+			for k := 0; k < L; k++ {
+				uk := halfDecode[uint16(u[k])]
+				h0 = halfFromFloat64(math.FMA(uk, halfDecode[uint16(v0[k])], halfDecode[h0]))
+				h1 = halfFromFloat64(math.FMA(uk, halfDecode[uint16(v1[k])], halfDecode[h1]))
+				h2 = halfFromFloat64(math.FMA(uk, halfDecode[uint16(v2[k])], halfDecode[h2]))
+				h3 = halfFromFloat64(math.FMA(uk, halfDecode[uint16(v3[k])], halfDecode[h3]))
+			}
+			out[t] = Bits(h0)
+			out[t+1] = Bits(h1)
+			out[t+2] = Bits(h2)
+			out[t+3] = Bits(h3)
+		}
+	case BFloat16:
+		for ; t+4 <= len(out); t += 4 {
+			v0 := v[t*stride:][:L]
+			v1 := v[(t+1)*stride:][:L]
+			v2 := v[(t+2)*stride:][:L]
+			v3 := v[(t+3)*stride:][:L]
+			h0, h1, h2, h3 := uint16(acc), uint16(acc), uint16(acc), uint16(acc)
+			for k := 0; k < L; k++ {
+				uk := bfloatDecode[uint16(u[k])]
+				h0 = bfloatFromFloat64(math.FMA(uk, bfloatDecode[uint16(v0[k])], bfloatDecode[h0]))
+				h1 = bfloatFromFloat64(math.FMA(uk, bfloatDecode[uint16(v1[k])], bfloatDecode[h1]))
+				h2 = bfloatFromFloat64(math.FMA(uk, bfloatDecode[uint16(v2[k])], bfloatDecode[h2]))
+				h3 = bfloatFromFloat64(math.FMA(uk, bfloatDecode[uint16(v3[k])], bfloatDecode[h3]))
+			}
+			out[t] = Bits(h0)
+			out[t+1] = Bits(h1)
+			out[t+2] = Bits(h2)
+			out[t+3] = Bits(h3)
+		}
+	}
+	for ; t < len(out); t++ {
+		out[t] = m.DotFMA(acc, u, v[t*stride:t*stride+L])
+	}
+}
+
+// GemmFMA implements BatchEnv. Every chain is independent, so the grid
+// flattens to rows*cols chains that can interleave freely as long as
+// each chain's own FMA sequence stays serial. For Single the operand
+// matrices are decoded to binary64 once up front (float32 -> float64 is
+// exact, so this is bit-neutral) — that removes the two convert-on-load
+// instructions per FMA that bound DotFMABlock's throughput — and eight
+// chains advance together. The other formats gain nothing from operand
+// predecoding (Double decodes are free bit reinterpretations; the 16-bit
+// formats decode via table loads either way), so they run per-row
+// through DotFMABlock, which already interleaves.
+func (m *Machine) GemmFMA(out, accs, a, bt []Bits, rows, cols, k int) {
+	n := rows * cols
+	if m.f == Single && n >= 8 {
+		ab, bb := getF64(rows*k), getF64(cols*k)
+		da, dbt := ab.s, bb.s
+		ToFloat64N(Single, da, a[:rows*k])
+		ToFloat64N(Single, dbt, bt[:cols*k])
+		acc := func(c int) float32 {
+			if accs == nil {
+				return 0
+			}
+			return math.Float32frombits(uint32(accs[c/cols]))
+		}
+		t := 0
+		for ; t+8 <= n; t += 8 {
+			u0 := da[(t/cols)*k:][:k]
+			u1 := da[((t+1)/cols)*k:][:k]
+			u2 := da[((t+2)/cols)*k:][:k]
+			u3 := da[((t+3)/cols)*k:][:k]
+			u4 := da[((t+4)/cols)*k:][:k]
+			u5 := da[((t+5)/cols)*k:][:k]
+			u6 := da[((t+6)/cols)*k:][:k]
+			u7 := da[((t+7)/cols)*k:][:k]
+			v0 := dbt[(t%cols)*k:][:k]
+			v1 := dbt[((t+1)%cols)*k:][:k]
+			v2 := dbt[((t+2)%cols)*k:][:k]
+			v3 := dbt[((t+3)%cols)*k:][:k]
+			v4 := dbt[((t+4)%cols)*k:][:k]
+			v5 := dbt[((t+5)%cols)*k:][:k]
+			v6 := dbt[((t+6)%cols)*k:][:k]
+			v7 := dbt[((t+7)%cols)*k:][:k]
+			x0, x1, x2, x3 := acc(t), acc(t+1), acc(t+2), acc(t+3)
+			x4, x5, x6, x7 := acc(t+4), acc(t+5), acc(t+6), acc(t+7)
+			for kk := 0; kk < k; kk++ {
+				x0 = float32(math.FMA(u0[kk], v0[kk], float64(x0)))
+				x1 = float32(math.FMA(u1[kk], v1[kk], float64(x1)))
+				x2 = float32(math.FMA(u2[kk], v2[kk], float64(x2)))
+				x3 = float32(math.FMA(u3[kk], v3[kk], float64(x3)))
+				x4 = float32(math.FMA(u4[kk], v4[kk], float64(x4)))
+				x5 = float32(math.FMA(u5[kk], v5[kk], float64(x5)))
+				x6 = float32(math.FMA(u6[kk], v6[kk], float64(x6)))
+				x7 = float32(math.FMA(u7[kk], v7[kk], float64(x7)))
+			}
+			out[t] = Bits(math.Float32bits(x0))
+			out[t+1] = Bits(math.Float32bits(x1))
+			out[t+2] = Bits(math.Float32bits(x2))
+			out[t+3] = Bits(math.Float32bits(x3))
+			out[t+4] = Bits(math.Float32bits(x4))
+			out[t+5] = Bits(math.Float32bits(x5))
+			out[t+6] = Bits(math.Float32bits(x6))
+			out[t+7] = Bits(math.Float32bits(x7))
+		}
+		for ; t < n; t++ {
+			i, j := t/cols, t%cols
+			var ac Bits
+			if accs != nil {
+				ac = accs[i]
+			}
+			out[t] = m.DotFMA(ac, a[i*k:(i+1)*k], bt[j*k:(j+1)*k])
+		}
+		putF64(ab)
+		putF64(bb)
+		return
+	}
+	zero := m.FromFloat64(0)
+	for i := 0; i < rows; i++ {
+		acc := zero
+		if accs != nil {
+			acc = accs[i]
+		}
+		m.DotFMABlock(out[i*cols:(i+1)*cols], acc, a[i*k:(i+1)*k], bt, k)
+	}
+}
+
+// Counting implements BatchEnv by bulk-advancing the tallies and handing
+// the batch to its inner environment through the package helpers — so an
+// inner machine keeps its fast path while an inner recorder or injector
+// still sees every scalar operation. The resulting counts are identical
+// to the decomposed loop's: one OpFMA per chain element, one OpAdd/OpMul
+// per pair.
+
+// DotFMA implements BatchEnv.
+func (c *Counting) DotFMA(acc Bits, a, b []Bits) Bits {
+	c.Counts.ByOp[OpFMA] += uint64(len(a))
+	return DotFMA(c.Inner, acc, a, b)
+}
+
+// AddN implements BatchEnv.
+func (c *Counting) AddN(dst, a, b []Bits) {
+	c.Counts.ByOp[OpAdd] += uint64(len(a))
+	AddN(c.Inner, dst, a, b)
+}
+
+// MulN implements BatchEnv.
+func (c *Counting) MulN(dst, a, b []Bits) {
+	c.Counts.ByOp[OpMul] += uint64(len(a))
+	MulN(c.Inner, dst, a, b)
+}
+
+// FMAN implements BatchEnv.
+func (c *Counting) FMAN(dst, a, b, x []Bits) {
+	c.Counts.ByOp[OpFMA] += uint64(len(a))
+	FMAN(c.Inner, dst, a, b, x)
+}
+
+// AXPY implements BatchEnv.
+func (c *Counting) AXPY(dst []Bits, s Bits, x []Bits) {
+	c.Counts.ByOp[OpFMA] += uint64(len(x))
+	AXPY(c.Inner, dst, s, x)
+}
+
+// DotFMABlock implements BatchEnv.
+func (c *Counting) DotFMABlock(out []Bits, acc Bits, u, v []Bits, stride int) {
+	c.Counts.ByOp[OpFMA] += uint64(len(out)) * uint64(len(u))
+	DotFMABlock(c.Inner, out, acc, u, v, stride)
+}
+
+// GemmFMA implements BatchEnv.
+func (c *Counting) GemmFMA(out, accs, a, bt []Bits, rows, cols, k int) {
+	c.Counts.ByOp[OpFMA] += uint64(rows) * uint64(cols) * uint64(k)
+	GemmFMA(c.Inner, out, accs, a, bt, rows, cols, k)
+}
+
+// ExpDecomp only intercepts Exp, so batches of Add/Mul/FMA pass straight
+// through to the inner environment (keeping its fast path or its scalar
+// instrumentation, whichever it has).
+
+// DotFMA implements BatchEnv.
+func (e *ExpDecomp) DotFMA(acc Bits, a, b []Bits) Bits { return DotFMA(e.Inner, acc, a, b) }
+
+// AddN implements BatchEnv.
+func (e *ExpDecomp) AddN(dst, a, b []Bits) { AddN(e.Inner, dst, a, b) }
+
+// MulN implements BatchEnv.
+func (e *ExpDecomp) MulN(dst, a, b []Bits) { MulN(e.Inner, dst, a, b) }
+
+// FMAN implements BatchEnv.
+func (e *ExpDecomp) FMAN(dst, a, b, c []Bits) { FMAN(e.Inner, dst, a, b, c) }
+
+// AXPY implements BatchEnv.
+func (e *ExpDecomp) AXPY(dst []Bits, s Bits, x []Bits) { AXPY(e.Inner, dst, s, x) }
+
+// DotFMABlock implements BatchEnv.
+func (e *ExpDecomp) DotFMABlock(out []Bits, acc Bits, u, v []Bits, stride int) {
+	DotFMABlock(e.Inner, out, acc, u, v, stride)
+}
+
+// GemmFMA implements BatchEnv.
+func (e *ExpDecomp) GemmFMA(out, accs, a, bt []Bits, rows, cols, k int) {
+	GemmFMA(e.Inner, out, accs, a, bt, rows, cols, k)
+}

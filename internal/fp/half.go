@@ -48,6 +48,29 @@ func halfFromFloat64(v float64) uint16 {
 	exp := int(b>>52) & 0x7ff
 	mant := b & 0xfffffffffffff
 
+	// Hot path: magnitude in the normal binary16 range, i.e. unbiased
+	// binary64 exponent in [-14, 15] (biased in [1009, 1038]). This is
+	// bit-for-bit roundPack16(e+15, sig, 42) unrolled so the kernels'
+	// per-operation re-encode costs one branch and no second call.
+	if uint(exp-1009) <= 29 {
+		sig := mant | 1<<52
+		kept := sig >> 42
+		rem := sig & (1<<42 - 1)
+		const halfUlp = uint64(1) << 41
+		if rem > halfUlp || (rem == halfUlp && kept&1 == 1) {
+			kept++
+		}
+		be := uint16(exp - 1008) // e + 15
+		if kept >= 1<<11 {
+			kept >>= 1
+			be++
+			if be >= 0x1f {
+				return sign | 0x7c00 // overflow to infinity
+			}
+		}
+		return sign | be<<10 | uint16(kept&0x3ff)
+	}
+
 	if exp == 0x7ff { // Inf or NaN
 		if mant == 0 {
 			return sign | 0x7c00

@@ -1,0 +1,185 @@
+package inject
+
+import "mixedrel/internal/fp"
+
+// The injecting environment implements fp.BatchEnv so that the bulk of a
+// faulty run — everything outside the struck operation's batch — moves
+// at the inner machine's batch speed while remaining observationally
+// identical to the scalar path:
+//
+//   - if the configured fault could strike any of the batch's n dynamic
+//     operations (canStrike), the batch is decomposed into the scalar
+//     methods, which perform the exact per-operation matching,
+//     corruption, and counter bookkeeping;
+//   - otherwise the counters advance by n in one step, and the results
+//     are either served from the fault-free replay trace (before any
+//     corruption: every operand is still bit-identical to the recorded
+//     run, so a DotFMA chain collapses into ONE trace lookup) or
+//     computed through the inner environment's own batch fast path.
+//
+// TargetIntState faults never strike arithmetic (they fire inside
+// IntDecision), so for them every batch takes the bulk path.
+
+// canStrike reports whether the configured fault could corrupt any of
+// the next n dynamic operations of the given kind. It must err on the
+// side of true: a true return only costs speed (the batch decomposes
+// into exact scalar matching), a false miss would skip a corruption.
+func (e *Env) canStrike(kind fp.Op, n uint64) bool {
+	if e.fault.Target != TargetOperand && e.fault.Target != TargetResult {
+		return false
+	}
+	var ctr uint64
+	if e.fault.AnyKind {
+		ctr = e.all
+	} else {
+		if kind != e.fault.Kind {
+			return false
+		}
+		ctr = e.byKind[kind]
+	}
+	if m := e.fault.Modulo; m > 0 {
+		// Next counter value ≡ Index (mod m) within the window?
+		off := (e.fault.Index%m + m - ctr%m) % m
+		return off < n
+	}
+	return e.fault.Index >= ctr && e.fault.Index-ctr < n
+}
+
+// advance moves the operation counters past n operations of one kind.
+func (e *Env) advance(kind fp.Op, n uint64) {
+	e.all += n
+	e.byKind[kind] += n
+}
+
+// replayable reports whether a just-advanced batch of n operations can
+// be served from the fault-free result trace — same condition as the
+// scalar replayed(): trace long enough, nothing corrupted yet. The
+// caller guarantees (via canStrike) that none of the n operations is
+// struck.
+func (e *Env) replayable() bool {
+	return e.applied == 0 && uint64(len(e.replay)) >= e.all
+}
+
+// DotFMA implements fp.BatchEnv.
+func (e *Env) DotFMA(acc fp.Bits, a, b []fp.Bits) fp.Bits {
+	n := uint64(len(a))
+	if n == 0 {
+		return acc
+	}
+	if e.canStrike(fp.OpFMA, n) {
+		for i, ai := range a {
+			acc = e.FMA(ai, b[i], acc)
+		}
+		return acc
+	}
+	e.advance(fp.OpFMA, n)
+	if e.replayable() {
+		// Only the final accumulator leaves the chain, so the whole
+		// batch is one lookup of the last recorded result.
+		return e.replay[e.all-1]
+	}
+	return fp.DotFMA(e.inner, acc, a, b)
+}
+
+// AddN implements fp.BatchEnv.
+func (e *Env) AddN(dst, a, b []fp.Bits) {
+	n := uint64(len(a))
+	if n == 0 {
+		return
+	}
+	if e.canStrike(fp.OpAdd, n) {
+		for i, ai := range a {
+			dst[i] = e.Add(ai, b[i])
+		}
+		return
+	}
+	e.advance(fp.OpAdd, n)
+	if e.replayable() {
+		copy(dst, e.replay[e.all-n:e.all])
+		return
+	}
+	fp.AddN(e.inner, dst, a, b)
+}
+
+// MulN implements fp.BatchEnv.
+func (e *Env) MulN(dst, a, b []fp.Bits) {
+	n := uint64(len(a))
+	if n == 0 {
+		return
+	}
+	if e.canStrike(fp.OpMul, n) {
+		for i, ai := range a {
+			dst[i] = e.Mul(ai, b[i])
+		}
+		return
+	}
+	e.advance(fp.OpMul, n)
+	if e.replayable() {
+		copy(dst, e.replay[e.all-n:e.all])
+		return
+	}
+	fp.MulN(e.inner, dst, a, b)
+}
+
+// FMAN implements fp.BatchEnv.
+func (e *Env) FMAN(dst, a, b, c []fp.Bits) {
+	n := uint64(len(a))
+	if n == 0 {
+		return
+	}
+	if e.canStrike(fp.OpFMA, n) {
+		for i, ai := range a {
+			dst[i] = e.FMA(ai, b[i], c[i])
+		}
+		return
+	}
+	e.advance(fp.OpFMA, n)
+	if e.replayable() {
+		copy(dst, e.replay[e.all-n:e.all])
+		return
+	}
+	fp.FMAN(e.inner, dst, a, b, c)
+}
+
+// DotFMABlock implements fp.BatchEnv by running the chains in order,
+// each through DotFMA's own strike/replay/bulk logic — the block shape
+// adds no new fault semantics beyond its member chains.
+func (e *Env) DotFMABlock(out []fp.Bits, acc fp.Bits, u, v []fp.Bits, stride int) {
+	for t := range out {
+		out[t] = e.DotFMA(acc, u, v[t*stride:t*stride+len(u)])
+	}
+}
+
+// GemmFMA implements fp.BatchEnv by running the grid's rows in order,
+// like the package fallback, with each row's chains going through
+// DotFMABlock (and so DotFMA's strike/replay/bulk logic).
+func (e *Env) GemmFMA(out, accs, a, bt []fp.Bits, rows, cols, k int) {
+	zero := e.FromFloat64(0)
+	for i := 0; i < rows; i++ {
+		acc := zero
+		if accs != nil {
+			acc = accs[i]
+		}
+		e.DotFMABlock(out[i*cols:(i+1)*cols], acc, a[i*k:(i+1)*k], bt, k)
+	}
+}
+
+// AXPY implements fp.BatchEnv.
+func (e *Env) AXPY(dst []fp.Bits, s fp.Bits, x []fp.Bits) {
+	n := uint64(len(x))
+	if n == 0 {
+		return
+	}
+	if e.canStrike(fp.OpFMA, n) {
+		for i, xi := range x {
+			dst[i] = e.FMA(s, xi, dst[i])
+		}
+		return
+	}
+	e.advance(fp.OpFMA, n)
+	if e.replayable() {
+		copy(dst, e.replay[e.all-n:e.all])
+		return
+	}
+	fp.AXPY(e.inner, dst, s, x)
+}

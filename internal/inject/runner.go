@@ -33,11 +33,12 @@ type Runner struct {
 
 // scratch is one worker's reusable run state.
 type scratch struct {
-	in    [][]fp.Bits
-	dirty bool // in was corrupted by memory faults and needs restoring
-	out   []float64
-	ienv  *Env
-	env   fp.Env // wrap(ienv), built once (wraps are stateless across runs)
+	in      [][]fp.Bits
+	dirty   bool // in was corrupted by memory faults and needs restoring
+	out     []float64
+	outBits []fp.Bits // reused output buffer for OutputKernel workloads
+	ienv    *Env
+	env     fp.Env // wrap(ienv), built once (wraps are stateless across runs)
 }
 
 // NewRunner builds a runner for the configuration, computing (or
@@ -106,7 +107,13 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 	} else {
 		sc.ienv.replay = nil
 	}
-	outBits := r.kernel.Run(sc.env, sc.in)
+	var outBits []fp.Bits
+	if ok, isOut := r.kernel.(kernels.OutputKernel); isOut {
+		sc.outBits = ok.RunInto(sc.env, sc.in, sc.outBits)
+		outBits = sc.outBits
+	} else {
+		outBits = r.kernel.Run(sc.env, sc.in)
+	}
 	golden := r.art.Golden()
 	if len(outBits) != len(golden) {
 		panic(fmt.Sprintf("inject: output length %d vs golden %d", len(outBits), len(golden)))
@@ -115,9 +122,7 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 		sc.out = make([]float64, len(outBits))
 	}
 	out := sc.out[:len(outBits)]
-	for i, b := range outBits {
-		out[i] = f.ToFloat64(b)
-	}
+	fp.ToFloat64N(f, out, outBits)
 
 	res := RunResult{FaultApplied: len(memFaults) > 0 || sc.ienv.Applied() > 0}
 	var worst float64

@@ -77,29 +77,32 @@ func (c *CG) Inputs(f fp.Format) [][]fp.Bits {
 // (no convergence test — branches on corrupted data would make golden
 // comparison ambiguous; the paper's codes likewise run fixed workloads).
 func (c *CG) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	return c.RunInto(env, in, nil)
+}
+
+// RunInto implements OutputKernel. Dot products and the matrix-vector
+// product run as DotFMA chains (identical dynamic op order to the
+// scalar loops they replace); the vector updates stay scalar because
+// their interleaving carries semantic weight for fault indices.
+func (c *CG) RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits {
 	n := c.n
 	a, b := in[0], in[1]
 	zero := env.FromFloat64(0)
+	negOne := env.FromFloat64(-1)
 
-	x := make([]fp.Bits, n)
-	r := make([]fp.Bits, n)
-	p := make([]fp.Bits, n)
-	ap := make([]fp.Bits, n)
+	x := ensureBits(out, n)
+	buf := getBuf(3 * n)
+	defer putBuf(buf)
+	r := buf.s[:n]
+	p := buf.s[n : 2*n]
+	ap := buf.s[2*n : 3*n]
 	for i := 0; i < n; i++ {
 		x[i] = zero
 		r[i] = b[i] // r = b - A*0
 		p[i] = b[i]
 	}
 
-	dot := func(u, v []fp.Bits) fp.Bits {
-		s := zero
-		for i := 0; i < n; i++ {
-			s = env.FMA(u[i], v[i], s)
-		}
-		return s
-	}
-
-	rs := dot(r, r)
+	rs := fp.DotFMA(env, zero, r, r)
 	for it := 0; it < c.iters; it++ {
 		// Standard exact-convergence exit: once the residual norm
 		// underflows the format (routine in half precision), further
@@ -107,22 +110,23 @@ func (c *CG) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 		if env.Format().IsZero(rs) {
 			break
 		}
-		// ap = A p
-		for i := 0; i < n; i++ {
-			s := zero
-			for j := 0; j < n; j++ {
-				s = env.FMA(a[i*n+j], p[j], s)
-			}
-			ap[i] = s
-		}
-		alpha := env.Div(rs, dot(p, ap))
-		negAlpha := env.Mul(alpha, env.FromFloat64(-1))
+		// ap = A p: n single-column chains against the shared vector p.
+		fp.GemmFMA(env, ap, nil, a, p, n, 1, n)
+		alpha := env.Div(rs, fp.DotFMA(env, zero, p, ap))
+		//mixedrelvet:allow batchops one scalar per iteration, not an element-wise batch
+		negAlpha := env.Mul(alpha, negOne)
+		// x and r advance in lockstep (x[i] then r[i]); two AXPY calls
+		// would reorder the dynamic op stream and move fault indices.
+		//mixedrelvet:allow batchops interleaved x/r update must keep scalar op order
 		for i := 0; i < n; i++ {
 			x[i] = env.FMA(alpha, p[i], x[i])
 			r[i] = env.FMA(negAlpha, ap[i], r[i])
 		}
-		rsNew := dot(r, r)
+		rsNew := fp.DotFMA(env, zero, r, r)
 		beta := env.Div(rsNew, rs)
+		// p = beta*p + r broadcasts onto the multiply side of the FMA,
+		// which no batch op expresses.
+		//mixedrelvet:allow batchops broadcast-times-destination has no batch form
 		for i := 0; i < n; i++ {
 			p[i] = env.FMA(beta, p[i], r[i])
 		}

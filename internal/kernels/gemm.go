@@ -56,18 +56,25 @@ func (g *GEMM) Inputs(f fp.Format) [][]fp.Bits {
 // Run implements Kernel. The inner loop is an FMA chain, matching how
 // GEMM maps onto all three architectures.
 func (g *GEMM) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	return g.RunInto(env, in, nil)
+}
+
+// RunInto implements OutputKernel. B is packed column-major into pooled
+// scratch (pure data movement, no env operations), so each output
+// element is one contiguous DotFMA chain — the same dynamic FMA
+// sequence, in the same order, as the original scalar i/j/k nest.
+func (g *GEMM) RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits {
 	a, b := in[0], in[1]
 	n := g.n
-	c := make([]fp.Bits, n*n)
-	zero := env.FromFloat64(0)
-	for i := 0; i < n; i++ {
+	c := ensureBits(out, n*n)
+	buf := getBuf(n * n)
+	defer putBuf(buf)
+	bt := buf.s
+	for k := 0; k < n; k++ {
 		for j := 0; j < n; j++ {
-			acc := zero
-			for k := 0; k < n; k++ {
-				acc = env.FMA(a[i*n+k], b[k*n+j], acc)
-			}
-			c[i*n+j] = acc
+			bt[j*n+k] = b[k*n+j]
 		}
 	}
+	fp.GemmFMA(env, c, nil, a, bt, n, n, n)
 	return c
 }

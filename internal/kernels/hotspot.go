@@ -78,10 +78,18 @@ func (h *Hotspot) Inputs(f fp.Format) [][]fp.Bits {
 
 // Run implements Kernel: the output is the final temperature grid.
 func (h *Hotspot) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	return h.RunInto(env, in, nil)
+}
+
+// RunInto implements OutputKernel. The double-buffered grids come from
+// the scratch pool; only the final copy touches out.
+func (h *Hotspot) RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits {
 	n := h.n
-	cur := make([]fp.Bits, n*n)
+	buf := getBuf(2 * n * n)
+	defer putBuf(buf)
+	cur := buf.s[:n*n]
 	copy(cur, in[0])
-	next := make([]fp.Bits, n*n)
+	next := buf.s[n*n:]
 	copy(next, in[0]) // borders keep their boundary temperature
 	power := in[1]
 
@@ -92,6 +100,9 @@ func (h *Hotspot) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 	tamb := env.FromFloat64(hotspotTamb)
 	negTwo := env.FromFloat64(-2)
 
+	// Every cell's update is one dependent chain mixing Add/Sub/FMA over
+	// five neighbours; batching across cells would reorder the op stream.
+	//mixedrelvet:allow batchops dependent per-cell stencil chain
 	for s := 0; s < h.steps; s++ {
 		for r := 1; r < n-1; r++ {
 			for c := 1; c < n-1; c++ {
@@ -110,7 +121,7 @@ func (h *Hotspot) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 		}
 		cur, next = next, cur
 	}
-	out := make([]fp.Bits, n*n)
-	copy(out, cur)
-	return out
+	res := ensureBits(out, n*n)
+	copy(res, cur)
+	return res
 }

@@ -44,21 +44,37 @@ type Kernel interface {
 	Run(env fp.Env, in [][]fp.Bits) []fp.Bits
 }
 
+// OutputKernel is implemented by kernels whose Run can write its output
+// into a caller-provided buffer, letting campaign runners reuse one
+// output slice across thousands of faulty runs. RunInto behaves exactly
+// like Run but writes into out when cap(out) suffices (allocating
+// otherwise) and returns the slice actually used; Run(env, in) must be
+// equivalent to RunInto(env, in, nil).
+type OutputKernel interface {
+	Kernel
+	RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits
+}
+
+// ensureBits returns out resized to n elements, reallocating only when
+// the capacity is insufficient. The contents are unspecified.
+func ensureBits(out []fp.Bits, n int) []fp.Bits {
+	if cap(out) < n {
+		return make([]fp.Bits, n)
+	}
+	return out[:n]
+}
+
 // encode converts a float64 slice into format f.
 func encode(f fp.Format, xs []float64) []fp.Bits {
 	out := make([]fp.Bits, len(xs))
-	for i, x := range xs {
-		out[i] = f.FromFloat64(x)
-	}
+	fp.FromFloat64N(f, out, xs)
 	return out
 }
 
 // Decode converts raw outputs in format f to float64 for comparison.
 func Decode(f fp.Format, bs []fp.Bits) []float64 {
 	out := make([]float64, len(bs))
-	for i, b := range bs {
-		out[i] = f.ToFloat64(b)
-	}
+	fp.ToFloat64N(f, out, bs)
 	return out
 }
 

@@ -68,10 +68,15 @@ func (l *LavaMD) Inputs(f fp.Format) [][]fp.Bits {
 // Run implements Kernel. The output is fA: 4 accumulators (v,x,y,z) per
 // particle.
 func (l *LavaMD) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	return l.RunInto(env, in, nil)
+}
+
+// RunInto implements OutputKernel.
+func (l *LavaMD) RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits {
 	rv, qv := in[0], in[1]
 	dim, perBox := l.dim, l.perBx
 	n := l.Particles()
-	fA := make([]fp.Bits, 4*n)
+	fA := ensureBits(out, 4*n)
 	zero := env.FromFloat64(0)
 	for i := range fA {
 		fA[i] = zero
@@ -109,6 +114,9 @@ func (l *LavaMD) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 // interact accumulates the contribution of the perBox particles starting
 // at box nb onto the particles starting at box home.
 func (l *LavaMD) interact(env fp.Env, rv, qv, fA []fp.Bits, home, nb int, a2, two, negOne fp.Bits) {
+	// Every pair interaction is one dependent chain through exp with
+	// four interleaved accumulators; Rodinia's op order is the spec.
+	//mixedrelvet:allow batchops dependent pair chain with interleaved accumulators
 	for i := home; i < home+l.perBx; i++ {
 		riV, riX, riY, riZ := rv[4*i], rv[4*i+1], rv[4*i+2], rv[4*i+3]
 		accV, accX, accY, accZ := fA[4*i], fA[4*i+1], fA[4*i+2], fA[4*i+3]

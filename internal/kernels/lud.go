@@ -62,20 +62,31 @@ func (l *LUD) Inputs(f fp.Format) [][]fp.Bits {
 
 // Run implements Kernel.
 func (l *LUD) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	return l.RunInto(env, in, nil)
+}
+
+// RunInto implements OutputKernel. The trailing-row update is the AXPY
+// m[i][k+1:] += -l_ik * u[k][k+1:], bit- and order-identical to the
+// original scalar j loop; rows i and k are disjoint, so the pivot row
+// never aliases the destination.
+func (l *LUD) RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits {
 	n := l.n
-	m := make([]fp.Bits, n*n)
+	m := ensureBits(out, n*n)
 	copy(m, in[0])
+	negOne := env.FromFloat64(-1)
 	for k := 0; k < n; k++ {
 		// U row k is already final. Compute the L column below the
 		// pivot, then eliminate.
 		piv := m[k*n+k]
+		urow := m[k*n+k+1 : (k+1)*n]
+		// The divide and negation are loop-carried scalars feeding the
+		// per-row AXPY; only the j dimension batches.
+		//mixedrelvet:allow batchops per-row Div/Mul feed the AXPY
 		for i := k + 1; i < n; i++ {
 			lik := env.Div(m[i*n+k], piv)
 			m[i*n+k] = lik
-			negLik := env.Mul(lik, env.FromFloat64(-1))
-			for j := k + 1; j < n; j++ {
-				m[i*n+j] = env.FMA(negLik, m[k*n+j], m[i*n+j])
-			}
+			negLik := env.Mul(lik, negOne)
+			fp.AXPY(env, m[i*n+k+1:(i+1)*n], negLik, urow)
 		}
 	}
 	return m

@@ -84,13 +84,21 @@ func (m *Micro) Inputs(f fp.Format) [][]fp.Bits {
 // Run implements Kernel: the output is each thread's final register
 // value, which fault-free equals its seed.
 func (m *Micro) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	return m.RunInto(env, in, nil)
+}
+
+// RunInto implements OutputKernel.
+func (m *Micro) RunInto(env fp.Env, in [][]fp.Bits, out []fp.Bits) []fp.Bits {
 	one := env.FromFloat64(1)
 	negOne := env.FromFloat64(-1)
 	two := env.FromFloat64(2)
 	half := env.FromFloat64(0.5)
 	negHalf := env.FromFloat64(-0.5)
 
-	out := make([]fp.Bits, m.Threads)
+	out = ensureBits(out, m.Threads)
+	// Each thread's chain is register-resident and strictly dependent:
+	// the defining structure of the microbenchmarks, nothing to batch.
+	//mixedrelvet:allow batchops dependent per-thread op chain
 	for t := 0; t < m.Threads; t++ {
 		x := in[0][t]
 		for i := 0; i < m.OpsPerThread; i += 2 {

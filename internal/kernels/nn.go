@@ -59,6 +59,10 @@ func (l *convLayer) encodeParams(f fp.Format) (w, b []fp.Bits) {
 }
 
 // forward applies the convolution through env using pre-encoded params.
+// The input is gathered im2col-style into a pooled patch matrix (pure
+// data movement, no env operations), so every output pixel is one
+// contiguous DotFMA chain — the identical dynamic FMA sequence, in the
+// identical (oc, y, x, ic, ky, kx) order, as the original scalar nest.
 func (l *convLayer) forward(env fp.Env, in tensor, w, b []fp.Bits) tensor {
 	if in.c != l.inC {
 		panic(fmt.Sprintf("kernels: conv expects %d channels, got %d", l.inC, in.c))
@@ -66,22 +70,27 @@ func (l *convLayer) forward(env fp.Env, in tensor, w, b []fp.Bits) tensor {
 	oh, ow := l.outShape(in.h, in.w)
 	out := newTensor(l.outC, oh, ow)
 	k := l.k
-	for oc := 0; oc < l.outC; oc++ {
-		wBase := oc * l.inC * k * k
-		for y := 0; y < oh; y++ {
-			for x := 0; x < ow; x++ {
-				acc := b[oc]
-				for ic := 0; ic < l.inC; ic++ {
-					for ky := 0; ky < k; ky++ {
-						for kx := 0; kx < k; kx++ {
-							acc = env.FMA(w[wBase+(ic*k+ky)*k+kx], in.at(ic, y+ky, x+kx), acc)
-						}
-					}
+	plen := l.inC * k * k
+	buf := getBuf(oh * ow * plen)
+	defer putBuf(buf)
+	col := buf.s
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			p := col[(y*ow+x)*plen:]
+			idx := 0
+			for ic := 0; ic < l.inC; ic++ {
+				for ky := 0; ky < k; ky++ {
+					base := (ic*in.h+y+ky)*in.w + x
+					copy(p[idx:idx+k], in.data[base:base+k])
+					idx += k
 				}
-				out.set(oc, y, x, acc)
 			}
 		}
 	}
+	// out.data order is (oc, y, x) and the col pixel order is (y, x), so
+	// the whole layer is one chain grid: rows = output channels, cols =
+	// pixels, k = patch length.
+	fp.GemmFMA(env, out.data, b, w, col, l.outC, oh*ow, plen)
 	return out
 }
 
@@ -139,6 +148,9 @@ func relu64(xs []float64) {
 func leakyReLUT(env fp.Env, t tensor) {
 	f := env.Format()
 	eighth := env.FromFloat64(0.125)
+	// Data-dependent: only negative elements multiply, so the op stream
+	// is sparse and cannot batch without changing fault indices.
+	//mixedrelvet:allow batchops conditional per-element multiply
 	for i, v := range t.data {
 		if !isPositive(f, v) && !f.IsZero(v) {
 			t.data[i] = env.Mul(v, eighth)
@@ -160,6 +172,9 @@ func avgPool2(env fp.Env, in tensor) tensor {
 	oh, ow := in.h/2, in.w/2
 	out := newTensor(in.c, oh, ow)
 	quarter := env.FromFloat64(0.25)
+	// Each window is a dependent Add/Add/Add/Mul chain; batching across
+	// windows would interleave kinds and reorder the op stream.
+	//mixedrelvet:allow batchops dependent per-window reduction
 	for c := 0; c < in.c; c++ {
 		for y := 0; y < oh; y++ {
 			for x := 0; x < ow; x++ {
@@ -256,14 +271,8 @@ func (l *denseLayer) forward(env fp.Env, in []fp.Bits, w, b []fp.Bits) []fp.Bits
 		panic(fmt.Sprintf("kernels: dense expects %d inputs, got %d", l.in, len(in)))
 	}
 	out := make([]fp.Bits, l.out)
-	for o := 0; o < l.out; o++ {
-		acc := b[o]
-		base := o * l.in
-		for i := 0; i < l.in; i++ {
-			acc = env.FMA(w[base+i], in[i], acc)
-		}
-		out[o] = acc
-	}
+	// One chain per output neuron against the shared input vector.
+	fp.GemmFMA(env, out, b, w, in, l.out, 1, l.in)
 	return out
 }
 
@@ -292,6 +301,9 @@ func softmaxT(env fp.Env, in []fp.Bits) []fp.Bits {
 	}
 	exps := make([]fp.Bits, len(in))
 	sum := env.FromFloat64(0)
+	// Sub/Exp/Add interleave per element (the Exp may decompose into
+	// many counted ops), so the summation order is the contract.
+	//mixedrelvet:allow batchops interleaved exp and running sum
 	for i, v := range in {
 		exps[i] = env.Exp(env.Sub(v, max))
 		sum = env.Add(sum, exps[i])

@@ -1,0 +1,27 @@
+package kernels
+
+import (
+	"sync"
+
+	"mixedrel/internal/fp"
+)
+
+// scratchBuf boxes a pooled scratch slice behind a pointer so that
+// returning it to the pool does not allocate an interface header.
+type scratchBuf struct{ s []fp.Bits }
+
+var bitsPool = sync.Pool{New: func() any { return new(scratchBuf) }}
+
+// getBuf returns a pooled scratch buffer whose slice has length n and
+// unspecified contents. Return it with putBuf when done; the slice must
+// not be retained past that point.
+func getBuf(n int) *scratchBuf {
+	b := bitsPool.Get().(*scratchBuf)
+	if cap(b.s) < n {
+		b.s = make([]fp.Bits, n)
+	}
+	b.s = b.s[:n]
+	return b
+}
+
+func putBuf(b *scratchBuf) { bitsPool.Put(b) }

@@ -12,7 +12,22 @@ cd "$(dirname "$0")/.."
 
 pattern="${BENCH_RE:-.}"
 benchtime="${BENCHTIME:-1x}"
-out_file="BENCH_$(date +%Y%m%d).json"
+today="$(date +%Y%m%d)"
+out_file="BENCH_${today}.json"
+
+# Pick the comparison baseline before writing anything. A same-day rerun
+# snapshots the existing file to BENCH_<date>.<n>.json (which sorts
+# before the plain .json, keeping the newest results at the expected
+# name) so history is never overwritten.
+prev=""
+if [[ -e "$out_file" ]]; then
+    n=0
+    while [[ -e "BENCH_${today}.${n}.json" ]]; do n=$((n + 1)); done
+    prev="BENCH_${today}.${n}.json"
+    mv "$out_file" "$prev"
+else
+    prev=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+fi
 
 raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .)
 echo "$raw"
@@ -36,3 +51,8 @@ END { print "\n]" }' > "$out_file"
 
 echo
 echo "wrote $out_file"
+
+if [[ -n "$prev" && "$prev" != "$out_file" ]]; then
+    echo
+    go run ./cmd/benchdiff "$prev" "$out_file"
+fi
