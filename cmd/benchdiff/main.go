@@ -7,6 +7,11 @@
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
+//	benchdiff NEW.json
+//
+// The single-argument form is for the first recording on a machine:
+// there is no baseline yet, so benchdiff says so and lists the new
+// snapshot instead of failing with a usage error.
 package main
 
 import (
@@ -30,8 +35,28 @@ type entry struct {
 const regressionPct = 10.0
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	switch len(os.Args) {
+	case 2:
+		// Only one recording exists — nothing to diff against.
+		onlyE, err := load(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("no baseline snapshot to compare against; %s is the first recording (%d benchmarks)\n",
+			os.Args[1], len(onlyE))
+		fmt.Println("re-run benchdiff with two snapshots (benchdiff OLD.json NEW.json) once a second one exists")
+		names := make([]string, 0, len(onlyE))
+		for name := range onlyE {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-36s %14.0f ns/op\n", name, onlyE[name].NsPerOp)
+		}
+		return
+	case 3:
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [OLD.json] NEW.json")
 		os.Exit(2)
 	}
 	oldE, err := load(os.Args[1])

@@ -26,34 +26,63 @@ func main() {
 	faults := flag.Int("faults", 2000, "injected faults (one per execution)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	size := flag.Int("size", 16, "kernel size parameter")
-	sitesFlag := flag.String("sites", "operand,memory", "comma-separated fault sites: operation, operand, memory")
+	sitesFlag := flag.String("sites", "operand,memory", "comma-separated fault sites: operation, operand, memory, control")
+	watchdog := flag.Float64("watchdog", 0, "hang watchdog budget as a multiple of the fault-free op count (0 = default when injecting control faults)")
+	trap := flag.Bool("trap", false, "classify NaN/Inf results produced by a fault as crash-DUEs")
+	checkpointPath := flag.String("checkpoint", "", "journal classified samples to this file and resume from it")
 	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler goroutine bound for this process")
 	sampleWorkers := flag.Int("sample-workers", 1, "injection goroutines (>1 changes the sample but stays deterministic)")
 	flag.Parse()
 
+	// Validate everything up front: a bad flag must be a usage error
+	// here, not a panic (or a silent hang) mid-campaign.
+	if flag.NArg() > 0 {
+		failUsage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+	if *faults <= 0 {
+		failUsage(fmt.Errorf("-faults must be positive, got %d", *faults))
+	}
+	if *size <= 0 {
+		failUsage(fmt.Errorf("-size must be positive, got %d", *size))
+	}
+	if *workers <= 0 {
+		failUsage(fmt.Errorf("-workers must be positive, got %d", *workers))
+	}
+	if *sampleWorkers <= 0 {
+		failUsage(fmt.Errorf("-sample-workers must be positive, got %d", *sampleWorkers))
+	}
+	if *watchdog < 0 {
+		failUsage(fmt.Errorf("-watchdog must be non-negative, got %g", *watchdog))
+	}
+
 	exec.SetMaxWorkers(*workers)
 
 	kernel, err := pickKernel(*kernelName, *size, *seed)
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	format, err := pickFormat(*formatName)
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	sites, err := pickSites(*sitesFlag)
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 
 	c := mixedrel.InjectionCampaign{
-		Kernel:  kernel,
-		Format:  format,
-		Faults:  *faults,
-		Seed:    *seed,
-		Sites:   sites,
-		Workers: *sampleWorkers,
+		Kernel:        kernel,
+		Format:        format,
+		Faults:        *faults,
+		Seed:          *seed,
+		Sites:         sites,
+		Watchdog:      *watchdog,
+		TrapNonFinite: *trap,
+		Workers:       *sampleWorkers,
+	}
+	if *checkpointPath != "" {
+		c.Checkpoint = &mixedrel.Checkpoint{Path: *checkpointPath}
 	}
 	res, err := c.Run()
 	if err != nil {
@@ -74,6 +103,14 @@ func main() {
 
 	fmt.Printf("kernel  %s\nformat  %v\nfaults  %d\n", kernel.Name(), format, res.Faults)
 	fmt.Printf("SDCs    %d\nmasked  %d\nPVF     %.4f\n", res.SDCs, res.Masked, res.PVF)
+	if n := res.DUEs(); n > 0 {
+		fmt.Printf("DUEs    %d (crash %d, hang %d)\nP(DUE)  %.4f\n",
+			n, res.CrashDUEs, res.HangDUEs, res.PDUE)
+	}
+	for _, ab := range res.Aborted {
+		fmt.Printf("aborted sample %d (%s, replay seed %#x): %s\n",
+			ab.Index, ab.Fault, ab.Seed, ab.Panic)
+	}
 
 	if len(res.RelErrs) > 0 {
 		errs := append([]float64(nil), res.RelErrs...)
@@ -139,6 +176,8 @@ func pickSites(s string) ([]mixedrel.Site, error) {
 			sites = append(sites, mixedrel.SiteOperand)
 		case "memory":
 			sites = append(sites, mixedrel.SiteMemory)
+		case "control":
+			sites = append(sites, mixedrel.SiteControl)
 		case "":
 		default:
 			return nil, fmt.Errorf("unknown fault site %q", part)
@@ -153,4 +192,12 @@ func pickSites(s string) ([]mixedrel.Site, error) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "carolfi:", err)
 	os.Exit(1)
+}
+
+// failUsage reports a bad invocation: the error, then the flag set's
+// usage text, then a non-zero exit (the conventional usage code 2).
+func failUsage(err error) {
+	fmt.Fprintln(os.Stderr, "carolfi:", err)
+	flag.Usage()
+	os.Exit(2)
 }

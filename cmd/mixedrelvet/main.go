@@ -9,8 +9,9 @@
 // loops use the batch execution layer where one exists (batchops),
 // results are a
 // function of the seed alone and render in deterministic order
-// (determinism), and all concurrency stays under the bounded scheduler
-// (boundedgo).
+// (determinism), all concurrency stays under the bounded scheduler
+// (boundedgo), and emulated crash/hang aborts are recovered only by
+// the execution engine's guard (panicsafety).
 //
 // Usage:
 //
@@ -33,6 +34,7 @@ import (
 	"mixedrel/internal/analysis/bitsops"
 	"mixedrel/internal/analysis/boundedgo"
 	"mixedrel/internal/analysis/determinism"
+	"mixedrel/internal/analysis/panicsafety"
 	"mixedrel/internal/analysis/softfloat"
 )
 
@@ -44,6 +46,7 @@ var suite = []*analysis.Analyzer{
 	bitsops.Analyzer,
 	boundedgo.Analyzer,
 	determinism.Analyzer,
+	panicsafety.Analyzer,
 	softfloat.Analyzer,
 }
 

@@ -28,23 +28,52 @@ func main() {
 	trials := flag.Int("trials", 1000, "beam strikes per point")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	opScale := flag.Float64("opscale", 1e6, "paper-scale multiplier for ops at the smallest size")
+	behavioralDUE := flag.Bool("behavioral-due", false, "derive DUEs behaviorally (control-fault injection + watchdog) instead of the calibrated constant rate")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent (size, format) campaigns (never changes the numbers)")
 	sampleWorkers := flag.Int("sample-workers", 1, "beam-trial goroutines inside one campaign (>1 changes the sample but stays deterministic)")
 	flag.Parse()
+
+	// Validate everything — including the kernel name, which is
+	// otherwise first resolved inside the concurrent grid — before any
+	// campaign starts, so a typo is a usage error and not a mid-sweep
+	// failure.
+	if flag.NArg() > 0 {
+		failUsage(fmt.Errorf("unexpected argument %q", flag.Arg(0)))
+	}
+	if *trials <= 0 {
+		failUsage(fmt.Errorf("-trials must be positive, got %d", *trials))
+	}
+	if *opScale <= 0 {
+		failUsage(fmt.Errorf("-opscale must be positive, got %g", *opScale))
+	}
+	if *workers <= 0 {
+		failUsage(fmt.Errorf("-workers must be positive, got %d", *workers))
+	}
+	if *sampleWorkers <= 0 {
+		failUsage(fmt.Errorf("-sample-workers must be positive, got %d", *sampleWorkers))
+	}
 
 	exec.SetMaxWorkers(*workers)
 
 	device, err := pickDevice(*deviceName)
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	sizes, err := parseInts(*sizesFlag)
 	if err != nil {
-		fail(err)
+		failUsage(err)
+	}
+	for _, n := range sizes {
+		if n <= 0 {
+			failUsage(fmt.Errorf("sizes must be positive, got %d", n))
+		}
 	}
 	formats, err := parseFormats(*formatsFlag, device)
 	if err != nil {
-		fail(err)
+		failUsage(err)
+	}
+	if _, _, err := pickKernel(*kernelName, sizes[0], *seed); err != nil {
+		failUsage(err)
 	}
 
 	fmt.Printf("%-6s  %-9s  %-12s  %-12s  %-12s  %-10s\n",
@@ -79,6 +108,7 @@ func main() {
 		}
 		res, err := mixedrel.BeamExperiment{
 			Mapping: m, Trials: *trials, Seed: *seed, Workers: *sampleWorkers,
+			BehavioralDUE: *behavioralDUE,
 		}.Run()
 		if err != nil {
 			return err
@@ -187,4 +217,12 @@ func parseFormats(s string, device mixedrel.Device) ([]mixedrel.Format, error) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
+}
+
+// failUsage reports a bad invocation: the error, then the flag set's
+// usage text, then a non-zero exit (the conventional usage code 2).
+func failUsage(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,12 @@
+package panicsafety_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/panicsafety"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), panicsafety.Analyzer, "p", "internal/exec")
+}

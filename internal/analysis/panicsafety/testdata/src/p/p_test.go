@@ -1,0 +1,11 @@
+package p
+
+// Tests legitimately recover to assert a panic happened; _test.go files
+// are exempt.
+func mustPanic(f func()) (panicked bool) {
+	defer func() {
+		panicked = recover() != nil
+	}()
+	f()
+	return
+}

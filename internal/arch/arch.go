@@ -75,6 +75,10 @@ type Exposure struct {
 	Protected bool
 	// DUEFraction is the probability that a strike on this class kills
 	// the execution outright (control logic). The remainder is masked.
+	// This is the legacy constant-rate model, calibrated from the
+	// paper's beam data; beam experiments with BehavioralDUE set ignore
+	// it and derive the DUE rate from actual control-state fault
+	// injection (see internal/inject's control fault classes).
 	DUEFraction float64
 	// VulnFraction is the probability that a strike on this class
 	// reaches architectural state at all (e.g. the fraction of a

@@ -26,12 +26,18 @@
 //	RegisterFile   -> a single dynamic operation's input operand bit
 //	                  flips (if unprotected)
 //	MemorySRAM     -> an input-array element bit flips before the run
-//	ControlLogic   -> DUE with probability DUEFraction, else masked
+//	ControlLogic   -> legacy: DUE with probability DUEFraction, else
+//	                  masked; with Experiment.BehavioralDUE, a concrete
+//	                  control-state corruption (loop counter / index /
+//	                  pointer) runs the workload and the DUE rate
+//	                  emerges from observed crashes and watchdog hangs
 package beam
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"mixedrel/internal/arch"
 	"mixedrel/internal/exec"
@@ -100,6 +106,25 @@ type Experiment struct {
 	// exactly how the Xeon Phi MCA turns register-file MBUs into
 	// machine checks.
 	MBU MBU
+	// BehavioralDUE replaces the constant ControlLogic DUEFraction with
+	// actual control-state fault injection (inject.SiteControl
+	// semantics): each control strike runs the workload with a
+	// corrupted loop counter / index / pointer, and FIT_DUE emerges
+	// from the observed crash/hang rate instead of an asserted
+	// constant. The watchdog and (optional) FP trap also arm for the
+	// datapath strike classes, so e.g. a NaN-producing register flip
+	// can surface as a crash rather than an SDC.
+	BehavioralDUE bool
+	// Watchdog is the op-budget hang-detection factor used by
+	// behavioral runs (0 means inject.DefaultWatchdogFactor).
+	Watchdog float64
+	// TrapNonFinite arms the FP trap in behavioral runs.
+	TrapNonFinite bool
+	// Checkpoint, when non-nil, journals classified trials for
+	// crash-tolerant resume, exactly like inject.Campaign.Checkpoint
+	// (per-trial random streams regardless of Workers; byte-identical
+	// aggregates across interruptions).
+	Checkpoint *exec.Checkpoint
 }
 
 // ClassCounts tallies outcomes attributed to one resource class.
@@ -109,15 +134,25 @@ type ClassCounts struct {
 
 // Result summarizes a beam campaign.
 type Result struct {
-	Trials             int
-	SDC, DUE, Masked   int
+	Trials           int
+	SDC, DUE, Masked int
+	// DUECrash and DUEHang split the behavioral DUEs by detector
+	// (constant-DUEFraction and SECDED DUEs carry no split).
+	DUECrash, DUEHang  int
 	ExposureRate       float64
 	FITSDC, FITDUE     float64
 	FITSDCLo, FITSDCHi float64 // 95% Poisson CI on FITSDC
 	RelErrs            []float64
 	Outputs            [][]float64
 	ByClass            map[arch.ResourceClass]*ClassCounts
+	// Aborted diagnoses trials whose execution panicked inside the
+	// simulator; they are excluded from every rate denominator.
+	Aborted []inject.AbortedSample
 }
+
+// Classified returns how many trials produced a masked/SDC/DUE
+// classification (Trials minus aborted trials).
+func (r *Result) Classified() int { return r.Trials - len(r.Aborted) }
 
 // Run executes the campaign. Results are deterministic in Experiment.Seed.
 func (e Experiment) Run() (*Result, error) {
@@ -162,40 +197,115 @@ func (e Experiment) Run() (*Result, error) {
 		res.ByClass[x.Class] = &ClassCounts{}
 	}
 
+	watchdog := e.Watchdog
+	if watchdog <= 0 && (e.BehavioralDUE || e.TrapNonFinite) {
+		watchdog = inject.DefaultWatchdogFactor
+	}
 	ctx := &trialCtx{exp: e, exposures: exposures, rate: rate,
-		runner: runner, arrayLens: runner.ArrayLens()}
+		runner: runner, arrayLens: runner.ArrayLens(), watchdog: watchdog}
 
 	// Sequential mode (Workers <= 1) threads one random stream through
 	// the trials in order; parallel mode gives every trial its own
 	// stream derived from the campaign seed, so the outcome is
 	// deterministic in Seed and independent of scheduling (but a
 	// different — equally valid — sample than the sequential one).
+	// Checkpointed campaigns always use per-trial streams (resume must
+	// not depend on which trials a previous invocation completed).
 	outs := make([]trialOutcome, e.Trials)
-	err := exec.Sample(e.Workers, e.Trials, e.Seed, func(t int, r *rng.Rand) error {
-		outs[t] = ctx.runTrial(r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	perTrial := e.Workers > 1
+	if e.Checkpoint != nil {
+		perTrial = true
+		if err := e.runCheckpointed(ctx, outs); err != nil {
+			return nil, err
+		}
+	} else {
+		err := exec.Sample(e.Workers, e.Trials, e.Seed, func(t int, r *rng.Rand) error {
+			outs[t] = ctx.runTrial(r)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	for _, o := range outs {
+	for t, o := range outs {
+		if o.aborted {
+			var seed uint64
+			if perTrial {
+				seed = exec.SampleSeed(e.Seed, t)
+			}
+			res.Aborted = append(res.Aborted, inject.AbortedSample{
+				Index: t, Seed: seed, Fault: o.fault, Panic: o.panicMsg})
+			continue
+		}
 		res.record(o, e.KeepOutputs)
 	}
 
-	res.FITSDC = rate * float64(res.SDC) / float64(res.Trials)
-	res.FITDUE = rate * float64(res.DUE) / float64(res.Trials)
-	lo, hi := stats.PoissonCI(int64(res.SDC), 0.95)
-	res.FITSDCLo = rate * lo / float64(res.Trials)
-	res.FITSDCHi = rate * hi / float64(res.Trials)
+	n := float64(res.Classified())
+	if n > 0 {
+		res.FITSDC = rate * float64(res.SDC) / n
+		res.FITDUE = rate * float64(res.DUE) / n
+		lo, hi := stats.PoissonCI(int64(res.SDC), 0.95)
+		res.FITSDCLo = rate * lo / n
+		res.FITSDCHi = rate * hi / n
+	}
 	return res, nil
+}
+
+// runCheckpointed executes the campaign's missing trials against the
+// checkpoint journal, returning exec.ErrPartial while incomplete.
+func (e Experiment) runCheckpointed(ctx *trialCtx, outs []trialOutcome) error {
+	j, err := e.Checkpoint.Open()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+
+	var ran atomic.Int64
+	limit := int64(e.Checkpoint.Limit)
+	err = exec.SampleResume(e.Workers, e.Trials, e.Seed, func(t int) bool {
+		if _, ok := j.Done(t); ok {
+			return true
+		}
+		return limit > 0 && ran.Load() >= limit
+	}, func(t int, r *rng.Rand) error {
+		if limit > 0 && ran.Add(1) > limit {
+			return nil
+		}
+		return j.Record(t, ctx.runTrial(r).record())
+	})
+	if err != nil {
+		return err
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	for t := range outs {
+		raw, ok := j.Done(t)
+		if !ok {
+			return exec.ErrPartial
+		}
+		var rec trialRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("beam: corrupt checkpoint record %d: %w", t, err)
+		}
+		outs[t] = rec.outcome()
+	}
+	return nil
 }
 
 // trialOutcome is the classified result of one simulated strike.
 type trialOutcome struct {
 	class   arch.ResourceClass
 	outcome int // 0 masked, 1 SDC, 2 DUE
-	relErr  float64
-	output  []float64
+	// cause splits behavioral DUEs by detector (CauseNone for the
+	// constant-DUEFraction and SECDED paths).
+	cause  inject.DUECause
+	relErr float64
+	output []float64
+	// aborted marks a trial whose execution panicked in the simulator;
+	// fault/panicMsg carry its replay diagnostic.
+	aborted         bool
+	fault, panicMsg string
 }
 
 const (
@@ -203,6 +313,57 @@ const (
 	outSDC
 	outDUE
 )
+
+// trialRecord is trialOutcome's checkpoint encoding; floats travel as
+// IEEE bit patterns so resume stays bit-exact (JSON has no NaN/Inf).
+type trialRecord struct {
+	Class      int      `json:"cl"`
+	Outcome    int      `json:"o,omitempty"`
+	Cause      int      `json:"c,omitempty"`
+	RelErrBits uint64   `json:"r,omitempty"`
+	OutputBits []uint64 `json:"out,omitempty"`
+	Aborted    bool     `json:"ab,omitempty"`
+	Fault      string   `json:"f,omitempty"`
+	Panic      string   `json:"p,omitempty"`
+}
+
+func (o trialOutcome) record() trialRecord {
+	rec := trialRecord{
+		Class:      int(o.class),
+		Outcome:    o.outcome,
+		Cause:      int(o.cause),
+		RelErrBits: math.Float64bits(o.relErr),
+		Aborted:    o.aborted,
+		Fault:      o.fault,
+		Panic:      o.panicMsg,
+	}
+	if o.output != nil {
+		rec.OutputBits = make([]uint64, len(o.output))
+		for i, v := range o.output {
+			rec.OutputBits[i] = math.Float64bits(v)
+		}
+	}
+	return rec
+}
+
+func (rec trialRecord) outcome() trialOutcome {
+	o := trialOutcome{
+		class:    arch.ResourceClass(rec.Class),
+		outcome:  rec.Outcome,
+		cause:    inject.DUECause(rec.Cause),
+		relErr:   math.Float64frombits(rec.RelErrBits),
+		aborted:  rec.Aborted,
+		fault:    rec.Fault,
+		panicMsg: rec.Panic,
+	}
+	if rec.OutputBits != nil {
+		o.output = make([]float64, len(rec.OutputBits))
+		for i, b := range rec.OutputBits {
+			o.output[i] = math.Float64frombits(b)
+		}
+	}
+	return o
+}
 
 // record folds one trial into the aggregate result.
 func (res *Result) record(o trialOutcome, keep bool) {
@@ -219,6 +380,12 @@ func (res *Result) record(o trialOutcome, keep bool) {
 	case outDUE:
 		res.DUE++
 		cc.DUE++
+		switch o.cause {
+		case inject.CauseWatchdog:
+			res.DUEHang++
+		case inject.CauseSegfault, inject.CauseTrap:
+			res.DUECrash++
+		}
 	default:
 		res.Masked++
 		cc.Masked++
@@ -232,6 +399,31 @@ type trialCtx struct {
 	rate      float64
 	runner    *inject.Runner
 	arrayLens []int
+	watchdog  float64
+}
+
+// run executes one faulty run under the trial's fault spec with the
+// campaign's detectors armed, folding the classification into out. A
+// simulator panic becomes an aborted-trial diagnostic.
+func (c *trialCtx) run(spec inject.FaultSpec, out *trialOutcome) {
+	spec.Watchdog = c.watchdog
+	spec.TrapNonFinite = c.exp.TrapNonFinite
+	rr, abort := c.runner.RunSpec(spec, c.exp.KeepOutputs)
+	if abort != nil {
+		out.aborted = true
+		out.fault = spec.Desc()
+		out.panicMsg = abort.String()
+		return
+	}
+	switch rr.Outcome {
+	case inject.SDC:
+		out.outcome = outSDC
+		out.relErr = rr.MaxRelErr
+		out.output = rr.Output
+	case inject.CrashDUE, inject.HangDUE:
+		out.outcome = outDUE
+		out.cause = rr.Cause
+	}
 }
 
 // runTrial simulates one strike, drawing all randomness from r.
@@ -254,13 +446,20 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 		return out
 	}
 
-	var rr inject.RunResult
 	switch x.Class {
 	case arch.ControlLogic:
-		if r.Float64() < x.DUEFraction {
-			out.outcome = outDUE
+		if !e.BehavioralDUE {
+			// Legacy model: an asserted constant DUE probability.
+			if r.Float64() < x.DUEFraction {
+				out.outcome = outDUE
+			}
+			return out
 		}
-		return out
+		// Behavioral model: the strike corrupts actual control state
+		// (loop counter / index / pointer) and the DUE rate emerges
+		// from running the workload with it.
+		cf := inject.SampleControlFault(r, m.Counts)
+		c.run(inject.FaultSpec{Control: &cf}, &out)
 
 	case arch.ConfigMemory:
 		kind := sampleOpKind(r, x.OpWeights, m.Counts)
@@ -276,7 +475,7 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 			Width:  width,
 			Target: inject.TargetResult,
 		}
-		rr = c.runner.Run(&fault, nil, e.KeepOutputs)
+		c.run(inject.FaultSpec{Op: &fault}, &out)
 
 	case arch.FunctionalUnit:
 		if r.Float64() >= x.Vuln() {
@@ -299,7 +498,7 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 				Bit:    r.Intn(5),
 				Target: inject.TargetIntState,
 			}
-			rr = c.runner.Run(&fault, nil, e.KeepOutputs)
+			c.run(inject.FaultSpec{Op: &fault}, &out)
 			break
 		}
 		kind := sampleOpKind(r, x.OpWeights, m.Counts)
@@ -310,26 +509,20 @@ func (c *trialCtx) runTrial(r *rng.Rand) trialOutcome {
 			Width:  width,
 			Target: inject.TargetResult,
 		}
-		rr = c.runner.Run(&fault, nil, e.KeepOutputs)
+		c.run(inject.FaultSpec{Op: &fault}, &out)
 
 	case arch.RegisterFile:
 		fault := inject.SampleOpFault(r, m.Counts, m.Format, 0, true, inject.TargetOperand)
 		fault.Width = width
-		rr = c.runner.Run(&fault, nil, e.KeepOutputs)
+		c.run(inject.FaultSpec{Op: &fault}, &out)
 
 	case arch.MemorySRAM:
 		mf := inject.SampleMemFault(r, c.arrayLens, m.Format)
 		mf.Width = width
-		rr = c.runner.Run(nil, []inject.MemFault{mf}, e.KeepOutputs)
+		c.run(inject.FaultSpec{Mem: []inject.MemFault{mf}}, &out)
 
 	default:
 		panic(fmt.Sprintf("beam: unhandled resource class %v", x.Class))
-	}
-
-	if rr.Outcome == inject.SDC {
-		out.outcome = outSDC
-		out.relErr = rr.MaxRelErr
-		out.output = rr.Output
 	}
 	return out
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -47,6 +48,17 @@ type Config struct {
 	// different — equally valid — sample than the sequential default,
 	// which 0 or 1 select).
 	SampleWorkers int
+	// CheckpointDir, when set, makes checkpoint-aware experiments
+	// (ext-due) journal their campaigns there for crash-tolerant
+	// resume: an interrupted grid re-run with the same configuration
+	// completes only the missing samples and renders byte-identical
+	// tables. Checkpointed campaigns use per-sample random streams, so
+	// their tables differ from (equally valid) non-checkpointed runs.
+	CheckpointDir string
+	// CheckpointLimit, when positive, bounds how many new samples each
+	// checkpointed campaign classifies per invocation before returning
+	// exec.ErrPartial — a deterministic interruption for resume tests.
+	CheckpointLimit int
 }
 
 // DefaultConfig returns the paper-sized campaign configuration.
@@ -87,6 +99,26 @@ func (c Config) seedFor(id string, idx uint64) uint64 {
 		h = h*1099511628211 + uint64(b)
 	}
 	return h*31 + idx
+}
+
+// checkpointFor returns the checkpoint for one campaign of a
+// checkpoint-aware experiment, nil when checkpointing is disabled. The
+// name parts must uniquely identify the campaign within the directory.
+func (c Config) checkpointFor(parts ...string) *exec.Checkpoint {
+	if c.CheckpointDir == "" {
+		return nil
+	}
+	name := ""
+	for i, p := range parts {
+		if i > 0 {
+			name += "-"
+		}
+		name += p
+	}
+	return &exec.Checkpoint{
+		Path:  filepath.Join(c.CheckpointDir, name+".ckpt"),
+		Limit: c.CheckpointLimit,
+	}
 }
 
 // gridWorkers returns the effective cross-configuration parallelism.
@@ -155,6 +187,7 @@ var Experiments = []Definition{
 	{"ext-accum", "Extension: FPGA configuration-fault accumulation", ExtAccum},
 	{"ext-mitigation", "Extension: TMR and ABFT protection of MxM", ExtMitigation},
 	{"ext-solver", "Extension: iterative vs direct solver fault absorption", ExtSolver},
+	{"ext-due", "Extension: behavioral DUE emulation and first-principles FIT-DUE", ExtDUE},
 }
 
 // Get returns the experiment with the given id.

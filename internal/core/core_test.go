@@ -87,7 +87,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6",
 		"fig7", "fig8", "fig9", "table3", "fig10a", "fig10b", "fig10c",
 		"fig11a", "fig11b", "fig11c", "fig12", "fig13",
-		"ext-bf16", "ext-mbu", "ext-accum", "ext-mitigation", "ext-solver"}
+		"ext-bf16", "ext-mbu", "ext-accum", "ext-mitigation", "ext-solver",
+		"ext-due"}
 	if len(Experiments) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(Experiments), len(want))
 	}

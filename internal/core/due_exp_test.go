@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mixedrel/internal/exec"
+	"mixedrel/internal/report"
+)
+
+func TestExtDUEShape(t *testing.T) {
+	tbl := runExp(t, "ext-due")
+	if len(tbl.Rows) != len(phiOrder)*len(phiFormats) {
+		t.Fatalf("ext-due has %d rows, want %d", len(tbl.Rows), len(phiOrder)*len(phiFormats))
+	}
+	for _, name := range phiOrder {
+		for _, f := range phiFormats {
+			match := []string{name, f.String()}
+			pdue := val(t, "ext-due", "P(DUE)", match...)
+			if pdue <= 0 || pdue > 1 {
+				t.Errorf("%s/%v P(DUE) %v out of (0,1]", name, f, pdue)
+			}
+			pc := val(t, "ext-due", "P(crash)", match...)
+			ph := val(t, "ext-due", "P(hang)", match...)
+			if d := pc + ph - pdue; d > 1e-3 || d < -1e-3 {
+				t.Errorf("%s/%v P(crash) %v + P(hang) %v != P(DUE) %v", name, f, pc, ph, pdue)
+			}
+			if ab := val(t, "ext-due", "aborted", match...); ab != 0 {
+				t.Errorf("%s/%v has %v aborted samples", name, f, ab)
+			}
+			if fit := val(t, "ext-due", "FIT-DUE behav", match...); fit <= 0 {
+				t.Errorf("%s/%v behavioral FIT-DUE %v, want > 0", name, f, fit)
+			}
+		}
+	}
+}
+
+// TestExtDUECheckpointResume: the whole experiment grid, interrupted by
+// a per-invocation sample budget and resumed until complete, must
+// render a table byte-identical to an uninterrupted checkpointed run.
+func TestExtDUECheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid resume is a multi-campaign test")
+	}
+	base := Config{Seed: 3, Trials: 30, Faults: 30}
+
+	interrupted := base
+	interrupted.CheckpointDir = t.TempDir()
+	interrupted.CheckpointLimit = 12
+	var resumed *report.Table
+	for i := 0; ; i++ {
+		tbl, err := ExtDUE(interrupted)
+		if err == nil {
+			resumed = tbl
+			break
+		}
+		if !errors.Is(err, exec.ErrPartial) {
+			t.Fatal(err)
+		}
+		if i > 60 {
+			t.Fatal("grid never completed")
+		}
+	}
+
+	fresh := base
+	fresh.CheckpointDir = t.TempDir()
+	oneShot, err := ExtDUE(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := resumed.WriteASCII(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := oneShot.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("resumed table differs from uninterrupted run:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

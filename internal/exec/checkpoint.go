@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mixedrel/internal/rng"
+)
+
+// ErrPartial reports that a checkpointed campaign stopped before every
+// sample was classified (an interruption, or a Checkpoint.Limit bound).
+// Re-running the same campaign with the same checkpoint path resumes
+// from the journal and — once all samples are present — produces a
+// result byte-identical to an uninterrupted run.
+var ErrPartial = errors.New("exec: campaign incomplete; re-run with the same checkpoint to resume")
+
+// Checkpoint configures crash-tolerant, resumable campaign execution.
+// A checkpointed campaign writes each classified sample to an
+// append-only JSONL journal at Path; a later run with the same
+// configuration skips journaled samples and fills in only the missing
+// ones. Because every sample's random stream is derived from
+// (seed, index) alone — never from which samples already ran — the
+// final aggregate is byte-identical whether the campaign ran in one
+// pass or was interrupted and resumed arbitrarily many times.
+type Checkpoint struct {
+	// Path is the journal file. It is created on first use and appended
+	// to on resume; delete it to restart a campaign from scratch.
+	Path string
+	// Every is the flush-and-sync cadence in samples (default 64). A
+	// crash loses at most the unsynced tail; a torn final line is
+	// detected and ignored on reload.
+	Every int
+	// Limit, when positive, bounds how many NEW samples this invocation
+	// classifies before returning ErrPartial — a deterministic
+	// interruption point, used by resume tests and incremental runs.
+	Limit int
+}
+
+// Open loads the journal at c.Path (tolerating a torn tail line from a
+// crashed writer) and opens it for appending.
+func (c Checkpoint) Open() (*Journal, error) {
+	if c.Path == "" {
+		return nil, fmt.Errorf("exec: checkpoint with empty path")
+	}
+	every := c.Every
+	if every <= 0 {
+		every = 64
+	}
+	if dir := filepath.Dir(c.Path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	j := &Journal{done: make(map[int]json.RawMessage), every: every}
+	data, err := os.ReadFile(c.Path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var jl journalLine
+		if json.Unmarshal(line, &jl) != nil {
+			// A torn line from a crash mid-write: the sample it would
+			// have recorded simply re-runs on resume.
+			continue
+		}
+		j.done[jl.I] = jl.V
+	}
+	f, err := os.OpenFile(c.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		// Terminate a torn tail so appended records start on their own
+		// line instead of merging into the damaged one.
+		if _, err := j.w.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// journalLine is one journal record: sample index plus its encoded
+// classified outcome.
+type journalLine struct {
+	I int             `json:"i"`
+	V json.RawMessage `json:"v"`
+}
+
+// Journal is an append-only JSONL record of classified samples. It is
+// safe for concurrent Record calls from campaign workers.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	done    map[int]json.RawMessage
+	pending int
+	every   int
+	closed  bool
+}
+
+// Done returns sample i's journaled outcome, if present.
+func (j *Journal) Done(i int) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.done[i]
+	return v, ok
+}
+
+// Len returns the number of journaled samples.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record journals sample i's classified outcome, flushing and syncing
+// every Every records so a crash loses at most the unsynced tail.
+func (j *Journal) Record(i int, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalLine{I: i, V: raw})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done[i] = raw
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	j.pending++
+	if j.pending >= j.every {
+		j.pending = 0
+		if err := j.w.Flush(); err != nil {
+			return err
+		}
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes, syncs, and closes the journal. Safe to call twice.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// SampleResume is the checkpointing variant of Sample: item i always
+// draws its stream from the i-th output of a master stream seeded by
+// seed — the parallel-mode derivation — REGARDLESS of workers, so a
+// sample depends only on (seed, i) and never on which items a previous,
+// interrupted invocation already completed. Items for which skip
+// reports true are not run. This is why checkpointed campaigns resume
+// byte-identically: re-running item i in a later process re-creates the
+// exact stream it would have had in the first.
+func SampleResume(workers, n int, seed uint64, skip func(i int) bool, fn func(i int, r *rng.Rand) error) error {
+	if n <= 0 {
+		return nil
+	}
+	master := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	run := func(i int) error {
+		if skip != nil && skip(i) {
+			return nil
+		}
+		return fn(i, rng.New(seeds[i]))
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ForEach(workers, n, run)
+}
+
+// SampleSeed returns the per-item stream seed item i receives in
+// parallel and checkpointed sampling modes — enough to replay one
+// sample in isolation (rng.New(SampleSeed(seed, i))).
+func SampleSeed(seed uint64, i int) uint64 {
+	r := rng.New(seed)
+	var s uint64
+	for k := 0; k <= i; k++ {
+		s = r.Uint64()
+	}
+	return s
+}

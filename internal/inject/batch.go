@@ -21,10 +21,15 @@ import "mixedrel/internal/fp"
 // IntDecision), so for them every batch takes the bulk path.
 
 // canStrike reports whether the configured fault could corrupt any of
-// the next n dynamic operations of the given kind. It must err on the
-// side of true: a true return only costs speed (the batch decomposes
-// into exact scalar matching), a false miss would skip a corruption.
+// the next n dynamic operations of the given kind — or whether an armed
+// behavioral-DUE hook could fire within them. It must err on the side
+// of true: a true return only costs speed (the batch decomposes into
+// exact scalar matching), a false miss would skip a corruption or a
+// detector.
 func (e *Env) canStrike(kind fp.Op, n uint64) bool {
+	if e.due && e.mustDecompose(n) {
+		return true
+	}
 	if e.fault.Target != TargetOperand && e.fault.Target != TargetResult {
 		return false
 	}
@@ -43,6 +48,28 @@ func (e *Env) canStrike(kind fp.Op, n uint64) bool {
 		return off < n
 	}
 	return e.fault.Index >= ctr && e.fault.Index-ctr < n
+}
+
+// mustDecompose reports whether any armed behavioral-DUE hook could
+// fire within the next n operations, forcing exact scalar execution:
+// skip mode and a pending aliased operand change per-op semantics, the
+// watchdog would trip inside the window, the control strike site falls
+// inside the window, or the trap is live (a non-finite result anywhere
+// in the batch must fault at its exact operation).
+func (e *Env) mustDecompose(n uint64) bool {
+	if e.skip || e.ctlPending {
+		return true
+	}
+	if e.budget > 0 && e.all+n > e.budget {
+		return true
+	}
+	if e.ctlArmed && e.ctl.Site >= e.all && e.ctl.Site-e.all < n {
+		return true
+	}
+	if e.trap && (e.applied != 0 || e.trapAll) {
+		return true
+	}
+	return false
 }
 
 // advance moves the operation counters past n operations of one kind.

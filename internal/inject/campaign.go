@@ -3,6 +3,8 @@ package inject
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
@@ -21,6 +23,10 @@ const (
 	SiteOperand
 	// SiteMemory corrupts a random input-array element before the run.
 	SiteMemory
+	// SiteControl corrupts control state (loop counter, array index,
+	// data pointer) consumed at a random dynamic operation — the
+	// behavioral source of crash/hang DUEs.
+	SiteControl
 )
 
 func (s Site) String() string {
@@ -31,6 +37,8 @@ func (s Site) String() string {
 		return "operand"
 	case SiteMemory:
 		return "memory"
+	case SiteControl:
+		return "control"
 	}
 	return "site?"
 }
@@ -110,19 +118,72 @@ type Campaign struct {
 	// independent of scheduling, but a different (equally valid) sample
 	// than the default sequential mode.
 	Workers int
+	// Watchdog is the op-budget factor k for hang detection: a faulty
+	// run executing more than k x its golden operation count is killed
+	// and classified HangDUE. Zero enables DefaultWatchdogFactor when
+	// SiteControl is among the sites (control faults are what cause
+	// runaways) and disables the watchdog otherwise.
+	Watchdog float64
+	// TrapNonFinite arms the FP trap: the first non-finite result after
+	// a corruption is classified CrashDUE instead of propagating into
+	// the output.
+	TrapNonFinite bool
+	// Checkpoint, when non-nil, makes the campaign crash-tolerant and
+	// resumable: classified samples are journaled to Checkpoint.Path
+	// and a re-run with the same configuration fills in only the
+	// missing ones, yielding a byte-identical result. Checkpointed
+	// campaigns always use per-sample random streams (the Workers > 1
+	// derivation) regardless of Workers, so a sample's value never
+	// depends on which samples a previous invocation completed.
+	Checkpoint *exec.Checkpoint
 }
 
 // Result summarizes a campaign.
 type Result struct {
 	Faults, SDCs, Masked int
-	// PVF is the program vulnerability factor: P(SDC | fault).
-	PVF float64
+	// CrashDUEs and HangDUEs count behaviorally detected-unrecoverable
+	// outcomes (emulated segfaults/FP traps, and watchdog kills).
+	CrashDUEs, HangDUEs int
+	// PVF is the program vulnerability factor: P(SDC | classified
+	// fault). PDUE is the companion split P(crash or hang | classified
+	// fault); aborted samples are excluded from both denominators.
+	PVF  float64
+	PDUE float64
 	// RelErrs holds one max-relative-error per SDC, the input to the
 	// TRE criticality curves.
 	RelErrs []float64
 	// Outputs holds the decoded faulty output of each SDC when
 	// KeepOutputs was set (parallel to RelErrs).
 	Outputs [][]float64
+	// Aborted diagnoses samples whose execution panicked inside the
+	// simulator: the campaign degrades gracefully instead of dying, and
+	// each entry carries what is needed to replay the sample alone.
+	Aborted []AbortedSample
+}
+
+// DUEs returns the total detected-unrecoverable count.
+func (r *Result) DUEs() int { return r.CrashDUEs + r.HangDUEs }
+
+// Classified returns how many samples produced a masked/SDC/DUE
+// classification (Faults minus aborted samples).
+func (r *Result) Classified() int { return r.Faults - len(r.Aborted) }
+
+// AbortedSample is the replay diagnostic of one sample whose execution
+// panicked (a simulator failure, distinct from an emulated DUE).
+type AbortedSample struct {
+	// Index is the sample's position in the campaign.
+	Index int
+	// Seed is the sample's private random-stream seed in per-sample
+	// modes (Workers > 1 or checkpointed): rng.New(Seed) reproduces its
+	// fault draw exactly. Zero in sequential mode, where replay means
+	// re-running the campaign with the campaign seed.
+	Seed uint64
+	// Fault describes the sampled fault specification.
+	Fault string
+	// Panic is the rendered panic value — deliberately without the
+	// stack, which contains nondeterministic addresses and must stay
+	// out of tables and checkpoint journals.
+	Panic string
 }
 
 // Run executes the campaign. It is deterministic in Seed.
@@ -145,49 +206,204 @@ func (c Campaign) Run() (*Result, error) {
 	}
 	arrayLens := runner.ArrayLens()
 
-	runOne := func(r *rng.Rand) (RunResult, error) {
+	watchdog := c.Watchdog
+	if watchdog <= 0 {
+		for _, s := range sites {
+			if s == SiteControl {
+				watchdog = DefaultWatchdogFactor
+				break
+			}
+		}
+	}
+
+	runOne := func(r *rng.Rand) (sample, error) {
+		var spec FaultSpec
 		switch site := sites[r.Intn(len(sites))]; site {
 		case SiteOperation:
 			f := SampleOpFault(r, counts, c.Format, 0, true, TargetResult)
-			return runner.Run(&f, nil, c.KeepOutputs), nil
+			spec.Op = &f
 		case SiteOperand:
 			f := SampleOpFault(r, counts, c.Format, 0, true, TargetOperand)
-			return runner.Run(&f, nil, c.KeepOutputs), nil
+			spec.Op = &f
 		case SiteMemory:
 			mf := SampleMemFault(r, arrayLens, c.Format)
-			return runner.Run(nil, []MemFault{mf}, c.KeepOutputs), nil
+			spec.Mem = []MemFault{mf}
+		case SiteControl:
+			cf := SampleControlFault(r, counts)
+			spec.Control = &cf
 		default:
-			return RunResult{}, fmt.Errorf("inject: unknown site %v", site)
+			return sample{}, fmt.Errorf("inject: unknown site %v", site)
 		}
+		spec.Watchdog = watchdog
+		spec.TrapNonFinite = c.TrapNonFinite
+		rr, abort := runner.RunSpec(spec, c.KeepOutputs)
+		if abort != nil {
+			return sample{aborted: true, fault: spec.Desc(), panicMsg: abort.String()}, nil
+		}
+		return sample{rr: rr}, nil
 	}
 
 	res := &Result{Faults: c.Faults}
-	outcomes := make([]RunResult, c.Faults)
-	err := exec.Sample(c.Workers, c.Faults, c.Seed, func(i int, r *rng.Rand) error {
-		rr, err := runOne(r)
-		if err != nil {
-			return err
+	outcomes := make([]sample, c.Faults)
+	perSample := c.Workers > 1
+	if c.Checkpoint != nil {
+		perSample = true
+		if err := c.runCheckpointed(runOne, outcomes); err != nil {
+			return nil, err
 		}
-		outcomes[i] = rr
-		return nil
-	})
-	if err != nil {
-		return nil, err
+	} else {
+		err := exec.Sample(c.Workers, c.Faults, c.Seed, func(i int, r *rng.Rand) error {
+			s, err := runOne(r)
+			if err != nil {
+				return err
+			}
+			outcomes[i] = s
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	for _, rr := range outcomes {
-		if rr.Outcome == SDC {
-			res.SDCs++
-			res.RelErrs = append(res.RelErrs, rr.MaxRelErr)
-			if c.KeepOutputs {
-				res.Outputs = append(res.Outputs, rr.Output)
+	for i, s := range outcomes {
+		switch {
+		case s.aborted:
+			var seed uint64
+			if perSample {
+				seed = exec.SampleSeed(c.Seed, i)
 			}
-		} else {
+			res.Aborted = append(res.Aborted, AbortedSample{
+				Index: i, Seed: seed, Fault: s.fault, Panic: s.panicMsg})
+		case s.rr.Outcome == SDC:
+			res.SDCs++
+			res.RelErrs = append(res.RelErrs, s.rr.MaxRelErr)
+			if c.KeepOutputs {
+				res.Outputs = append(res.Outputs, s.rr.Output)
+			}
+		case s.rr.Outcome == CrashDUE:
+			res.CrashDUEs++
+		case s.rr.Outcome == HangDUE:
+			res.HangDUEs++
+		default:
 			res.Masked++
 		}
 	}
-	res.PVF = float64(res.SDCs) / float64(res.Faults)
+	if n := res.Classified(); n > 0 {
+		res.PVF = float64(res.SDCs) / float64(n)
+		res.PDUE = float64(res.DUEs()) / float64(n)
+	}
 	return res, nil
+}
+
+// runCheckpointed executes the campaign's missing samples against the
+// checkpoint journal, always with per-sample random streams so resumed
+// samples are identical to first-run ones. It returns exec.ErrPartial
+// when the journal is still incomplete (Checkpoint.Limit reached).
+func (c Campaign) runCheckpointed(runOne func(*rng.Rand) (sample, error), outcomes []sample) error {
+	j, err := c.Checkpoint.Open()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+
+	var ran atomic.Int64
+	limit := int64(c.Checkpoint.Limit)
+	err = exec.SampleResume(c.Workers, c.Faults, c.Seed, func(i int) bool {
+		if _, ok := j.Done(i); ok {
+			return true
+		}
+		return limit > 0 && ran.Load() >= limit
+	}, func(i int, r *rng.Rand) error {
+		if limit > 0 && ran.Add(1) > limit {
+			return nil
+		}
+		s, err := runOne(r)
+		if err != nil {
+			return err
+		}
+		return j.Record(i, s.record())
+	})
+	if err != nil {
+		return err
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	for i := range outcomes {
+		raw, ok := j.Done(i)
+		if !ok {
+			return exec.ErrPartial
+		}
+		var rec sampleRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("inject: corrupt checkpoint record %d: %w", i, err)
+		}
+		outcomes[i] = rec.sample()
+	}
+	return nil
+}
+
+// sample is the classified outcome of one campaign sample, including
+// the aborted (panicked) case.
+type sample struct {
+	rr       RunResult
+	aborted  bool
+	fault    string
+	panicMsg string
+}
+
+// sampleRecord is sample's checkpoint encoding. Floats travel as their
+// IEEE bit patterns (JSON cannot represent NaN/Inf, and clamping would
+// break the byte-identical resume contract).
+type sampleRecord struct {
+	Outcome    Outcome  `json:"o"`
+	Cause      DUECause `json:"c,omitempty"`
+	RelErrBits uint64   `json:"r,omitempty"`
+	Applied    bool     `json:"fa,omitempty"`
+	OutputBits []uint64 `json:"out,omitempty"`
+	Aborted    bool     `json:"ab,omitempty"`
+	Fault      string   `json:"f,omitempty"`
+	Panic      string   `json:"p,omitempty"`
+}
+
+func (s sample) record() sampleRecord {
+	rec := sampleRecord{
+		Outcome:    s.rr.Outcome,
+		Cause:      s.rr.Cause,
+		RelErrBits: math.Float64bits(s.rr.MaxRelErr),
+		Applied:    s.rr.FaultApplied,
+		Aborted:    s.aborted,
+		Fault:      s.fault,
+		Panic:      s.panicMsg,
+	}
+	if s.rr.Output != nil {
+		rec.OutputBits = make([]uint64, len(s.rr.Output))
+		for i, v := range s.rr.Output {
+			rec.OutputBits[i] = math.Float64bits(v)
+		}
+	}
+	return rec
+}
+
+func (rec sampleRecord) sample() sample {
+	s := sample{
+		rr: RunResult{
+			Outcome:      rec.Outcome,
+			Cause:        rec.Cause,
+			MaxRelErr:    math.Float64frombits(rec.RelErrBits),
+			FaultApplied: rec.Applied,
+		},
+		aborted:  rec.Aborted,
+		fault:    rec.Fault,
+		panicMsg: rec.Panic,
+	}
+	if rec.OutputBits != nil {
+		s.rr.Output = make([]float64, len(rec.OutputBits))
+		for i, b := range rec.OutputBits {
+			s.rr.Output[i] = math.Float64frombits(b)
+		}
+	}
+	return s
 }
 
 // MarshalJSON encodes the result with non-finite relative errors (and

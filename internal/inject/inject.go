@@ -105,6 +105,22 @@ type Env struct {
 	// Callers must leave replay nil when inputs were perturbed before the
 	// run (memory faults), which breaks that induction.
 	replay []fp.Bits
+
+	// Behavioral-DUE state, armed per run by resetSpec. due gates every
+	// per-operation hook with a single branch so fault-free and
+	// data-fault-only runs pay (almost) nothing for the machinery.
+	due        bool
+	ctl        ControlFault
+	ctlArmed   bool    // control fault not yet consumed
+	ctlPending bool    // next operation's first operand is replaced...
+	ctlVal     fp.Bits // ...by this aliased/misaligned loaded word
+	skip       bool    // early loop exit: remaining operations pass through
+	budget     uint64  // watchdog op budget (0 = disabled)
+	goldenOps  uint64  // golden dynamic op count of the configuration
+	trap       bool    // NaN/Inf trap armed
+	trapAll    bool    // trap from op 0 (inputs corrupted pre-run)
+	mem        [][]fp.Bits
+	memTotal   uint64 // flat element count of mem
 }
 
 // NewEnv wraps inner with the given operation fault.
@@ -161,6 +177,9 @@ func (e *Env) begin(kind fp.Op) (hitOperand, hitResult bool) {
 	hit := e.match(kind)
 	e.all++
 	e.byKind[kind]++
+	if e.due {
+		e.dueStep()
+	}
 	if !hit {
 		return false, false
 	}
@@ -208,6 +227,171 @@ func (e *Env) reset(fault *OpFault) {
 	e.byKind = [fp.NumOps]uint64{}
 	e.intCtr = 0
 	e.applied = 0
+	e.due = false
+	e.ctlArmed = false
+	e.ctlPending = false
+	e.skip = false
+	e.budget = 0
+	e.goldenOps = 0
+	e.trap = false
+	e.trapAll = false
+	e.mem = nil
+	e.memTotal = 0
+}
+
+// resetSpec re-arms e for a fresh run with the full fault
+// specification: the optional operation fault plus the behavioral-DUE
+// machinery (control-state fault, watchdog budget, FP trap). goldenOps
+// is the configuration's fault-free dynamic operation count; mem is the
+// run's (possibly corrupted) input encoding, which index/pointer
+// corruption reads through.
+func (e *Env) resetSpec(spec FaultSpec, goldenOps uint64, mem [][]fp.Bits) {
+	e.reset(spec.Op)
+	e.goldenOps = goldenOps
+	if spec.Control != nil {
+		e.ctl = *spec.Control
+		e.ctlArmed = true
+	}
+	if spec.Watchdog > 0 {
+		b := uint64(spec.Watchdog * float64(goldenOps))
+		if b < goldenOps {
+			// The budget must cover the golden stream itself or a
+			// fault-free-length run would trip the watchdog.
+			b = goldenOps
+		}
+		e.budget = b
+	}
+	e.trap = spec.TrapNonFinite
+	// With inputs corrupted before the run the trap is live from the
+	// first operation; otherwise it arms at the first in-stream
+	// corruption (a fault-free prefix cannot raise a spurious trap).
+	e.trapAll = e.trap && len(spec.Mem) > 0
+	e.mem = mem
+	for _, arr := range mem {
+		e.memTotal += uint64(len(arr))
+	}
+	e.due = e.ctlArmed || e.budget > 0 || e.trap
+}
+
+// dueStep runs the behavioral-DUE hooks for the operation just counted
+// by begin: the op-budget watchdog and the control-state strike.
+func (e *Env) dueStep() {
+	if e.budget > 0 && e.all > e.budget {
+		panic(dueSignal{outcome: HangDUE, cause: CauseWatchdog})
+	}
+	if e.ctlArmed && e.all-1 == e.ctl.Site {
+		e.ctlArmed = false
+		e.applyControl()
+	}
+}
+
+// flatElem reads element i of the run's inputs under a flat indexing of
+// all arrays in order — the footprint a corrupted index or pointer
+// roams over.
+func (e *Env) flatElem(i uint64) fp.Bits {
+	for _, arr := range e.mem {
+		if i < uint64(len(arr)) {
+			return arr[i]
+		}
+		i -= uint64(len(arr))
+	}
+	return 0
+}
+
+// applyControl emulates the consumption of the corrupted control word
+// at the struck operation. It either panics with a dueSignal (the
+// emulated crash/hang, recovered by the runner's exec.Guard) or leaves
+// the environment in a silently-wrong state whose output is classified
+// normally.
+func (e *Env) applyControl() {
+	e.applied++
+	switch e.ctl.Class {
+	case LoopControl:
+		// The trip counter holds the remaining iterations; on this
+		// abstract machine that is the remaining golden operations.
+		var remaining uint32
+		if e.goldenOps > e.ctl.Site {
+			remaining = uint32(e.goldenOps - e.ctl.Site)
+		}
+		corrupted := remaining ^ 1<<(uint(e.ctl.Bit)%loopBits)
+		if corrupted > remaining {
+			// Upward jump: the loop re-executes that many extra
+			// operations. Account for them immediately — if the budget
+			// cannot absorb them the watchdog fires here; otherwise the
+			// re-executed iterations are idempotent on this machine and
+			// the run continues to a (possibly corrupted) output.
+			e.all += uint64(corrupted - remaining)
+			if e.budget > 0 && e.all > e.budget {
+				panic(dueSignal{outcome: HangDUE, cause: CauseWatchdog})
+			}
+		} else {
+			// Downward jump: the loop exits early. Every remaining
+			// operation is skipped — operands pass through untouched.
+			e.skip = true
+		}
+	case IndexControl:
+		if e.memTotal == 0 {
+			// No mapped data: any corrupted access faults.
+			panic(dueSignal{outcome: CrashDUE, cause: CauseSegfault})
+		}
+		idx := e.ctl.Site % e.memTotal
+		corrupted := idx ^ 1<<(uint(e.ctl.Bit)%indexBits)
+		if corrupted >= e.memTotal {
+			panic(dueSignal{outcome: CrashDUE, cause: CauseSegfault})
+		}
+		e.ctlPending = true
+		e.ctlVal = e.flatElem(corrupted)
+	case PointerControl:
+		if e.memTotal == 0 {
+			panic(dueSignal{outcome: CrashDUE, cause: CauseSegfault})
+		}
+		word := uint64(e.inner.Format().Width() / 8)
+		addr := (e.ctl.Site % e.memTotal) * word
+		corrupted := addr ^ 1<<(uint(e.ctl.Bit)%pointerBits)
+		elem, off := corrupted/word, corrupted%word
+		if elem >= e.memTotal {
+			panic(dueSignal{outcome: CrashDUE, cause: CauseSegfault})
+		}
+		v := uint64(e.flatElem(elem))
+		if off != 0 {
+			// Misaligned load: the word straddles two elements.
+			if elem+1 >= e.memTotal {
+				panic(dueSignal{outcome: CrashDUE, cause: CauseSegfault})
+			}
+			w := uint(e.inner.Format().Width())
+			hi := uint64(e.flatElem(elem + 1))
+			v = v>>(8*uint(off)) | hi<<(w-8*uint(off))
+			if w < 64 {
+				v &= 1<<w - 1
+			}
+		}
+		e.ctlPending = true
+		e.ctlVal = fp.Bits(v)
+	}
+}
+
+// duePre applies pending control-state effects to an operation's first
+// operand: an aliased/misaligned load replaces it, and skip mode
+// reports that the operation body is bypassed entirely (the caller then
+// passes the designated operand through as the result).
+func (e *Env) duePre(a fp.Bits) (operand fp.Bits, skipped bool) {
+	if e.ctlPending {
+		e.ctlPending = false
+		a = e.ctlVal
+	}
+	return a, e.skip
+}
+
+// duePost applies the NaN/Inf trap to a computed result: the first
+// non-finite value produced after a corruption (or from corrupted
+// inputs) is delivered as an FP exception, i.e. a crash.
+func (e *Env) duePost(res fp.Bits) fp.Bits {
+	if e.trap && (e.applied != 0 || e.trapAll) {
+		if f := e.inner.Format(); f.IsNaN(res) || f.IsInf(res) {
+			panic(dueSignal{outcome: CrashDUE, cause: CauseTrap})
+		}
+	}
+	return res
 }
 
 // IntDecision implements fp.IntDecider: when the fault targets integer
@@ -250,10 +434,20 @@ func (e *Env) Add(a, b fp.Bits) fp.Bits {
 	if hitOp {
 		a, b = e.corrupt2(a, b)
 	}
-	res := e.inner.Add(a, b)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	res := a
+	if !skipped {
+		res = e.inner.Add(a, b)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -267,10 +461,20 @@ func (e *Env) Sub(a, b fp.Bits) fp.Bits {
 	if hitOp {
 		a, b = e.corrupt2(a, b)
 	}
-	res := e.inner.Sub(a, b)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	res := a
+	if !skipped {
+		res = e.inner.Sub(a, b)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -284,10 +488,20 @@ func (e *Env) Mul(a, b fp.Bits) fp.Bits {
 	if hitOp {
 		a, b = e.corrupt2(a, b)
 	}
-	res := e.inner.Mul(a, b)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	res := a
+	if !skipped {
+		res = e.inner.Mul(a, b)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -301,10 +515,20 @@ func (e *Env) Div(a, b fp.Bits) fp.Bits {
 	if hitOp {
 		a, b = e.corrupt2(a, b)
 	}
-	res := e.inner.Div(a, b)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	res := a
+	if !skipped {
+		res = e.inner.Div(a, b)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -326,10 +550,22 @@ func (e *Env) FMA(a, b, c fp.Bits) fp.Bits {
 		}
 		e.applied++
 	}
-	res := e.inner.FMA(a, b, c)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	// A skipped FMA passes its accumulator through: the multiply-add
+	// contribution of the skipped iteration is simply lost.
+	res := c
+	if !skipped {
+		res = e.inner.FMA(a, b, c)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -344,10 +580,20 @@ func (e *Env) Sqrt(a fp.Bits) fp.Bits {
 		a = e.flip(a)
 		e.applied++
 	}
-	res := e.inner.Sqrt(a)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	res := a
+	if !skipped {
+		res = e.inner.Sqrt(a)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -362,10 +608,20 @@ func (e *Env) Exp(a fp.Bits) fp.Bits {
 		a = e.flip(a)
 		e.applied++
 	}
-	res := e.inner.Exp(a)
+	var skipped bool
+	if e.due {
+		a, skipped = e.duePre(a)
+	}
+	res := a
+	if !skipped {
+		res = e.inner.Exp(a)
+	}
 	if hitRes {
 		res = e.flip(res)
 		e.applied++
+	}
+	if e.due {
+		res = e.duePost(res)
 	}
 	return res
 }
@@ -384,6 +640,13 @@ const (
 	Masked Outcome = iota
 	// SDC: silent data corruption — at least one output bit differs.
 	SDC
+	// CrashDUE: the execution died before producing output — an
+	// emulated segfault from corrupted control state, or an FP trap on
+	// a non-finite result. Detected and unrecoverable, but not silent.
+	CrashDUE
+	// HangDUE: the op-budget watchdog killed a runaway execution
+	// (kernel exceeded k x its golden operation profile).
+	HangDUE
 )
 
 func (o Outcome) String() string {
@@ -392,13 +655,23 @@ func (o Outcome) String() string {
 		return "masked"
 	case SDC:
 		return "SDC"
+	case CrashDUE:
+		return "crash-DUE"
+	case HangDUE:
+		return "hang-DUE"
 	}
 	return "outcome?"
 }
 
+// IsDUE reports whether o is a detected-unrecoverable outcome.
+func (o Outcome) IsDUE() bool { return o == CrashDUE || o == HangDUE }
+
 // RunResult is the outcome of one faulty execution.
 type RunResult struct {
 	Outcome Outcome
+	// Cause identifies the detector behind a DUE outcome (CauseNone
+	// for masked/SDC runs).
+	Cause DUECause
 	// MaxRelErr is the worst element-wise relative error vs golden
 	// (0 when masked; +Inf for NaN/Inf corruption).
 	MaxRelErr float64

@@ -75,8 +75,25 @@ func (r *Runner) get() *scratch {
 
 // Run executes one faulty run with an optional operation fault plus any
 // number of memory faults and classifies the outcome against the golden
-// output, exactly like RunWrapped on the same configuration.
+// output, exactly like RunWrapped on the same configuration. A panic in
+// the kernel propagates: one-shot callers have no campaign to degrade
+// gracefully into.
 func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) RunResult {
+	rr, abort := r.RunSpec(FaultSpec{Op: opFault, Mem: memFaults}, keepOutput)
+	if abort != nil {
+		panic(abort.Value)
+	}
+	return rr
+}
+
+// RunSpec executes one faulty run under the full fault specification —
+// operation/memory faults plus the behavioral-DUE machinery (control
+// fault, watchdog, FP trap) — and classifies the outcome. Emulated
+// crashes and hangs return as CrashDUE/HangDUE results; any other panic
+// escaping the kernel (a simulator bug in this sample) is recovered by
+// exec.Guard and returned as a non-nil *exec.Abort so campaigns can
+// record the sample as aborted and continue.
+func (r *Runner) RunSpec(spec FaultSpec, keepOutput bool) (RunResult, *exec.Abort) {
 	sc := r.get()
 	defer r.scratch.Put(sc)
 
@@ -86,8 +103,8 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 	if sc.in == nil || sc.dirty {
 		sc.in = r.art.CopyInputs(sc.in)
 	}
-	sc.dirty = len(memFaults) > 0
-	for _, mf := range memFaults {
+	sc.dirty = len(spec.Mem) > 0
+	for _, mf := range spec.Mem {
 		if len(sc.in) == 0 {
 			break
 		}
@@ -99,8 +116,8 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 		arr[i] = FlipBits(f, arr[i], mf.Bit, mf.Width)
 	}
 
-	sc.ienv.reset(opFault)
-	if len(memFaults) == 0 {
+	sc.ienv.resetSpec(spec, r.art.Counts.Total(), sc.in)
+	if len(spec.Mem) == 0 {
 		// Inputs are pristine, so the fault-free result trace is valid
 		// until the operation fault strikes.
 		sc.ienv.replay = r.art.Results()
@@ -108,11 +125,24 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 		sc.ienv.replay = nil
 	}
 	var outBits []fp.Bits
-	if ok, isOut := r.kernel.(kernels.OutputKernel); isOut {
-		sc.outBits = ok.RunInto(sc.env, sc.in, sc.outBits)
-		outBits = sc.outBits
-	} else {
-		outBits = r.kernel.Run(sc.env, sc.in)
+	abort := exec.Guard(func() {
+		if ok, isOut := r.kernel.(kernels.OutputKernel); isOut {
+			sc.outBits = ok.RunInto(sc.env, sc.in, sc.outBits)
+			outBits = sc.outBits
+		} else {
+			outBits = r.kernel.Run(sc.env, sc.in)
+		}
+	})
+	if abort != nil {
+		// The run died mid-kernel; nothing certain is known about the
+		// scratch buffers, so restore the inputs before the next run.
+		sc.dirty = true
+		if sig, ok := abort.Value.(dueSignal); ok {
+			// An emulated crash/hang is a classified outcome, not a
+			// simulator failure.
+			return RunResult{Outcome: sig.outcome, Cause: sig.cause, FaultApplied: true}, nil
+		}
+		return RunResult{}, abort
 	}
 	golden := r.art.Golden()
 	if len(outBits) != len(golden) {
@@ -124,7 +154,7 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 	out := sc.out[:len(outBits)]
 	fp.ToFloat64N(f, out, outBits)
 
-	res := RunResult{FaultApplied: len(memFaults) > 0 || sc.ienv.Applied() > 0}
+	res := RunResult{FaultApplied: len(spec.Mem) > 0 || sc.ienv.Applied() > 0}
 	var worst float64
 	same := true
 	for i := range out {
@@ -144,5 +174,5 @@ func (r *Runner) Run(opFault *OpFault, memFaults []MemFault, keepOutput bool) Ru
 	if keepOutput {
 		res.Output = append([]float64(nil), out...)
 	}
-	return res
+	return res, nil
 }

@@ -41,6 +41,14 @@ type Kernel interface {
 	// Run executes the kernel through env on the given inputs and
 	// returns its outputs encoded in env's format. Run must not retain
 	// or mutate in beyond the call.
+	//
+	// Run may be aborted mid-flight by a panic from the environment:
+	// injecting envs raise emulated crashes/hangs (control-state
+	// faults, watchdog, FP traps — see internal/inject), and campaign
+	// runners recover them in the execution engine (exec.Guard).
+	// Kernels must never recover() themselves — a kernel that swallows
+	// the abort would corrupt DUE classification (enforced by the
+	// panicsafety analyzer).
 	Run(env fp.Env, in [][]fp.Bits) []fp.Bits
 }
 

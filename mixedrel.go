@@ -47,6 +47,7 @@ import (
 	"mixedrel/internal/arch"
 	"mixedrel/internal/beam"
 	"mixedrel/internal/core"
+	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/fpga"
 	"mixedrel/internal/gpu"
@@ -211,12 +212,40 @@ type InjectionResult = inject.Result
 // Site selects where an injection campaign's faults land.
 type Site = inject.Site
 
-// Injection fault sites.
+// Injection fault sites. SiteControl corrupts control state (loop
+// counters, indices, pointers) and is the behavioral source of
+// crash/hang DUE outcomes.
 const (
 	SiteOperation = inject.SiteOperation
 	SiteOperand   = inject.SiteOperand
 	SiteMemory    = inject.SiteMemory
+	SiteControl   = inject.SiteControl
 )
+
+// Outcome classifies one faulty execution.
+type Outcome = inject.Outcome
+
+// Campaign outcome classifications. CrashDUE and HangDUE are the
+// behaviorally detected-unrecoverable outcomes: emulated segfaults/FP
+// traps, and op-budget watchdog kills.
+const (
+	Masked   = inject.Masked
+	SDC      = inject.SDC
+	CrashDUE = inject.CrashDUE
+	HangDUE  = inject.HangDUE
+)
+
+// Checkpoint makes a campaign crash-tolerant and resumable: classified
+// samples are journaled to Path and a re-run with the same
+// configuration completes only the missing ones, producing a
+// byte-identical result. Usable on both InjectionCampaign and
+// BeamExperiment.
+type Checkpoint = exec.Checkpoint
+
+// ErrPartialCampaign is returned by a checkpointed campaign that
+// stopped before every sample was classified (Checkpoint.Limit);
+// re-run the same campaign to resume.
+var ErrPartialCampaign = exec.ErrPartial
 
 // NewTMR wraps any kernel in triple modular redundancy with bitwise
 // majority voting.

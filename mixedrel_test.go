@@ -101,8 +101,8 @@ func TestReproduceOne(t *testing.T) {
 
 func TestExperimentsList(t *testing.T) {
 	exps := mixedrel.Experiments()
-	if len(exps) != 24 {
-		t.Fatalf("%d experiments, want 24 (every paper table and figure plus 5 extensions)", len(exps))
+	if len(exps) != 25 {
+		t.Fatalf("%d experiments, want 25 (every paper table and figure plus 6 extensions)", len(exps))
 	}
 }
 

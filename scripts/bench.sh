@@ -55,4 +55,7 @@ echo "wrote $out_file"
 if [[ -n "$prev" && "$prev" != "$out_file" ]]; then
     echo
     go run ./cmd/benchdiff "$prev" "$out_file"
+else
+    echo
+    go run ./cmd/benchdiff "$out_file"
 fi
