@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-smoke
+.PHONY: build test vet lint race verify bench bench-smoke bench-replay
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,8 @@ vet:
 
 # lint is the static-analysis gate: go vet plus mixedrelvet, the repo's
 # own invariant checker (softfloat, bitsops, batchops, determinism,
-# boundedgo — see DESIGN.md "Static invariants").
+# boundedgo, compiledreplay, panicsafety — see DESIGN.md "Static
+# invariants").
 lint:
 	scripts/lint.sh
 
@@ -36,3 +37,10 @@ verify: build lint test race bench-smoke
 # scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
+
+# bench-replay measures only the injection-campaign benchmarks — the
+# subset the compiled-replay fast path accelerates — with enough
+# iterations for a stable reading. Results print to stdout and are not
+# recorded; use make bench for the snapshot.
+bench-replay:
+	$(GO) test -run '^$$' -bench 'Campaign' -benchtime 3000x -benchmem -count 3 .

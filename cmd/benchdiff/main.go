@@ -6,8 +6,19 @@
 //
 // Usage:
 //
+//	benchdiff                      # diff the two newest snapshots
 //	benchdiff OLD.json NEW.json
 //	benchdiff NEW.json
+//
+// With no arguments, benchdiff scans the working directory for
+// BENCH_<date>[.<n>].json snapshots and compares the two newest. The
+// ordering is deterministic: snapshots sort by date first, and within
+// one day the numbered forms BENCH_<date>.0.json, .1.json, ... (the
+// scheme scripts/bench.sh uses to snapshot same-day reruns, compared
+// numerically, so .10 follows .9) are older than the plain
+// BENCH_<date>.json, which always holds the day's newest results. The
+// newest snapshot is the comparison's NEW side, the second-newest its
+// baseline.
 //
 // The single-argument form is for the first recording on a machine:
 // there is no baseline yet, so benchdiff says so and lists the new
@@ -18,7 +29,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
+	"strconv"
 )
 
 // entry mirrors one scripts/bench.sh record.
@@ -34,36 +47,94 @@ type entry struct {
 // rather than run-to-run noise.
 const regressionPct = 10.0
 
+// snapshotRe matches scripts/bench.sh snapshot names, capturing the
+// date and the optional same-day rerun suffix.
+var snapshotRe = regexp.MustCompile(`^BENCH_(\d{8})(?:\.(\d+))?\.json$`)
+
+// sortSnapshots orders snapshot filenames oldest to newest: by date,
+// then numbered same-day snapshots (.0, .1, ... compared numerically)
+// before the plain .json, which scripts/bench.sh keeps as the day's
+// newest recording. Non-matching names are dropped.
+func sortSnapshots(names []string) []string {
+	type snap struct {
+		name string
+		date string
+		n    int // rerun suffix; the plain form sorts newest
+	}
+	snaps := make([]snap, 0, len(names))
+	for _, name := range names {
+		m := snapshotRe.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		s := snap{name: name, date: m[1], n: int(^uint(0) >> 1)}
+		if m[2] != "" {
+			s.n, _ = strconv.Atoi(m[2])
+		}
+		snaps = append(snaps, s)
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].date != snaps[j].date {
+			return snaps[i].date < snaps[j].date
+		}
+		return snaps[i].n < snaps[j].n
+	})
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.name
+	}
+	return out
+}
+
+// latestPair returns the two newest snapshots in the working directory
+// as (baseline, current). A single snapshot returns ("", current).
+func latestPair() (oldName, newName string, err error) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		return "", "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	ordered := sortSnapshots(names)
+	switch len(ordered) {
+	case 0:
+		return "", "", fmt.Errorf("no BENCH_<date>.json snapshots in the working directory; run scripts/bench.sh first")
+	case 1:
+		return "", ordered[0], nil
+	}
+	return ordered[len(ordered)-2], ordered[len(ordered)-1], nil
+}
+
 func main() {
+	var oldArg, newArg string
 	switch len(os.Args) {
-	case 2:
-		// Only one recording exists — nothing to diff against.
-		onlyE, err := load(os.Args[1])
+	case 1:
+		var err error
+		oldArg, newArg, err = latestPair()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("no baseline snapshot to compare against; %s is the first recording (%d benchmarks)\n",
-			os.Args[1], len(onlyE))
-		fmt.Println("re-run benchdiff with two snapshots (benchdiff OLD.json NEW.json) once a second one exists")
-		names := make([]string, 0, len(onlyE))
-		for name := range onlyE {
-			names = append(names, name)
+		if oldArg == "" {
+			listOnly(newArg)
+			return
 		}
-		sort.Strings(names)
-		for _, name := range names {
-			fmt.Printf("%-36s %14.0f ns/op\n", name, onlyE[name].NsPerOp)
-		}
+	case 2:
+		// Only one recording exists — nothing to diff against.
+		listOnly(os.Args[1])
 		return
 	case 3:
+		oldArg, newArg = os.Args[1], os.Args[2]
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [OLD.json] NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [[OLD.json] NEW.json]")
 		os.Exit(2)
 	}
-	oldE, err := load(os.Args[1])
+	oldE, err := load(oldArg)
 	if err != nil {
 		fatal(err)
 	}
-	newE, err := load(os.Args[2])
+	newE, err := load(newArg)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,7 +145,7 @@ func main() {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("benchmark comparison: %s -> %s\n", os.Args[1], os.Args[2])
+	fmt.Printf("benchmark comparison: %s -> %s\n", oldArg, newArg)
 	fmt.Printf("%-36s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "")
 	regressions := 0
 	for _, name := range names {
@@ -108,6 +179,26 @@ func main() {
 	}
 	if regressions > 0 {
 		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, regressionPct)
+	}
+}
+
+// listOnly renders a lone snapshot that has no baseline to diff
+// against.
+func listOnly(path string) {
+	onlyE, err := load(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("no baseline snapshot to compare against; %s is the first recording (%d benchmarks)\n",
+		path, len(onlyE))
+	fmt.Println("re-run benchdiff with two snapshots (benchdiff OLD.json NEW.json) once a second one exists")
+	names := make([]string, 0, len(onlyE))
+	for name := range onlyE {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-36s %14.0f ns/op\n", name, onlyE[name].NsPerOp)
 	}
 }
 

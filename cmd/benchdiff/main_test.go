@@ -1,0 +1,39 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortSnapshotsOrdering(t *testing.T) {
+	// Scrambled input covering the whole scheme: multiple days,
+	// same-day reruns with numeric (not lexicographic) suffix order,
+	// the plain file as each day's newest, and non-snapshot noise.
+	in := []string{
+		"BENCH_20260805.json",
+		"BENCH_20260805.10.json",
+		"BENCH_20260803.json",
+		"BENCH_20260805.2.json",
+		"BENCH_20260805.0.json",
+		"BENCH_20260801.1.json",
+		"BENCH_20260801.json",
+		"EXPERIMENTS.md",
+		"BENCH_notadate.json",
+		"bench.sh",
+	}
+	want := []string{
+		"BENCH_20260801.1.json",
+		"BENCH_20260801.json",
+		"BENCH_20260803.json",
+		"BENCH_20260805.0.json",
+		"BENCH_20260805.2.json",
+		"BENCH_20260805.10.json",
+		"BENCH_20260805.json",
+	}
+	if got := sortSnapshots(in); !reflect.DeepEqual(got, want) {
+		t.Errorf("sortSnapshots:\n got %v\nwant %v", got, want)
+	}
+	if got := sortSnapshots(nil); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+}

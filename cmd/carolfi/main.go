@@ -28,6 +28,7 @@ func main() {
 	size := flag.Int("size", 16, "kernel size parameter")
 	sitesFlag := flag.String("sites", "operand,memory", "comma-separated fault sites: operation, operand, memory, control")
 	watchdog := flag.Float64("watchdog", 0, "hang watchdog budget as a multiple of the fault-free op count (0 = default when injecting control faults)")
+	compiledReplay := flag.Bool("compiled-replay", true, "serve fault-independent work from the compiled golden trace; disable to force fully interpreted execution (A/B verification, bisecting a suspected replay bug)")
 	trap := flag.Bool("trap", false, "classify NaN/Inf results produced by a fault as crash-DUEs")
 	checkpointPath := flag.String("checkpoint", "", "journal classified samples to this file and resume from it")
 	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
@@ -80,6 +81,11 @@ func main() {
 		Watchdog:      *watchdog,
 		TrapNonFinite: *trap,
 		Workers:       *sampleWorkers,
+
+		// The two paths are bit-identical by construction; the switch
+		// exists so a suspicious result can be re-derived without the
+		// compiled trace in the loop.
+		DisableCompiledReplay: !*compiledReplay,
 	}
 	if *checkpointPath != "" {
 		c.Checkpoint = &mixedrel.Checkpoint{Path: *checkpointPath}

@@ -33,6 +33,7 @@ import (
 	"mixedrel/internal/analysis/batchops"
 	"mixedrel/internal/analysis/bitsops"
 	"mixedrel/internal/analysis/boundedgo"
+	"mixedrel/internal/analysis/compiledreplay"
 	"mixedrel/internal/analysis/determinism"
 	"mixedrel/internal/analysis/panicsafety"
 	"mixedrel/internal/analysis/softfloat"
@@ -45,6 +46,7 @@ var suite = []*analysis.Analyzer{
 	batchops.Analyzer,
 	bitsops.Analyzer,
 	boundedgo.Analyzer,
+	compiledreplay.Analyzer,
 	determinism.Analyzer,
 	panicsafety.Analyzer,
 	softfloat.Analyzer,

@@ -1,0 +1,69 @@
+// Package compiledreplay restricts who may use the compiled golden
+// trace.
+//
+// internal/traceir serves recorded results in place of softfloat
+// execution, which is only sound under the injector's compare-serving
+// discipline: a result is handed out either after the live operand bits
+// matched the recorded ones exactly, or under the replay induction that
+// internal/inject maintains (no corruption applied yet, pristine
+// inputs). Any other caller could replay recorded bits into a context
+// where those preconditions do not hold and silently break the
+// simulator's bit-exactness guarantee — the kind of bug no test sweep
+// reliably catches, because the served bits are *almost always* right.
+//
+// The analyzer therefore allows imports of internal/traceir only from
+// the two packages that own the discipline: internal/exec (records and
+// compiles the golden run) and internal/inject (serves faulty replays
+// from it). Everything else must go through those layers. Test files
+// are exempt, as everywhere in the suite: equivalence and white-box
+// tests legitimately drive the program from outside.
+package compiledreplay
+
+import (
+	"strconv"
+	"strings"
+
+	"mixedrel/internal/analysis"
+)
+
+// Analyzer is the compiledreplay invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "compiledreplay",
+	Doc:  "restrict internal/traceir imports to internal/exec and internal/inject; compiled-trace serving is only sound under their compare/replay discipline",
+	Run:  run,
+}
+
+// allowedImporters are the package paths (matched on their module-
+// relative suffix) that may consume the trace IR.
+var allowedImporters = []string{
+	"internal/exec",
+	"internal/inject",
+	"internal/traceir",
+}
+
+func pathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, allowed := range allowedImporters {
+		if pathIs(pass.Path, allowed) {
+			return nil, nil
+		}
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, spec := range file.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if pathIs(path, "internal/traceir") && !pass.Allowed(file, spec) {
+				pass.Reportf(spec.Pos(), "import of %s outside internal/exec and internal/inject; compiled-trace results are only exact under their compare-serving discipline", path)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,13 @@
+package compiledreplay_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/compiledreplay"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), compiledreplay.Analyzer,
+		"rogue", "internal/inject", "internal/exec", "internal/traceir")
+}

@@ -1,0 +1,8 @@
+// Package inject is an allowed importer: it owns the compare-serving
+// discipline, so it carries no diagnostics.
+package inject
+
+import "internal/traceir"
+
+// Replay serves one position from the compiled trace.
+func Replay(p *traceir.Program, pos uint64) (uint64, bool) { return p.Serve(pos) }

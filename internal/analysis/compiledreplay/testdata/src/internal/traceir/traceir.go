@@ -1,0 +1,9 @@
+// Package traceir stands in for the real trace-IR package at the
+// guarded import path.
+package traceir
+
+// Program is the stand-in compiled golden trace.
+type Program struct{}
+
+// Serve is the stand-in serving entry point.
+func (p *Program) Serve(pos uint64) (uint64, bool) { return 0, false }

@@ -5,6 +5,7 @@ import (
 
 	"mixedrel/internal/fp"
 	"mixedrel/internal/kernels"
+	"mixedrel/internal/traceir"
 )
 
 // Artifacts bundles the memoized fault-free products of one
@@ -22,6 +23,7 @@ type Artifacts struct {
 	inputs  [][]fp.Bits
 	lens    []int
 	results []fp.Bits
+	prog    *traceir.Program
 }
 
 // GoldenBits returns the fault-free output in the configuration's
@@ -42,6 +44,12 @@ func (a *Artifacts) ArrayLens() []int { return a.lens }
 // instead of recomputing the pre-fault prefix. Nil when the kernel
 // exceeds the recording cap. Shared; do not mutate.
 func (a *Artifacts) Results() []fp.Bits { return a.results }
+
+// Prog returns the compiled trace program for the configuration — the
+// optimized region IR over the same result trace Results() exposes —
+// or nil when the execution overflowed the compilation cap. Immutable
+// and safe for concurrent replays.
+func (a *Artifacts) Prog() *traceir.Program { return a.prog }
 
 // NewInputs returns a freshly allocated mutable copy of the kernel's
 // pristine encoded inputs.
@@ -112,43 +120,16 @@ func ResetCache() {
 	})
 }
 
-// maxRecordedOps bounds the per-configuration result trace: beyond this
-// many dynamic operations (32 MiB of Bits) the trace is dropped and
-// injectors fall back to full recomputation.
-const maxRecordedOps = 1 << 22
-
-// recorder wraps the reference machine and appends every operation
-// result to a trace. It sits below fp.Counting — the same stream
-// position an injecting environment occupies in a faulty run — so trace
-// index i is exactly the i-th operation an injector observes.
-type recorder struct {
-	inner fp.Env
-	trace []fp.Bits
-}
-
-func (r *recorder) rec(b fp.Bits) fp.Bits {
-	if len(r.trace) < maxRecordedOps {
-		r.trace = append(r.trace, b)
-	}
-	return b
-}
-
-func (r *recorder) Format() fp.Format          { return r.inner.Format() }
-func (r *recorder) Add(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Add(a, b)) }
-func (r *recorder) Sub(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Sub(a, b)) }
-func (r *recorder) Mul(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Mul(a, b)) }
-func (r *recorder) Div(a, b fp.Bits) fp.Bits   { return r.rec(r.inner.Div(a, b)) }
-func (r *recorder) FMA(a, b, c fp.Bits) fp.Bits { return r.rec(r.inner.FMA(a, b, c)) }
-func (r *recorder) Sqrt(a fp.Bits) fp.Bits     { return r.rec(r.inner.Sqrt(a)) }
-func (r *recorder) Exp(a fp.Bits) fp.Bits      { return r.rec(r.inner.Exp(a)) }
-func (r *recorder) FromFloat64(v float64) fp.Bits { return r.inner.FromFloat64(v) }
-func (r *recorder) ToFloat64(b fp.Bits) float64   { return r.inner.ToFloat64(b) }
-
-// compute executes the kernel once through a counting environment,
-// yielding profile, golden output, and the per-operation result trace
-// from a single fault-free run (fp.Counting and the recorder delegate
-// arithmetic unchanged, so the counted run's output is bit-identical to
-// kernels.GoldenWith's).
+// compute executes the kernel once through a counting environment over
+// a trace recorder, yielding profile, golden output, the per-operation
+// result trace, and the compiled trace program from a single
+// fault-free run (fp.Counting and traceir.Recorder delegate arithmetic
+// unchanged, so the counted run's output is bit-identical to
+// kernels.GoldenWith's). The recorder sits below fp.Counting — the
+// same stream position an injecting environment occupies in a faulty
+// run — so trace index i is exactly the i-th operation an injector
+// observes, and each recorded batch call is the batch call the
+// injector sees.
 func compute(k kernels.Kernel, f fp.Format, wrap func(fp.Env) fp.Env) *Artifacts {
 	in := k.Inputs(f)
 	// Keep a pristine copy: the Kernel contract forbids Run from
@@ -161,7 +142,7 @@ func compute(k kernels.Kernel, f fp.Format, wrap func(fp.Env) fp.Env) *Artifacts
 		lens[i] = len(arr)
 	}
 
-	rec := &recorder{inner: fp.NewMachine(f)}
+	rec := traceir.NewRecorder(fp.NewMachine(f))
 	counting := fp.NewCounting(rec)
 	var env fp.Env = counting
 	if wrap != nil {
@@ -174,17 +155,13 @@ func compute(k kernels.Kernel, f fp.Format, wrap func(fp.Env) fp.Env) *Artifacts
 	}
 	counts.Stores += uint64(len(out))
 
-	results := rec.trace
-	if counts.Total() > maxRecordedOps {
-		results = nil // truncated trace: unusable for replay
-	}
-
 	return &Artifacts{
 		Counts:  counts,
 		golden:  out,
 		decoded: kernels.Decode(f, out),
 		inputs:  pristine,
 		lens:    lens,
-		results: results,
+		results: rec.Results(),
+		prog:    rec.Compile(),
 	}
 }

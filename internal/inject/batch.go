@@ -87,6 +87,19 @@ func (e *Env) replayable() bool {
 	return e.applied == 0 && uint64(len(e.replay)) >= e.all
 }
 
+// compiled reports whether a just-advanced batch — missed by
+// replayable — may try the compiled trace program's compare-serving.
+// Every batch that reaches its bulk path already cleared canStrike, so
+// no operation in it is struck and no behavioral-DUE hook can fire
+// inside it (mustDecompose); compare-serving then answers each
+// operation from the trace exactly when its recorded operands match
+// the live ones, which is the post-fault cone partition: compares miss
+// precisely on the fault-dependent operations, and only those
+// recompute through the inner machine.
+func (e *Env) compiled() bool {
+	return e.prog != nil
+}
+
 // DotFMA implements fp.BatchEnv.
 func (e *Env) DotFMA(acc fp.Bits, a, b []fp.Bits) fp.Bits {
 	n := uint64(len(a))
@@ -104,6 +117,17 @@ func (e *Env) DotFMA(acc fp.Bits, a, b []fp.Bits) fp.Bits {
 		// Only the final accumulator leaves the chain, so the whole
 		// batch is one lookup of the last recorded result.
 		return e.replay[e.all-1]
+	}
+	if e.compiled() {
+		// Serve the longest operand-matching prefix of the chain and
+		// recompute only the suffix the fault's cone reaches.
+		res, served := e.prog.ChainPrefix(&e.cur, e.all-n, acc, a, b)
+		if served == int(n) {
+			return res
+		}
+		if served > 0 {
+			return fp.DotFMA(e.inner, res, a[served:], b[served:])
+		}
 	}
 	return fp.DotFMA(e.inner, acc, a, b)
 }
@@ -125,6 +149,14 @@ func (e *Env) AddN(dst, a, b []fp.Bits) {
 		copy(dst, e.replay[e.all-n:e.all])
 		return
 	}
+	if e.compiled() {
+		if lo, hi, ok := e.prog.ServeMap(&e.cur, e.all-n, fp.OpAdd, dst, a, b, nil); ok {
+			if lo < hi {
+				fp.AddN(e.inner, dst[lo:hi], a[lo:hi], b[lo:hi])
+			}
+			return
+		}
+	}
 	fp.AddN(e.inner, dst, a, b)
 }
 
@@ -144,6 +176,14 @@ func (e *Env) MulN(dst, a, b []fp.Bits) {
 	if e.replayable() {
 		copy(dst, e.replay[e.all-n:e.all])
 		return
+	}
+	if e.compiled() {
+		if lo, hi, ok := e.prog.ServeMap(&e.cur, e.all-n, fp.OpMul, dst, a, b, nil); ok {
+			if lo < hi {
+				fp.MulN(e.inner, dst[lo:hi], a[lo:hi], b[lo:hi])
+			}
+			return
+		}
 	}
 	fp.MulN(e.inner, dst, a, b)
 }
@@ -165,6 +205,16 @@ func (e *Env) FMAN(dst, a, b, c []fp.Bits) {
 		copy(dst, e.replay[e.all-n:e.all])
 		return
 	}
+	if e.compiled() {
+		// ServeMap leaves dst's dirty interval untouched, so when dst
+		// aliases c the recompute below still reads pristine addends.
+		if lo, hi, ok := e.prog.ServeMap(&e.cur, e.all-n, fp.OpFMA, dst, a, b, c); ok {
+			if lo < hi {
+				fp.FMAN(e.inner, dst[lo:hi], a[lo:hi], b[lo:hi], c[lo:hi])
+			}
+			return
+		}
+	}
 	fp.FMAN(e.inner, dst, a, b, c)
 }
 
@@ -177,10 +227,49 @@ func (e *Env) DotFMABlock(out []fp.Bits, acc fp.Bits, u, v []fp.Bits, stride int
 	}
 }
 
-// GemmFMA implements fp.BatchEnv by running the grid's rows in order,
-// like the package fallback, with each row's chains going through
-// DotFMABlock (and so DotFMA's strike/replay/bulk logic).
+// GemmFMA implements fp.BatchEnv. The grid is handled at chain
+// granularity with one grid-level canStrike instead of one per chain:
+//
+//   - no possible strike: every chain bulk-serves via gemmChains;
+//   - a single operation fault in the window (the campaign common
+//     case): the struck chain alone decomposes through DotFMA's exact
+//     scalar matching, and the chain ranges before and after it
+//     bulk-serve — so a strike costs k scalar operations plus two
+//     bulk calls, not rows*cols chain dispatches;
+//   - modulo (persistent) faults and armed DUE hooks: the grid
+//     decomposes into its rows like the package fallback, with each
+//     row's chains going through DotFMABlock (and so DotFMA's
+//     strike/replay/bulk logic), keeping every per-operation hook
+//     exact.
 func (e *Env) GemmFMA(out, accs, a, bt []fp.Bits, rows, cols, k int) {
+	chains := rows * cols
+	n := uint64(chains) * uint64(k)
+	if n == 0 {
+		return
+	}
+	if !e.canStrike(fp.OpFMA, n) {
+		e.gemmChains(out, accs, a, bt, rows, cols, k, 0, chains)
+		return
+	}
+	if !e.due && e.fault.Modulo == 0 {
+		// canStrike with no DUE hooks armed means exactly one dynamic
+		// operation in the window is struck (target operand/result,
+		// kind FMA or any); isolate its chain.
+		ctr := e.all
+		if !e.fault.AnyKind {
+			ctr = e.byKind[fp.OpFMA]
+		}
+		t0 := int((e.fault.Index - ctr) / uint64(k))
+		e.gemmChains(out, accs, a, bt, rows, cols, k, 0, t0)
+		acc := e.FromFloat64(0)
+		if accs != nil {
+			acc = accs[t0/cols]
+		}
+		row, col := t0/cols, t0%cols
+		out[t0] = e.DotFMA(acc, a[row*k:(row+1)*k], bt[col*k:col*k+k])
+		e.gemmChains(out, accs, a, bt, rows, cols, k, t0+1, chains)
+		return
+	}
 	zero := e.FromFloat64(0)
 	for i := 0; i < rows; i++ {
 		acc := zero
@@ -188,6 +277,48 @@ func (e *Env) GemmFMA(out, accs, a, bt []fp.Bits, rows, cols, k int) {
 			acc = accs[i]
 		}
 		e.DotFMABlock(out[i*cols:(i+1)*cols], acc, a[i*k:(i+1)*k], bt, k)
+	}
+}
+
+// gemmChains bulk-executes the grid's chains [first, limit): the
+// counters advance in one step, and the chains are served from the
+// replay trace (one lookup per chain), from the compiled program (one
+// slab compare resolves the fault's dirty rows/columns; clean chains
+// serve from the trace, dirty ones recompute), or recomputed through
+// the inner environment. The caller guarantees — via canStrike on a
+// window covering the range — that no strike or DUE hook fires within
+// these chains.
+func (e *Env) gemmChains(out, accs, a, bt []fp.Bits, rows, cols, k, first, limit int) {
+	if first >= limit {
+		return
+	}
+	n := uint64(limit-first) * uint64(k)
+	e.advance(fp.OpFMA, n)
+	pos := e.all - n
+	if e.replayable() {
+		// Only final accumulators leave the chains: absolute chain t
+		// ends at stream position pos + (t-first+1)*k - 1.
+		for t := first; t < limit; t++ {
+			out[t] = e.replay[pos+uint64((t-first+1)*k)-1]
+		}
+		return
+	}
+	if e.compiled() && e.prog.ServeGemm(&e.cur, pos, out, accs, a, bt, rows, cols, k, first, limit, e.inner) {
+		return
+	}
+	if first == 0 && limit == rows*cols {
+		// Whole grid: keep the inner machine's decode-once fast path.
+		fp.GemmFMA(e.inner, out, accs, a, bt, rows, cols, k)
+		return
+	}
+	zero := e.FromFloat64(0)
+	for t := first; t < limit; t++ {
+		i, j := t/cols, t%cols
+		acc := zero
+		if accs != nil {
+			acc = accs[i]
+		}
+		out[t] = fp.DotFMA(e.inner, acc, a[i*k:(i+1)*k], bt[j*k:j*k+k])
 	}
 }
 
@@ -207,6 +338,16 @@ func (e *Env) AXPY(dst []fp.Bits, s fp.Bits, x []fp.Bits) {
 	if e.replayable() {
 		copy(dst, e.replay[e.all-n:e.all])
 		return
+	}
+	if e.compiled() {
+		// The dirty interval keeps its pristine accumulator inputs in
+		// dst; only those elements recompute.
+		if lo, hi, ok := e.prog.ServeAxpy(&e.cur, e.all-n, s, x, dst); ok {
+			if lo < hi {
+				fp.AXPY(e.inner, dst[lo:hi], s, x[lo:hi])
+			}
+			return
+		}
 	}
 	fp.AXPY(e.inner, dst, s, x)
 }

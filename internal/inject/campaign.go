@@ -136,6 +136,12 @@ type Campaign struct {
 	// derivation) regardless of Workers, so a sample's value never
 	// depends on which samples a previous invocation completed.
 	Checkpoint *exec.Checkpoint
+	// DisableCompiledReplay runs every sample through interpreted
+	// execution instead of the compiled trace program. The two paths
+	// are bit-identical by construction (and verified by the
+	// equivalence tests); this switch exists for A/B verification and
+	// for bisecting a suspected replay bug, not for normal use.
+	DisableCompiledReplay bool
 }
 
 // Result summarizes a campaign.
@@ -200,6 +206,7 @@ func (c Campaign) Run() (*Result, error) {
 	}
 
 	runner := NewRunner(c.Kernel, c.Format, c.WrapKey, c.Wrap)
+	runner.DisableCompiledReplay = c.DisableCompiledReplay
 	counts := runner.Counts()
 	if counts.Total() == 0 {
 		return nil, fmt.Errorf("inject: kernel %s executes no operations", c.Kernel.Name())

@@ -25,6 +25,7 @@ import (
 
 	"mixedrel/internal/fp"
 	"mixedrel/internal/kernels"
+	"mixedrel/internal/traceir"
 )
 
 // Target selects which value of the matched operation is corrupted.
@@ -105,6 +106,32 @@ type Env struct {
 	// Callers must leave replay nil when inputs were perturbed before the
 	// run (memory faults), which breaks that induction.
 	replay []fp.Bits
+
+	// prog, when non-nil, is the compiled trace program over the same
+	// result stream (exec.Artifacts.Prog). Where replay's induction does
+	// not reach — after the corruption, and in memory-fault runs from
+	// operation zero — the program serves any operation whose kind and
+	// operand bits compare equal to the recorded ones. A result is a
+	// pure function of (kind, operand bits, format), so a compare hit is
+	// exact unconditionally: no induction is needed, and the fault-
+	// dependent cone falls out as exactly the operations whose compares
+	// miss and recompute through the inner machine. cur is the program's
+	// region lookup state, reset per run.
+	prog *traceir.Program
+	cur  traceir.Cursor
+
+	// miss counts consecutive scalar compare-serve misses. Runs whose
+	// dynamic operation stream drifts out of alignment with the recorded
+	// one (control-flow divergence inside the software transcendentals,
+	// early wide corruption under beam strikes) miss on essentially every
+	// remaining operation, and paying a region lookup plus operand
+	// compare per miss costs more than it saves. After scalarServeStreak
+	// consecutive misses, served probes only every scalarServeProbe-th
+	// operation; one hit re-engages full serving. Purely a cost policy:
+	// serving is bit-exact whenever it happens, so backing off can never
+	// change an outcome (the compiled-vs-interpreted equivalence suite
+	// holds for any probe schedule).
+	miss uint32
 
 	// Behavioral-DUE state, armed per run by resetSpec. due gates every
 	// per-operation hook with a single branch so fault-free and
@@ -209,6 +236,83 @@ func (e *Env) replayed(hitOperand, hitResult bool) (fp.Bits, bool) {
 	return e.replay[e.all-1], true
 }
 
+// served reports whether the current operation — already counted by
+// begin — can be answered without computing it, and returns the result.
+// Two mechanisms stack:
+//
+//   - replay induction (replayed): position-based, exact while nothing
+//     has been corrupted yet;
+//   - compiled compare-serving: the trace program serves the operation
+//     when its kind and operand bits compare equal to the recorded
+//     stream at this position. A result is a pure function of (kind,
+//     operand bits, format), so a compare hit is exact unconditionally
+//     — after the corruption, under pre-run-corrupted inputs, even if
+//     control flow shifted the stream position: a miss merely costs a
+//     recompute. This is what partitions the post-fault suffix into
+//     the fault-dependent cone (compares miss, softfloat recomputes)
+//     and the fault-independent rest (served from the trace).
+//
+// Compare-serving is bypassed whenever the operation's semantics
+// differ from plain compute: a struck operation, skip mode (the body
+// is bypassed), or a pending control-corrupted operand. The NaN/Inf
+// trap applies to served results exactly as to computed ones.
+func (e *Env) served(kind fp.Op, hitOperand, hitResult bool, a, b, c fp.Bits) (fp.Bits, bool) {
+	if res, ok := e.replayed(hitOperand, hitResult); ok {
+		return res, true
+	}
+	if e.prog == nil || hitOperand || hitResult || e.skip || e.ctlPending {
+		return 0, false
+	}
+	if !scalarServeWorthwhile(kind) {
+		return 0, false
+	}
+	if e.miss >= scalarServeStreak && e.miss%scalarServeProbe != 0 {
+		e.miss++
+		return 0, false
+	}
+	res, ok := e.prog.ServeScalar(&e.cur, e.all-1, kind, a, b, c)
+	if !ok {
+		e.miss++
+		return 0, false
+	}
+	e.miss = 0
+	if e.due {
+		res = e.duePost(res)
+	}
+	return res, true
+}
+
+// Scalar compare-serve backoff (see Env.miss): after scalarServeStreak
+// consecutive misses, probe only every scalarServeProbe-th operation.
+// The streak is long enough that a single fault-dependent chain (the
+// deepest scalar cones the kernels produce between clean operations)
+// does not trip it, and the probe period keeps the residual cost of a
+// permanently diverged run under 2% while re-engaging within one probe
+// period when the stream realigns.
+const (
+	scalarServeStreak = 32
+	scalarServeProbe  = 64
+)
+
+// scalarServeWorthwhile reports whether a compare-serve hit on a single
+// scalar operation of this kind saves meaningfully more than the region
+// lookup and operand compare cost. For the cheap softfloat operations
+// (add/sub/mul/fma) a hit is roughly break-even — the lookup costs about
+// as much as the decode/compute/round it skips — so attempting them is
+// pure overhead on workloads dominated by scalar streams (the software
+// transcendentals behind LavaMD turn every exp() into dozens of cheap
+// scalar ops). The expensive iterative routines are worth a compare.
+// Bulk serving (ServeMap/ChainPrefix/ServeGemm from the batch entry
+// points) amortizes one lookup over a whole region and stays enabled
+// for every kind.
+func scalarServeWorthwhile(kind fp.Op) bool {
+	switch kind {
+	case fp.OpDiv, fp.OpSqrt, fp.OpExp:
+		return true
+	}
+	return false
+}
+
 // neverFault is an operation fault that cannot match any dynamic
 // operation (no campaign executes 2^64 of them); it lets one injecting
 // environment chain serve memory-fault-only runs unchanged.
@@ -227,6 +331,8 @@ func (e *Env) reset(fault *OpFault) {
 	e.byKind = [fp.NumOps]uint64{}
 	e.intCtr = 0
 	e.applied = 0
+	e.cur = traceir.Cursor{}
+	e.miss = 0
 	e.due = false
 	e.ctlArmed = false
 	e.ctlPending = false
@@ -509,7 +615,7 @@ func (e *Env) Mul(a, b fp.Bits) fp.Bits {
 // Div implements fp.Env.
 func (e *Env) Div(a, b fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpDiv)
-	if res, ok := e.replayed(hitOp, hitRes); ok {
+	if res, ok := e.served(fp.OpDiv, hitOp, hitRes, a, b, 0); ok {
 		return res
 	}
 	if hitOp {
@@ -573,7 +679,7 @@ func (e *Env) FMA(a, b, c fp.Bits) fp.Bits {
 // Sqrt implements fp.Env.
 func (e *Env) Sqrt(a fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpSqrt)
-	if res, ok := e.replayed(hitOp, hitRes); ok {
+	if res, ok := e.served(fp.OpSqrt, hitOp, hitRes, a, 0, 0); ok {
 		return res
 	}
 	if hitOp {
@@ -601,7 +707,7 @@ func (e *Env) Sqrt(a fp.Bits) fp.Bits {
 // Exp implements fp.Env.
 func (e *Env) Exp(a fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpExp)
-	if res, ok := e.replayed(hitOp, hitRes); ok {
+	if res, ok := e.served(fp.OpExp, hitOp, hitRes, a, 0, 0); ok {
 		return res
 	}
 	if hitOp {

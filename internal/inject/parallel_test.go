@@ -46,3 +46,55 @@ func TestCampaignParallelAgreesWithSequential(t *testing.T) {
 		t.Errorf("PVF %v (seq) vs %v (par) differ beyond noise", rs.PVF, rp.PVF)
 	}
 }
+
+// TestRunSpecSharesTraceAcrossSamples locks in the sharing contract of
+// the replay fast paths: the golden result trace and the compiled
+// program are installed into every sample's environment by slice/pointer
+// aliasing — never copied — so steady-state runs allocate nothing
+// proportional to the trace.
+func TestRunSpecSharesTraceAcrossSamples(t *testing.T) {
+	r := NewRunner(kernels.NewGEMM(8, 3), fp.Single, "", nil)
+	fault := OpFault{AnyKind: true, Index: 100, Bit: 12, Target: TargetOperand}
+	spec := FaultSpec{Op: &fault}
+
+	// Warm the scratch pool, then inspect the worker state a run leaves
+	// behind: both replay views must alias the memoized artifacts. The
+	// race detector makes sync.Pool drop puts at random, so retry until
+	// a used scratch (prog installed) comes back out of the pool.
+	var sc *scratch
+	for try := 0; ; try++ {
+		if _, abort := r.RunSpec(spec, false); abort != nil {
+			t.Fatal(abort)
+		}
+		sc = r.get()
+		if sc.ienv.prog != nil || try >= 50 {
+			break
+		}
+		r.scratch.Put(sc)
+	}
+	if sc.ienv.prog != r.art.Prog() {
+		t.Error("compiled program was not installed by pointer sharing")
+	}
+	trace := r.art.Results()
+	if len(sc.ienv.replay) == 0 || &sc.ienv.replay[0] != &trace[0] {
+		t.Error("replay trace was copied instead of aliased")
+	}
+	r.scratch.Put(sc)
+
+	// With the trace shared and the scratch pooled, a steady-state run
+	// performs a small constant number of allocations (guard closures
+	// and interface boxing), independent of trace length (5968 ops
+	// here). Pool drops under the race detector make the count
+	// meaningless there.
+	if raceEnabled {
+		return
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, abort := r.RunSpec(spec, false); abort != nil {
+			t.Fatal(abort)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("RunSpec allocates %.0f objects per run; trace sharing broken?", allocs)
+	}
+}

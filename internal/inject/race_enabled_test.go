@@ -1,0 +1,8 @@
+//go:build race
+
+package inject
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which makes sync.Pool intentionally drop puts and so
+// invalidates pooling-dependent assertions.
+const raceEnabled = true

@@ -29,6 +29,20 @@ type Runner struct {
 	wrap    func(fp.Env) fp.Env
 	art     *exec.Artifacts
 	scratch sync.Pool // *scratch
+	// goldenNaN records whether the golden output contains a NaN. When
+	// it does not, bit-identical output implies float-identical output,
+	// so a run can be classified Masked by comparing raw bits without
+	// decoding (NaN golden elements compare unequal to themselves under
+	// float comparison, so they never classify as Masked and the bits
+	// shortcut would disagree).
+	goldenNaN bool
+
+	// DisableCompiledReplay keeps runs off the compiled trace program,
+	// restricting the injecting environments to interpreted execution
+	// (replay-trace induction plus inner-machine recompute). Intended
+	// for equivalence testing and A/B measurement; set it before the
+	// first run and do not change it while runs are in flight.
+	DisableCompiledReplay bool
 }
 
 // scratch is one worker's reusable run state.
@@ -45,7 +59,14 @@ type scratch struct {
 // fetching from the process cache, when wrapKey identifies wrap) its
 // fault-free artifacts.
 func NewRunner(k kernels.Kernel, f fp.Format, wrapKey string, wrap func(fp.Env) fp.Env) *Runner {
-	return &Runner{kernel: k, format: f, wrap: wrap, art: exec.Artifact(k, f, wrapKey, wrap)}
+	r := &Runner{kernel: k, format: f, wrap: wrap, art: exec.Artifact(k, f, wrapKey, wrap)}
+	for _, v := range r.art.Golden() {
+		if v != v {
+			r.goldenNaN = true
+			break
+		}
+	}
+	return r
 }
 
 // Counts returns the configuration's dynamic operation profile.
@@ -124,6 +145,15 @@ func (r *Runner) RunSpec(spec FaultSpec, keepOutput bool) (RunResult, *exec.Abor
 	} else {
 		sc.ienv.replay = nil
 	}
+	// The compiled program's compare-serving is exact even under
+	// corrupted inputs, so it is installed unconditionally. Both the
+	// trace and the program are shared across all workers' environments
+	// (immutable slices, per-run state in the env's cursor) — samples
+	// never copy them.
+	sc.ienv.prog = nil
+	if !r.DisableCompiledReplay {
+		sc.ienv.prog = r.art.Prog()
+	}
 	var outBits []fp.Bits
 	abort := exec.Guard(func() {
 		if ok, isOut := r.kernel.(kernels.OutputKernel); isOut {
@@ -148,21 +178,43 @@ func (r *Runner) RunSpec(spec FaultSpec, keepOutput bool) (RunResult, *exec.Abor
 	if len(outBits) != len(golden) {
 		panic(fmt.Sprintf("inject: output length %d vs golden %d", len(outBits), len(golden)))
 	}
-	if cap(sc.out) < len(outBits) {
-		sc.out = make([]float64, len(outBits))
-	}
-	out := sc.out[:len(outBits)]
-	fp.ToFloat64N(f, out, outBits)
-
 	res := RunResult{FaultApplied: len(spec.Mem) > 0 || sc.ienv.Applied() > 0}
 	var worst float64
 	same := true
-	for i := range out {
-		if out[i] != golden[i] {
-			same = false
-			if e := fp.RelErr(golden[i], out[i]); e > worst {
-				worst = e
+	if !r.goldenNaN && !keepOutput {
+		// Bit-identical elements are float-identical (no NaN golden),
+		// so only the differing bits decode — for masked runs, nothing
+		// does. Bits that differ may still decode equal (+0 vs -0),
+		// hence the float re-check before counting an element as
+		// corrupted.
+		gbits := r.art.GoldenBits()
+		for i, ob := range outBits {
+			if ob == gbits[i] {
+				continue
 			}
+			if v := sc.ienv.ToFloat64(ob); v != golden[i] {
+				same = false
+				if e := fp.RelErr(golden[i], v); e > worst {
+					worst = e
+				}
+			}
+		}
+	} else {
+		if cap(sc.out) < len(outBits) {
+			sc.out = make([]float64, len(outBits))
+		}
+		out := sc.out[:len(outBits)]
+		fp.ToFloat64N(f, out, outBits)
+		for i := range out {
+			if out[i] != golden[i] {
+				same = false
+				if e := fp.RelErr(golden[i], out[i]); e > worst {
+					worst = e
+				}
+			}
+		}
+		if keepOutput {
+			res.Output = append([]float64(nil), out...)
 		}
 	}
 	if same {
@@ -170,9 +222,6 @@ func (r *Runner) RunSpec(spec FaultSpec, keepOutput bool) (RunResult, *exec.Abor
 	} else {
 		res.Outcome = SDC
 		res.MaxRelErr = worst
-	}
-	if keepOutput {
-		res.Output = append([]float64(nil), out...)
 	}
 	return res, nil
 }

@@ -1,0 +1,574 @@
+// Package traceir compiles the fault-free execution trace of one
+// (kernel, format, wrap) configuration into a compact, optimizable
+// op-stream IR, and serves faulty replays from it.
+//
+// The injector re-executes a kernel once per fault sample; before the
+// fault strikes, and in every part of the stream the fault never
+// reaches, the sample's operations are bit-identical to the fault-free
+// run's. The IR makes both facts cheap to exploit:
+//
+//   - a Recorder captures the golden run once as a sequence of regions
+//     (scalar ops, element-wise maps, FMA chains, AXPY updates, GEMM
+//     grids) carrying every operation's operand and result bits;
+//   - an optimizer pipeline (superword merge, bulk collapse, index
+//     partition — see passes.go) rewrites the region stream into the
+//     executable Program;
+//   - the Program's Serve* methods answer "is this operation (or whole
+//     region) bit-identical to the recorded run?" by comparing the live
+//     operand bits against the recorded ones, and hand back recorded
+//     results for the fault-independent parts so only the
+//     fault-dependent cone re-executes through softfloat.
+//
+// Soundness does not rest on any dataflow guess: an Env operation's
+// result is a pure function of (operation kind, operand bits, format),
+// so serving a recorded result after an operand-bits match is exact by
+// construction — even if control flow diverged and the stream position
+// no longer means what it meant in the golden run. Position-based
+// serving *without* an operand compare is only ever done by the
+// injector under its replay induction (no corruption applied yet), not
+// by this package.
+//
+// The compiled replay path is reachable only from internal/inject (and
+// the recording side from internal/exec); the compiledreplay analyzer
+// in internal/analysis enforces that statically, keeping the
+// bit-exactness argument reviewable in one place.
+package traceir
+
+import "mixedrel/internal/fp"
+
+// Kind discriminates the region shapes of the IR. Each shape mirrors
+// either a scalar fp.Env call or one fp.BatchEnv call, so a recorded
+// region corresponds one-to-one with what the injector observes at
+// replay time.
+type Kind uint8
+
+const (
+	// KScalar is a single scalar operation (any fp.Op).
+	KScalar Kind = iota
+	// KMap2 is a run of independent two-operand operations of one kind
+	// — an AddN/MulN call, or adjacent scalars fused by the superword
+	// pass.
+	KMap2
+	// KMap3 is a run of independent three-operand FMAs — an FMAN call,
+	// or adjacent scalar FMAs fused by the superword pass.
+	KMap3
+	// KChain is a serial FMA chain (DotFMA): operation i consumes the
+	// accumulator produced by operation i-1.
+	KChain
+	// KAxpy is an AXPY update: dst[i] = FMA(s, x[i], dst[i]) with a
+	// broadcast scalar and per-element accumulators.
+	KAxpy
+	// KGemm is a GemmFMA grid: Rows x Cols independent chains of
+	// length K against row slabs of a and chain slabs of bt.
+	KGemm
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KScalar:
+		return "scalar"
+	case KMap2:
+		return "map2"
+	case KMap3:
+		return "map3"
+	case KChain:
+		return "chain"
+	case KAxpy:
+		return "axpy"
+	case KGemm:
+		return "gemm"
+	}
+	return "kind?"
+}
+
+// Region is one segment of the dynamic operation stream. Its operand
+// block lives at Program.operands[Off:]; its results are
+// Program.results[Start : Start+N] (the flat result trace is shared
+// with the injector's replay slice).
+//
+// Operand-block layouts (n = N, k = K):
+//
+//	KScalar  operands of the op in call order (1-3 values)
+//	KMap2    a[n] then b[n]
+//	KMap3    a[n], b[n], c[n]
+//	KChain   acc0, a[n], b[n]
+//	KAxpy    s, x[n], d[n]           (d = the accumulator inputs)
+//	KGemm    accs[Rows], a[Rows*k], bt[Cols*k]
+type Region struct {
+	Kind  Kind
+	Op    fp.Op
+	Start uint64 // first dynamic stream position
+	N     uint32 // dynamic operation count
+	Off   uint32 // operand-block offset into Program.operands
+	// Rows, Cols, K describe the KGemm grid (Rows*Cols*K == N); zero
+	// for every other kind.
+	Rows, Cols, K uint32
+}
+
+// contains reports whether stream position pos falls inside r.
+func (r *Region) contains(pos uint64) bool {
+	return pos >= r.Start && pos-r.Start < uint64(r.N)
+}
+
+// arity returns the operand count of a scalar operation of kind op.
+func arity(op fp.Op) int {
+	switch op {
+	case fp.OpFMA:
+		return 3
+	case fp.OpSqrt, fp.OpExp:
+		return 1
+	}
+	return 2
+}
+
+// operandLen returns the operand-block length of r.
+func operandLen(r *Region) int {
+	n := int(r.N)
+	switch r.Kind {
+	case KScalar:
+		return arity(r.Op)
+	case KMap2:
+		return 2 * n
+	case KMap3:
+		return 3 * n
+	case KChain, KAxpy:
+		return 2*n + 1
+	case KGemm:
+		return int(r.Rows) + int(r.Rows)*int(r.K) + int(r.Cols)*int(r.K)
+	}
+	return 0
+}
+
+// Program is the compiled golden trace: the optimized region stream
+// plus the flat operand and result bit arrays. A Program is immutable
+// after Compile and safe for concurrent use; per-run state lives in the
+// caller's Cursor.
+type Program struct {
+	format   fp.Format
+	ops      uint64
+	regions  []Region
+	operands []fp.Bits
+	results  []fp.Bits
+}
+
+// Ops returns the dynamic operation count of the recorded stream.
+func (p *Program) Ops() uint64 { return p.ops }
+
+// Format returns the format the program was recorded in.
+func (p *Program) Format() fp.Format { return p.format }
+
+// Results returns the flat per-operation result trace (element i is
+// the bits produced by dynamic operation i). Shared; do not mutate.
+func (p *Program) Results() []fp.Bits { return p.results }
+
+// Regions exposes the optimized region stream for tests and dumps.
+// Shared; do not mutate.
+func (p *Program) Regions() []Region { return p.regions }
+
+// Cursor carries one replay's region-lookup state. Stream positions
+// are queried in (mostly) increasing order, so remembering the last
+// region makes the common lookup O(1).
+type Cursor struct {
+	rgn int
+
+	// Cached ServeGemm slab-compare result for region gemmRgn-1 (zero
+	// means no cache). Valid because a region's operand arrays cannot
+	// change between the range-serves of one grid (they are the batch
+	// call's own read-only inputs), and stream positions advance
+	// monotonically, so one region is never revisited with different
+	// arrays within a run. Callers reset the Cursor per run.
+	gemmRgn                    int
+	rowLo, rowHi, colLo, colHi int
+}
+
+// find locates the region containing pos, preferring the cursor's
+// last region and its successor before falling back to binary search.
+func (p *Program) find(c *Cursor, pos uint64) (int, bool) {
+	if pos >= p.ops {
+		return 0, false
+	}
+	// Positions advance near-monotonically within a run, but not every
+	// operation consults the program (cheap scalar kinds skip serving
+	// entirely), so the next lookup may land several regions past the
+	// cursor. A short forward scan catches those skips without paying a
+	// full binary search per batch call.
+	if i := c.rgn; i < len(p.regions) {
+		if p.regions[i].contains(pos) {
+			return i, true
+		}
+		for j := i + 1; j < len(p.regions) && j <= i+8; j++ {
+			if p.regions[j].contains(pos) {
+				c.rgn = j
+				return j, true
+			}
+			if p.regions[j].Start > pos {
+				break
+			}
+		}
+	}
+	lo, hi := 0, len(p.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.regions[mid].Start > pos {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo - 1
+	if i >= 0 && p.regions[i].contains(pos) {
+		c.rgn = i
+		return i, true
+	}
+	return 0, false
+}
+
+// ServeScalar serves the scalar operation at stream position pos when
+// its kind and live operand bits match the recorded ones, returning
+// the recorded result. A false return means the operation is inside
+// the fault-dependent cone (or the position left the recorded stream)
+// and must be recomputed. Unused operand slots are ignored per the
+// operation's arity.
+func (p *Program) ServeScalar(cur *Cursor, pos uint64, op fp.Op, a, b, c fp.Bits) (fp.Bits, bool) {
+	ri, ok := p.find(cur, pos)
+	if !ok {
+		return 0, false
+	}
+	r := &p.regions[ri]
+	i := pos - r.Start
+	n := uint64(r.N)
+	ops := p.operands[r.Off:]
+	switch r.Kind {
+	case KScalar:
+		if r.Op != op {
+			return 0, false
+		}
+		switch arity(op) {
+		case 1:
+			if ops[0] != a {
+				return 0, false
+			}
+		case 2:
+			if ops[0] != a || ops[1] != b {
+				return 0, false
+			}
+		default:
+			if ops[0] != a || ops[1] != b || ops[2] != c {
+				return 0, false
+			}
+		}
+	case KMap2:
+		if r.Op != op || ops[i] != a || ops[n+i] != b {
+			return 0, false
+		}
+	case KMap3:
+		if op != fp.OpFMA || ops[i] != a || ops[n+i] != b || ops[2*n+i] != c {
+			return 0, false
+		}
+	case KChain:
+		if op != fp.OpFMA {
+			return 0, false
+		}
+		acc := ops[0]
+		if i > 0 {
+			acc = p.results[pos-1]
+		}
+		if ops[1+i] != a || ops[1+n+i] != b || acc != c {
+			return 0, false
+		}
+	case KAxpy:
+		if op != fp.OpFMA || ops[0] != a || ops[1+i] != b || ops[1+n+i] != c {
+			return 0, false
+		}
+	case KGemm:
+		if op != fp.OpFMA {
+			return 0, false
+		}
+		k := uint64(r.K)
+		chain := i / k
+		e := i % k
+		row, col := chain/uint64(r.Cols), chain%uint64(r.Cols)
+		acc := ops[row]
+		if e > 0 {
+			acc = p.results[pos-1]
+		}
+		aOff := uint64(r.Rows) + row*k + e
+		btOff := uint64(r.Rows) + uint64(r.Rows)*k + col*k + e
+		if ops[aOff] != a || ops[btOff] != b || acc != c {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	return p.results[pos], true
+}
+
+// ChainPrefix serves the longest fault-independent prefix of the FMA
+// chain starting at stream position pos: it returns the accumulator
+// after the first i chain elements and the element count i served. The
+// caller re-executes elements i..len(a)-1 through softfloat (i ==
+// len(a) means the whole chain was served; i == 0 means nothing
+// matched and acc passes through unchanged). Chains are resolved
+// against KChain regions and against chain-aligned interiors of KGemm
+// grids.
+func (p *Program) ChainPrefix(cur *Cursor, pos uint64, acc fp.Bits, a, b []fp.Bits) (fp.Bits, int) {
+	n := len(a)
+	if n == 0 {
+		return acc, 0
+	}
+	ri, ok := p.find(cur, pos)
+	if !ok {
+		return acc, 0
+	}
+	r := &p.regions[ri]
+	var racc fp.Bits
+	var ra, rb []fp.Bits
+	switch r.Kind {
+	case KChain:
+		if pos != r.Start || n != int(r.N) {
+			return acc, 0
+		}
+		ops := p.operands[r.Off:]
+		racc = ops[0]
+		ra = ops[1 : 1+n]
+		rb = ops[1+n : 1+2*n]
+	case KGemm:
+		i := pos - r.Start
+		k := uint64(r.K)
+		if n != int(k) || i%k != 0 {
+			return acc, 0
+		}
+		chain := i / k
+		row, col := chain/uint64(r.Cols), chain%uint64(r.Cols)
+		ops := p.operands[r.Off:]
+		racc = ops[row]
+		aOff := uint64(r.Rows) + row*k
+		btOff := uint64(r.Rows) + uint64(r.Rows)*k + col*k
+		ra = ops[aOff : aOff+k]
+		rb = ops[btOff : btOff+k]
+	default:
+		return acc, 0
+	}
+	if acc != racc {
+		return acc, 0
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != ra[i] || b[i] != rb[i] {
+			if i == 0 {
+				return acc, 0
+			}
+			return p.results[pos+uint64(i)-1], i
+		}
+	}
+	return p.results[pos+uint64(n)-1], n
+}
+
+// mismatch returns the half-open dirty interval [lo, hi) of indices
+// where live differs from rec; lo == hi means the slices are
+// bit-identical. The interval form is deliberately coarse — covering
+// scattered mismatches costs extra recomputation, never correctness.
+func mismatch(live, rec []fp.Bits) (lo, hi int) {
+	n := len(live)
+	for lo = 0; lo < n; lo++ {
+		if live[lo] != rec[lo] {
+			break
+		}
+	}
+	if lo == n {
+		return 0, 0
+	}
+	for hi = n; hi > lo; hi-- {
+		if live[hi-1] != rec[hi-1] {
+			break
+		}
+	}
+	return lo, hi
+}
+
+// ServeMap partitions the element-wise batch at stream position pos
+// (an AddN/MulN call when c is nil, an FMAN call otherwise) into the
+// fault-independent part — served into dst from the recorded results —
+// and the dirty interval [lo, hi), which the caller must recompute.
+// dst entries inside the dirty interval are left untouched so that an
+// FMAN whose dst aliases c still reads pristine accumulator inputs. A
+// false ok means the region shape did not match and the caller must
+// recompute the whole batch.
+func (p *Program) ServeMap(cur *Cursor, pos uint64, op fp.Op, dst, a, b, c []fp.Bits) (lo, hi int, ok bool) {
+	n := len(a)
+	ri, found := p.find(cur, pos)
+	if !found {
+		return 0, 0, false
+	}
+	r := &p.regions[ri]
+	i := int(pos - r.Start)
+	if r.Op != op || i+n > int(r.N) {
+		return 0, 0, false
+	}
+	rn := int(r.N)
+	ops := p.operands[r.Off:]
+	switch r.Kind {
+	case KMap2:
+		if c != nil {
+			return 0, 0, false
+		}
+		alo, ahi := mismatch(a, ops[i:i+n])
+		blo, bhi := mismatch(b, ops[rn+i:rn+i+n])
+		lo, hi = union(alo, ahi, blo, bhi)
+	case KMap3:
+		if c == nil {
+			return 0, 0, false
+		}
+		alo, ahi := mismatch(a, ops[i:i+n])
+		blo, bhi := mismatch(b, ops[rn+i:rn+i+n])
+		lo, hi = union(alo, ahi, blo, bhi)
+		clo, chi := mismatch(c, ops[2*rn+i:2*rn+i+n])
+		lo, hi = union(lo, hi, clo, chi)
+	default:
+		return 0, 0, false
+	}
+	res := p.results[pos : pos+uint64(n)]
+	copy(dst[:lo], res[:lo])
+	copy(dst[hi:n], res[hi:])
+	return lo, hi, true
+}
+
+// ServeAxpy is ServeMap for an AXPY batch: dst is both the per-element
+// accumulator input and the output. Clean elements are served from the
+// recorded results; the dirty interval [lo, hi) keeps its accumulator
+// inputs for the caller to recompute. A corrupted broadcast scalar s
+// dirties every element, reported as a full-range interval.
+func (p *Program) ServeAxpy(cur *Cursor, pos uint64, s fp.Bits, x, dst []fp.Bits) (lo, hi int, ok bool) {
+	n := len(x)
+	ri, found := p.find(cur, pos)
+	if !found {
+		return 0, 0, false
+	}
+	r := &p.regions[ri]
+	i := int(pos - r.Start)
+	if r.Kind != KAxpy || i+n > int(r.N) {
+		return 0, 0, false
+	}
+	rn := int(r.N)
+	ops := p.operands[r.Off:]
+	if ops[0] != s {
+		return 0, n, true
+	}
+	xlo, xhi := mismatch(x, ops[1+i:1+i+n])
+	dlo, dhi := mismatch(dst, ops[1+rn+i:1+rn+i+n])
+	lo, hi = union(xlo, xhi, dlo, dhi)
+	res := p.results[pos : pos+uint64(n)]
+	copy(dst[:lo], res[:lo])
+	copy(dst[hi:n], res[hi:])
+	return lo, hi, true
+}
+
+// ServeGemm partitions the chains [first, limit) of a GemmFMA grid —
+// pos is the stream position of chain first's initial operation — into
+// fault-independent chains, served from the recorded chain tails into
+// out[first:limit], and fault-dependent ones, recomputed as DotFMA
+// chains through inner. Dirtiness is resolved at slab granularity: one
+// compare of the live a, bt and accumulator slabs against the recorded
+// operand bits yields dirty row and chain-column intervals, instead of
+// re-comparing the slabs once per chain. The range form lets the
+// injector bulk-serve everything around a struck chain. A false return
+// means the region shape did not match and the caller must recompute
+// the chains itself.
+func (p *Program) ServeGemm(cur *Cursor, pos uint64, out, accs, a, bt []fp.Bits, rows, cols, k, first, limit int, inner fp.Env) bool {
+	ri, found := p.find(cur, pos)
+	if !found {
+		return false
+	}
+	r := &p.regions[ri]
+	if r.Kind != KGemm || pos != r.Start+uint64(first)*uint64(k) ||
+		int(r.Rows) != rows || int(r.Cols) != cols || int(r.K) != k ||
+		first < 0 || limit > rows*cols {
+		return false
+	}
+	var rowLo, rowHi, colLo, colHi int
+	if cur.gemmRgn == ri+1 {
+		rowLo, rowHi = cur.rowLo, cur.rowHi
+		colLo, colHi = cur.colLo, cur.colHi
+	} else {
+		ops := p.operands[r.Off:]
+		accSlab := ops[:rows]
+		aSlab := ops[rows : rows+rows*k]
+		btSlab := ops[rows+rows*k : rows+rows*k+cols*k]
+		if accs == nil {
+			// A nil accs means every chain starts from FromFloat64(0),
+			// whose encoding is all-zero bits in every format; any
+			// recorded accumulator that is not +0 marks its row dirty.
+			lo, hi := 0, rows
+			for lo < rows && accSlab[lo] == 0 {
+				lo++
+			}
+			for hi > lo && accSlab[hi-1] == 0 {
+				hi--
+			}
+			rowLo, rowHi = lo, hi
+		} else {
+			rowLo, rowHi = mismatch(accs[:rows], accSlab)
+		}
+		alo, ahi := mismatch(a[:rows*k], aSlab)
+		rowLo, rowHi = union(rowLo, rowHi, alo/k, (ahi+k-1)/k)
+		btlo, bthi := mismatch(bt[:cols*k], btSlab)
+		colLo, colHi = btlo/k, (bthi+k-1)/k
+		cur.gemmRgn = ri + 1
+		cur.rowLo, cur.rowHi = rowLo, rowHi
+		cur.colLo, cur.colHi = colLo, colHi
+	}
+
+	// fin[t*k] is chain t's final accumulator (its last recorded
+	// result).
+	fin := p.results[r.Start+uint64(k)-1:]
+	if rowLo == rowHi && colLo == colHi {
+		// No dirty interval — the fault never reached this grid's
+		// operands (an operation fault corrupts a value in flight, not
+		// the arrays), so every chain serves from the trace.
+		for t := first; t < limit; t++ {
+			out[t] = fin[t*k]
+		}
+		return true
+	}
+	i, j := first/cols, first%cols
+	for t := first; t < limit; t++ {
+		if (i >= rowLo && i < rowHi) || (j >= colLo && j < colHi) {
+			var acc fp.Bits
+			if accs != nil {
+				acc = accs[i]
+			}
+			ca, cb := a[i*k:(i+1)*k], bt[j*k:j*k+k]
+			// The chain's own prefix up to the first corrupted element
+			// still matches the recorded stream; recompute only the
+			// suffix the corruption reaches.
+			acc, srv := p.ChainPrefix(cur, r.Start+uint64(t)*uint64(k), acc, ca, cb)
+			if srv < k {
+				acc = fp.DotFMA(inner, acc, ca[srv:], cb[srv:])
+			}
+			out[t] = acc
+		} else {
+			out[t] = fin[t*k]
+		}
+		if j++; j == cols {
+			j, i = 0, i+1
+		}
+	}
+	return true
+}
+
+// union merges two half-open intervals into the smallest interval
+// covering both; empty intervals (lo == hi) are identities.
+func union(alo, ahi, blo, bhi int) (int, int) {
+	if alo == ahi {
+		return blo, bhi
+	}
+	if blo == bhi {
+		return alo, ahi
+	}
+	if blo < alo {
+		alo = blo
+	}
+	if bhi > ahi {
+		ahi = bhi
+	}
+	return alo, ahi
+}

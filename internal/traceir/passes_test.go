@@ -1,0 +1,259 @@
+package traceir
+
+import (
+	"strings"
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+// enc encodes small integers as trace operand values.
+func enc(m fp.Env, vs ...float64) []fp.Bits {
+	out := make([]fp.Bits, len(vs))
+	for i, v := range vs {
+		out[i] = m.FromFloat64(v)
+	}
+	return out
+}
+
+func seq(m fp.Env, base float64, n int) []fp.Bits {
+	out := make([]fp.Bits, n)
+	for i := range out {
+		out[i] = m.FromFloat64(base + float64(i))
+	}
+	return out
+}
+
+// The pass pipeline may only re-group the recorded dynamic operations
+// under different region shapes; the golden dumps below pin the exact
+// regrouping each pass performs, in the style of analysistest's
+// `// want` comments: each case lists the recorded stream and the
+// expected dump after each stage.
+func TestPassGoldenDumps(t *testing.T) {
+	f := fp.Single
+	cases := []struct {
+		name string
+		run  func(m fp.Env, r *Recorder)
+		// raw is the recorded stream; superword and collapsed are the
+		// dumps after each pass. An empty superword/collapsed means
+		// "unchanged from the previous stage".
+		raw, superword, collapsed string
+	}{
+		{
+			name: "superword-merges-maximal-scalar-runs",
+			run: func(m fp.Env, r *Recorder) {
+				a := enc(m, 1, 2, 3, 4, 5, 6)
+				r.Add(a[0], a[1])
+				r.Add(a[1], a[2])
+				r.Add(a[2], a[3])
+				r.Div(a[3], a[4])
+				r.Mul(a[4], a[5])
+				r.Mul(a[5], a[0])
+			},
+			raw: `
+scalar ADD @0 n=1
+scalar ADD @1 n=1
+scalar ADD @2 n=1
+scalar DIV @3 n=1
+scalar MUL @4 n=1
+scalar MUL @5 n=1
+`, // want: DIV is not superwordable and splits the runs
+			superword: `
+map2 ADD @0 n=3
+scalar DIV @3 n=1
+map2 MUL @4 n=2
+`,
+		},
+		{
+			name: "superword-fma-run-becomes-map3",
+			run: func(m fp.Env, r *Recorder) {
+				a := enc(m, 1, 2, 3)
+				for i := 0; i < 4; i++ {
+					r.FMA(a[0], a[1], a[2])
+				}
+			},
+			raw: `
+scalar FMA @0 n=1
+scalar FMA @1 n=1
+scalar FMA @2 n=1
+scalar FMA @3 n=1
+`,
+			superword: `
+map3 FMA @0 n=4
+`,
+		},
+		{
+			name: "superword-leaves-singletons-alone",
+			run: func(m fp.Env, r *Recorder) {
+				a := enc(m, 1, 2)
+				r.Add(a[0], a[1])
+				r.Mul(a[0], a[1])
+				r.Sub(a[0], a[1])
+				r.Sqrt(a[0])
+			},
+			raw: `
+scalar ADD @0 n=1
+scalar MUL @1 n=1
+scalar SUB @2 n=1
+scalar SQRT @3 n=1
+`, // want: no adjacent same-op pair, nothing merges
+		},
+		{
+			name: "collapse-widens-tiled-batches",
+			run: func(m fp.Env, r *Recorder) {
+				dst := make([]fp.Bits, 4)
+				r.AddN(dst, seq(m, 1, 4), seq(m, 5, 4))
+				r.AddN(dst[:3], seq(m, 9, 3), seq(m, 12, 3))
+				r.MulN(dst[:2], seq(m, 1, 2), seq(m, 3, 2))
+			},
+			raw: `
+map2 ADD @0 n=4
+map2 ADD @4 n=3
+map2 MUL @7 n=2
+`,
+			collapsed: `
+map2 ADD @0 n=7
+map2 MUL @7 n=2
+`, // want: adjacent same-op maps fuse; the MUL tile stays separate
+		},
+		{
+			name: "superword-feeds-collapse",
+			run: func(m fp.Env, r *Recorder) {
+				a := enc(m, 1, 2)
+				r.Add(a[0], a[1])
+				r.Add(a[1], a[0])
+				dst := make([]fp.Bits, 3)
+				r.AddN(dst, seq(m, 1, 3), seq(m, 4, 3))
+			},
+			raw: `
+scalar ADD @0 n=1
+scalar ADD @1 n=1
+map2 ADD @2 n=3
+`,
+			superword: `
+map2 ADD @0 n=2
+map2 ADD @2 n=3
+`,
+			collapsed: `
+map2 ADD @0 n=5
+`, // want: scalar-coded and batch-coded adds replay as one region
+		},
+		{
+			name: "collapse-fman-tiles",
+			run: func(m fp.Env, r *Recorder) {
+				dst := make([]fp.Bits, 3)
+				r.FMAN(dst, seq(m, 1, 3), seq(m, 4, 3), seq(m, 7, 3))
+				r.FMAN(dst[:2], seq(m, 2, 2), seq(m, 5, 2), seq(m, 8, 2))
+			},
+			raw: `
+map3 FMA @0 n=3
+map3 FMA @3 n=2
+`,
+			collapsed: `
+map3 FMA @0 n=5
+`,
+		},
+		{
+			name: "structured-regions-never-merge",
+			run: func(m fp.Env, r *Recorder) {
+				zero := m.FromFloat64(0)
+				r.DotFMA(zero, seq(m, 1, 3), seq(m, 4, 3))
+				r.DotFMA(zero, seq(m, 2, 3), seq(m, 5, 3))
+				dst := seq(m, 1, 2)
+				r.AXPY(dst, m.FromFloat64(3), seq(m, 7, 2))
+				out := make([]fp.Bits, 4)
+				r.GemmFMA(out, nil, seq(m, 1, 4), seq(m, 5, 4), 2, 2, 2)
+			},
+			raw: `
+chain FMA @0 n=3
+chain FMA @3 n=3
+axpy FMA @6 n=2
+gemm FMA @8 n=8 rows=2 cols=2 k=2
+`, // want: accumulator-carrying shapes pass through both passes verbatim
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := fp.NewMachine(f)
+			rec := NewRecorder(m)
+			tc.run(m, rec)
+
+			raw := &stream{regions: rec.regions, operands: rec.operands}
+			check := func(stage, got, want, prev string) string {
+				t.Helper()
+				if want == "" {
+					want = prev
+				}
+				want = strings.TrimPrefix(want, "\n")
+				if got != want {
+					t.Errorf("%s dump:\n%s\nwant:\n%s", stage, got, want)
+				}
+				return want
+			}
+			prev := check("raw", raw.dump(), tc.raw, "")
+			sw := passSuperword(raw)
+			prev = check("superword", sw.dump(), tc.superword, prev)
+			col := passCollapse(sw)
+			prev = check("collapse", col.dump(), tc.collapsed, prev)
+
+			// The compiled program must validate and carry the collapsed
+			// stream unchanged.
+			p := rec.Compile()
+			if p == nil {
+				t.Fatal("Compile returned nil for a well-formed stream")
+			}
+			check("program", p.Dump(), prev, prev)
+			if p.Ops() != rec.Ops() || len(p.Results()) != int(rec.Ops()) {
+				t.Errorf("program ops %d results %d, recorded %d",
+					p.Ops(), len(p.Results()), rec.Ops())
+			}
+		})
+	}
+}
+
+// TestPassesPreserveServing replays every recorded operation through
+// ServeScalar after the full pipeline: regrouping must never change
+// what a position serves.
+func TestPassesPreserveServing(t *testing.T) {
+	m := fp.NewMachine(fp.Single)
+	rec := NewRecorder(m)
+	a := enc(m, 1.5, 2.5, 3.5)
+	// A stream exercising every shape, including merged ones.
+	r0 := rec.Add(a[0], a[1])
+	r1 := rec.Add(r0, a[2])
+	dst := make([]fp.Bits, 2)
+	rec.MulN(dst, []fp.Bits{r0, r1}, []fp.Bits{a[0], a[1]})
+	acc := rec.DotFMA(m.FromFloat64(0), []fp.Bits{r0, r1}, []fp.Bits{a[1], a[2]})
+	rec.Sqrt(acc)
+
+	p := rec.Compile()
+	if p == nil {
+		t.Fatal("Compile returned nil")
+	}
+	// Re-run the identical computation, asking the program for every
+	// result first.
+	var cur Cursor
+	pos := uint64(0)
+	expect := func(op fp.Op, x, y, z fp.Bits) fp.Bits {
+		t.Helper()
+		res, ok := p.ServeScalar(&cur, pos, op, x, y, z)
+		if !ok {
+			t.Fatalf("pos %d (%v): not served", pos, op)
+		}
+		if res != rec.results[pos] {
+			t.Fatalf("pos %d: served %#x, recorded %#x", pos, res, rec.results[pos])
+		}
+		pos++
+		return res
+	}
+	s0 := expect(fp.OpAdd, a[0], a[1], 0)
+	s1 := expect(fp.OpAdd, s0, a[2], 0)
+	expect(fp.OpMul, s0, a[0], 0)
+	expect(fp.OpMul, s1, a[1], 0)
+	c0 := expect(fp.OpFMA, s0, a[1], m.FromFloat64(0))
+	c1 := expect(fp.OpFMA, s1, a[2], c0)
+	expect(fp.OpSqrt, c1, 0, 0)
+	if pos != p.Ops() {
+		t.Fatalf("served %d of %d positions", pos, p.Ops())
+	}
+}

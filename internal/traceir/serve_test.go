@@ -1,0 +1,462 @@
+package traceir
+
+import (
+	"testing"
+
+	"mixedrel/internal/fp"
+)
+
+// compile records run's operations and compiles them, failing the test
+// on a nil program.
+func compile(t *testing.T, f fp.Format, run func(m fp.Env, r *Recorder)) (*Program, fp.Env) {
+	t.Helper()
+	m := fp.NewMachine(f)
+	rec := NewRecorder(m)
+	run(m, rec)
+	p := rec.Compile()
+	if p == nil {
+		t.Fatal("Compile returned nil")
+	}
+	return p, m
+}
+
+func TestServeScalarRejectsCorruptedOperands(t *testing.T) {
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		r.Mul(m.FromFloat64(3), m.FromFloat64(4))
+	})
+	a, b := m.FromFloat64(3), m.FromFloat64(4)
+	var cur Cursor
+	if res, ok := p.ServeScalar(&cur, 0, fp.OpMul, a, b, 0); !ok || res != p.Results()[0] {
+		t.Fatalf("clean operands not served: %v %#x", ok, res)
+	}
+	for _, bad := range []struct {
+		name  string
+		op    fp.Op
+		x, y  fp.Bits
+		posOK bool
+	}{
+		{"flipped-a", fp.OpMul, a ^ 1, b, true},
+		{"flipped-b", fp.OpMul, a, b ^ (1 << 20), true},
+		{"wrong-op", fp.OpAdd, a, b, true},
+	} {
+		var c Cursor
+		if _, ok := p.ServeScalar(&c, 0, bad.op, bad.x, bad.y, 0); ok {
+			t.Errorf("%s: corrupted operation was served", bad.name)
+		}
+	}
+	// Positions past the recorded stream (control-flow divergence) are
+	// never served.
+	var c Cursor
+	if _, ok := p.ServeScalar(&c, p.Ops(), fp.OpMul, a, b, 0); ok {
+		t.Error("position beyond the stream was served")
+	}
+}
+
+func TestServeScalarChainLinkage(t *testing.T) {
+	// Chain element i>0 must link through the recorded result of i-1:
+	// a corrupted accumulator (the in-flight fault) blocks serving even
+	// though a and b still match.
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		r.DotFMA(m.FromFloat64(1), seq(m, 2, 3), seq(m, 5, 3))
+	})
+	a, b := seq(m, 2, 3), seq(m, 5, 3)
+	var cur Cursor
+	acc := m.FromFloat64(1)
+	for i := 0; i < 3; i++ {
+		res, ok := p.ServeScalar(&cur, uint64(i), fp.OpFMA, a[i], b[i], acc)
+		if !ok {
+			t.Fatalf("element %d not served", i)
+		}
+		acc = res
+	}
+	var c2 Cursor
+	if _, ok := p.ServeScalar(&c2, 1, fp.OpFMA, a[1], b[1], acc^2); ok {
+		t.Error("corrupted chain accumulator was served")
+	}
+}
+
+func TestChainPrefixPartial(t *testing.T) {
+	const n = 6
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		r.DotFMA(m.FromFloat64(1), seq(m, 2, n), seq(m, 10, n))
+	})
+	acc0 := m.FromFloat64(1)
+	a, b := seq(m, 2, n), seq(m, 10, n)
+
+	var cur Cursor
+	if res, srv := p.ChainPrefix(&cur, 0, acc0, a, b); srv != n || res != p.Results()[n-1] {
+		t.Fatalf("clean chain: served %d, res %#x", srv, res)
+	}
+	// Corrupting element i serves exactly the prefix [0, i) and hands
+	// back the accumulator entering element i; recomputing the suffix
+	// through softfloat must reproduce the corrupted-run semantics of a
+	// full recompute.
+	for i := 0; i < n; i++ {
+		ca := append([]fp.Bits(nil), a...)
+		ca[i] ^= 1 << 13
+		var c Cursor
+		res, srv := p.ChainPrefix(&c, 0, acc0, ca, b)
+		if srv != i {
+			t.Fatalf("corrupt a[%d]: served %d", i, srv)
+		}
+		if i > 0 && res != p.Results()[i-1] {
+			t.Fatalf("corrupt a[%d]: prefix acc %#x, recorded %#x", i, res, p.Results()[i-1])
+		}
+		got := fp.DotFMA(m, res, ca[srv:], b[srv:])
+		want := fp.DotFMA(m, acc0, ca, b)
+		if got != want {
+			t.Fatalf("corrupt a[%d]: prefix+suffix %#x, full recompute %#x", i, got, want)
+		}
+	}
+	// A corrupted incoming accumulator serves nothing.
+	var c Cursor
+	if _, srv := p.ChainPrefix(&c, 0, acc0^4, a, b); srv != 0 {
+		t.Fatalf("corrupt acc0 served %d elements", srv)
+	}
+	// Shape mismatches (wrong position, wrong length) are rejected.
+	if _, srv := p.ChainPrefix(&c, 1, p.Results()[0], a[1:], b[1:]); srv != 0 {
+		t.Error("mid-chain prefix request was served")
+	}
+}
+
+func TestServeMapDirtyInterval(t *testing.T) {
+	const n = 8
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		dst := make([]fp.Bits, n)
+		r.AddN(dst, seq(m, 1, n), seq(m, 20, n))
+	})
+	a, b := seq(m, 1, n), seq(m, 20, n)
+
+	var cur Cursor
+	dst := make([]fp.Bits, n)
+	lo, hi, ok := p.ServeMap(&cur, 0, fp.OpAdd, dst, a, b, nil)
+	if !ok || lo != hi {
+		t.Fatalf("clean map: ok=%v dirty=[%d,%d)", ok, lo, hi)
+	}
+	for i, r := range p.Results() {
+		if dst[i] != r {
+			t.Fatalf("clean map served dst[%d]=%#x, recorded %#x", i, dst[i], r)
+		}
+	}
+
+	// Corrupt a[2] and b[5]: the dirty interval must cover both, and
+	// recomputing it must match a full recompute of the corrupted call.
+	ca := append([]fp.Bits(nil), a...)
+	cb := append([]fp.Bits(nil), b...)
+	ca[2] ^= 1 << 9
+	cb[5] ^= 1 << 3
+	var c2 Cursor
+	got := make([]fp.Bits, n)
+	lo, hi, ok = p.ServeMap(&c2, 0, fp.OpAdd, got, ca, cb, nil)
+	if !ok || lo != 2 || hi != 6 {
+		t.Fatalf("dirty map: ok=%v interval=[%d,%d), want [2,6)", ok, lo, hi)
+	}
+	fp.AddN(m, got[lo:hi], ca[lo:hi], cb[lo:hi])
+	want := make([]fp.Bits, n)
+	fp.AddN(m, want, ca, cb)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("served+recomputed dst[%d]=%#x, full recompute %#x", i, got[i], want[i])
+		}
+	}
+
+	// Wrong operation kind or a 3-operand query against a 2-operand
+	// region falls back to full recompute.
+	var c3 Cursor
+	if _, _, ok := p.ServeMap(&c3, 0, fp.OpMul, dst, a, b, nil); ok {
+		t.Error("MUL query served from an ADD region")
+	}
+	if _, _, ok := p.ServeMap(&c3, 0, fp.OpAdd, dst, a, b, a); ok {
+		t.Error("3-operand query served from a map2 region")
+	}
+}
+
+func TestServeMapFMANAliasedAccumulator(t *testing.T) {
+	// FMAN's dst commonly aliases c; dirty entries must keep their
+	// pristine accumulator inputs so the caller's recompute reads them.
+	const n = 5
+	var rc []fp.Bits
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		c := seq(m, 30, n)
+		rc = append([]fp.Bits(nil), c...)
+		r.FMAN(c, seq(m, 1, n), seq(m, 10, n), c)
+	})
+	a, b := seq(m, 1, n), seq(m, 10, n)
+	ca := append([]fp.Bits(nil), a...)
+	ca[1] ^= 1 << 7
+
+	dst := append([]fp.Bits(nil), rc...) // dst aliases the c operand
+	var cur Cursor
+	lo, hi, ok := p.ServeMap(&cur, 0, fp.OpFMA, dst, ca, b, dst)
+	if !ok || lo != 1 || hi != 2 {
+		t.Fatalf("aliased FMAN: ok=%v interval=[%d,%d), want [1,2)", ok, lo, hi)
+	}
+	if dst[1] != rc[1] {
+		t.Fatalf("dirty dst[1] was overwritten before recompute: %#x", dst[1])
+	}
+	fp.FMAN(m, dst[lo:hi], ca[lo:hi], b[lo:hi], dst[lo:hi])
+	want := append([]fp.Bits(nil), rc...)
+	fp.FMAN(m, want, ca, b, want)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("aliased FMAN dst[%d]=%#x, want %#x", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestServeAxpy(t *testing.T) {
+	const n = 6
+	var rd []fp.Bits
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		d := seq(m, 40, n)
+		rd = append([]fp.Bits(nil), d...)
+		r.AXPY(d, m.FromFloat64(3), seq(m, 1, n))
+	})
+	s := m.FromFloat64(3)
+	x := seq(m, 1, n)
+
+	var cur Cursor
+	dst := append([]fp.Bits(nil), rd...)
+	if lo, hi, ok := p.ServeAxpy(&cur, 0, s, x, dst); !ok || lo != hi {
+		t.Fatalf("clean axpy: ok=%v dirty=[%d,%d)", ok, lo, hi)
+	}
+	for i, r := range p.Results() {
+		if dst[i] != r {
+			t.Fatalf("clean axpy dst[%d]=%#x, recorded %#x", i, dst[i], r)
+		}
+	}
+	// A corrupted broadcast scalar dirties everything.
+	dst = append([]fp.Bits(nil), rd...)
+	var c2 Cursor
+	if lo, hi, ok := p.ServeAxpy(&c2, 0, s^1, x, dst); !ok || lo != 0 || hi != n {
+		t.Fatalf("corrupt s: ok=%v interval=[%d,%d), want [0,%d)", ok, lo, hi, n)
+	}
+	// A corrupted x element dirties exactly its interval.
+	cx := append([]fp.Bits(nil), x...)
+	cx[4] ^= 1 << 11
+	dst = append([]fp.Bits(nil), rd...)
+	var c3 Cursor
+	lo, hi, ok := p.ServeAxpy(&c3, 0, s, cx, dst)
+	if !ok || lo != 4 || hi != 5 {
+		t.Fatalf("corrupt x[4]: ok=%v interval=[%d,%d), want [4,5)", ok, lo, hi)
+	}
+	fp.AXPY(m, dst[lo:hi], s, cx[lo:hi])
+	want := append([]fp.Bits(nil), rd...)
+	fp.AXPY(m, want, s, cx)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("axpy dst[%d]=%#x, want %#x", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestServeGemmConePartition(t *testing.T) {
+	const rows, cols, k = 3, 4, 5
+	var accs, a, bt []fp.Bits
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		accs = seq(m, 50, rows)
+		a = seq(m, 1, rows*k)
+		bt = seq(m, 20, cols*k)
+		out := make([]fp.Bits, rows*cols)
+		r.GemmFMA(out, accs, a, bt, rows, cols, k)
+	})
+	ref := func(accs, a, bt []fp.Bits) []fp.Bits {
+		out := make([]fp.Bits, rows*cols)
+		fp.GemmFMA(m, out, accs, a, bt, rows, cols, k)
+		return out
+	}
+	clean := ref(accs, a, bt)
+
+	serve := func(t *testing.T, accs, a, bt []fp.Bits) []fp.Bits {
+		t.Helper()
+		out := make([]fp.Bits, rows*cols)
+		var cur Cursor
+		if !p.ServeGemm(&cur, 0, out, accs, a, bt, rows, cols, k, 0, rows*cols, m) {
+			t.Fatal("ServeGemm rejected a matching grid")
+		}
+		return out
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		out := serve(t, accs, a, bt)
+		for i := range clean {
+			if out[i] != clean[i] {
+				t.Fatalf("out[%d]=%#x, want %#x", i, out[i], clean[i])
+			}
+		}
+	})
+	t.Run("dirty-a-row", func(t *testing.T) {
+		ca := append([]fp.Bits(nil), a...)
+		ca[1*k+2] ^= 1 << 6 // row 1
+		out := serve(t, accs, ca, bt)
+		want := ref(accs, ca, bt)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("out[%d]=%#x, want %#x", i, out[i], want[i])
+			}
+		}
+	})
+	t.Run("dirty-bt-column", func(t *testing.T) {
+		cbt := append([]fp.Bits(nil), bt...)
+		cbt[2*k] ^= 1 << 15 // chain column 2
+		out := serve(t, accs, a, cbt)
+		want := ref(accs, a, cbt)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("out[%d]=%#x, want %#x", i, out[i], want[i])
+			}
+		}
+	})
+	t.Run("dirty-acc", func(t *testing.T) {
+		caccs := append([]fp.Bits(nil), accs...)
+		caccs[2] ^= 1
+		out := serve(t, caccs, a, bt)
+		want := ref(caccs, a, bt)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("out[%d]=%#x, want %#x", i, out[i], want[i])
+			}
+		}
+	})
+	t.Run("range-form", func(t *testing.T) {
+		// Serving chains [first, limit) with pos at chain first's start
+		// must agree with the full-grid serve element-for-element.
+		const first, limit = 5, 9
+		out := make([]fp.Bits, rows*cols)
+		var cur Cursor
+		if !p.ServeGemm(&cur, uint64(first*k), out, accs, a, bt, rows, cols, k, first, limit, m) {
+			t.Fatal("range serve rejected")
+		}
+		for i := first; i < limit; i++ {
+			if out[i] != clean[i] {
+				t.Fatalf("out[%d]=%#x, want %#x", i, out[i], clean[i])
+			}
+		}
+	})
+	t.Run("shape-mismatch", func(t *testing.T) {
+		out := make([]fp.Bits, rows*cols)
+		var cur Cursor
+		if p.ServeGemm(&cur, 0, out, accs, a, bt, cols, rows, k, 0, rows*cols, m) {
+			t.Error("transposed shape was served")
+		}
+		if p.ServeGemm(&cur, 1, out, accs, a, bt, rows, cols, k, 0, rows*cols, m) {
+			t.Error("misaligned position was served")
+		}
+	})
+}
+
+func TestServeGemmNilAccs(t *testing.T) {
+	const rows, cols, k = 2, 2, 3
+	var a, bt []fp.Bits
+	p, m := compile(t, fp.Single, func(m fp.Env, r *Recorder) {
+		a = seq(m, 1, rows*k)
+		bt = seq(m, 9, cols*k)
+		out := make([]fp.Bits, rows*cols)
+		r.GemmFMA(out, nil, a, bt, rows, cols, k)
+	})
+	out := make([]fp.Bits, rows*cols)
+	var cur Cursor
+	if !p.ServeGemm(&cur, 0, out, nil, a, bt, rows, cols, k, 0, rows*cols, m) {
+		t.Fatal("nil-accs grid rejected")
+	}
+	want := make([]fp.Bits, rows*cols)
+	fp.GemmFMA(m, want, nil, a, bt, rows, cols, k)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d]=%#x, want %#x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestFinalizeRejectsMalformedStreams(t *testing.T) {
+	m := fp.NewMachine(fp.Single)
+	results := seq(m, 1, 4)
+	ok := &stream{
+		regions:  []Region{{Kind: KMap2, Op: fp.OpAdd, Start: 0, N: 4, Off: 0}},
+		operands: seq(m, 1, 8),
+	}
+	if finalize(ok, fp.Single, 4, results) == nil {
+		t.Fatal("well-formed stream rejected")
+	}
+	cases := []struct {
+		name string
+		mut  func(s *stream) (ops uint64, res []fp.Bits)
+	}{
+		{"gap", func(s *stream) (uint64, []fp.Bits) {
+			s.regions[0].Start = 1
+			return 4, results
+		}},
+		{"short-coverage", func(s *stream) (uint64, []fp.Bits) {
+			s.regions[0].N = 3
+			return 4, results
+		}},
+		{"zero-n", func(s *stream) (uint64, []fp.Bits) {
+			s.regions[0].N = 0
+			return 4, results
+		}},
+		{"operands-out-of-bounds", func(s *stream) (uint64, []fp.Bits) {
+			s.operands = s.operands[:5]
+			return 4, results
+		}},
+		{"results-length-mismatch", func(s *stream) (uint64, []fp.Bits) {
+			return 4, results[:3]
+		}},
+		{"gemm-shape-mismatch", func(s *stream) (uint64, []fp.Bits) {
+			s.regions[0] = Region{Kind: KGemm, Op: fp.OpFMA, N: 4, Rows: 1, Cols: 1, K: 2,
+				Off: 0}
+			return 4, results
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &stream{
+				regions:  append([]Region(nil), ok.regions...),
+				operands: append([]fp.Bits(nil), ok.operands...),
+			}
+			ops, res := tc.mut(s)
+			if finalize(s, fp.Single, ops, res) != nil {
+				t.Error("malformed stream accepted")
+			}
+		})
+	}
+}
+
+func TestRecorderCaps(t *testing.T) {
+	m := fp.NewMachine(fp.Single)
+	a, b := m.FromFloat64(1), m.FromFloat64(2)
+
+	t.Run("ir-overflow-keeps-results", func(t *testing.T) {
+		r := NewRecorder(m)
+		r.Add(a, b)
+		// Push the op counter to the IR cap (white-box) so the next
+		// operation overflows it: the IR drops, the result trace stays.
+		saved := r.ops
+		r.ops = maxCompiledOps
+		r.Add(a, b)
+		r.ops = saved + 2
+		if !r.irDropped {
+			t.Fatal("IR cap did not trip")
+		}
+		if r.Compile() != nil {
+			t.Error("Compile returned a program past the IR cap")
+		}
+		if got := r.Results(); len(got) != 2 {
+			t.Errorf("result trace lost on IR overflow: %d entries", len(got))
+		}
+	})
+	t.Run("trace-overflow-drops-everything", func(t *testing.T) {
+		r := NewRecorder(m)
+		r.results = make([]fp.Bits, MaxOps) // white-box: pretend MaxOps ops ran
+		r.ops = MaxOps
+		r.Add(a, b)
+		if !r.truncated {
+			t.Fatal("result-trace cap did not trip")
+		}
+		if r.Results() != nil {
+			t.Error("truncated trace still returned")
+		}
+		if r.Compile() != nil {
+			t.Error("Compile returned a program for a truncated trace")
+		}
+	})
+}

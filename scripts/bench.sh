@@ -7,6 +7,15 @@
 #   scripts/bench.sh                 # experiment + campaign benchmarks
 #   BENCH_RE=Fig3 scripts/bench.sh   # restrict to matching benchmarks
 #   BENCHTIME=5x scripts/bench.sh    # more iterations per benchmark
+#
+# Snapshot naming: the day's newest results always live at the plain
+# BENCH_<date>.json. Re-running on the same day first moves the existing
+# file to BENCH_<date>.<n>.json, with n counting up from 0 — so within
+# one day the history reads .0 (oldest), .1, ..., plain .json (newest),
+# and across days the date orders everything. cmd/benchdiff understands
+# this scheme: with no arguments it deterministically picks the two
+# newest snapshots (numeric suffix order, so .10 follows .9) and diffs
+# them, which is how this script prints its closing comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,18 +24,13 @@ benchtime="${BENCHTIME:-1x}"
 today="$(date +%Y%m%d)"
 out_file="BENCH_${today}.json"
 
-# Pick the comparison baseline before writing anything. A same-day rerun
-# snapshots the existing file to BENCH_<date>.<n>.json (which sorts
-# before the plain .json, keeping the newest results at the expected
-# name) so history is never overwritten.
-prev=""
+# A same-day rerun snapshots the existing file to the next free
+# BENCH_<date>.<n>.json before the new results take the plain name, so
+# history is never overwritten (see the naming scheme above).
 if [[ -e "$out_file" ]]; then
     n=0
     while [[ -e "BENCH_${today}.${n}.json" ]]; do n=$((n + 1)); done
-    prev="BENCH_${today}.${n}.json"
-    mv "$out_file" "$prev"
-else
-    prev=$(ls BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+    mv "$out_file" "BENCH_${today}.${n}.json"
 fi
 
 raw=$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem .)
@@ -52,10 +56,7 @@ END { print "\n]" }' > "$out_file"
 echo
 echo "wrote $out_file"
 
-if [[ -n "$prev" && "$prev" != "$out_file" ]]; then
-    echo
-    go run ./cmd/benchdiff "$prev" "$out_file"
-else
-    echo
-    go run ./cmd/benchdiff "$out_file"
-fi
+# benchdiff's zero-argument mode resolves the latest (baseline, new)
+# pair from the scheme above; with only one snapshot it lists it.
+echo
+go run ./cmd/benchdiff
