@@ -4,69 +4,67 @@
 // build environments.
 //
 // The suite mechanically enforces what the simulator's correctness
-// argument assumes: kernel arithmetic goes through fp.Env (softfloat),
-// raw encodings are never treated as numbers (bitsops), kernel inner
-// loops use the batch execution layer where one exists (batchops),
-// results are a
-// function of the seed alone and render in deterministic order
-// (determinism), all concurrency stays under the bounded scheduler
-// (boundedgo), and emulated crash/hang aborts are recovered only by
-// the execution engine's guard (panicsafety).
+// argument assumes: kernel arithmetic goes through fp.Env in every
+// package Run reaches (softfloat), raw encodings are never treated as
+// numbers (bitsops), kernel inner loops use the batch execution layer
+// where one exists (batchops), results are a function of the seed alone
+// and render in deterministic order (determinism), all concurrency
+// stays under the bounded scheduler (boundedgo), emulated crash/hang
+// aborts are recovered only by the execution engine's guard
+// (panicsafety), compiled-trace serving stays behind exec/inject
+// (compiledreplay), and annotated hot paths do not allocate (hotalloc).
+//
+// The driver is interprocedural: requested packages plus everything
+// they transitively import are analyzed in topological order so facts
+// flow across package boundaries, import-independent packages run in
+// parallel, and per-package results are cached on disk (keyed by source
+// content, dependency keys and the analyzer fingerprint) so a warm run
+// with no source changes re-analyzes nothing.
 //
 // Usage:
 //
-//	mixedrelvet [-only name,name] [-list] [packages...]
+//	mixedrelvet [-only name,name] [-list] [-json] [-workers n] [-cache dir] [packages...]
 //
 // Packages default to ./... resolved against the enclosing module. The
-// exit status is 1 if any diagnostic was reported, 2 on load/driver
-// failure.
+// cache defaults to $MIXEDRELVET_CACHE or the user cache directory;
+// -cache '' disables it. The exit status is 1 if any diagnostic was
+// reported, 2 on usage or load/driver failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"mixedrel/internal/analysis"
-	"mixedrel/internal/analysis/batchops"
-	"mixedrel/internal/analysis/bitsops"
-	"mixedrel/internal/analysis/boundedgo"
-	"mixedrel/internal/analysis/compiledreplay"
-	"mixedrel/internal/analysis/determinism"
-	"mixedrel/internal/analysis/panicsafety"
-	"mixedrel/internal/analysis/softfloat"
+	"mixedrel/internal/analysis/suite"
 )
-
-// suite lists every registered analyzer. Adding a new invariant checker
-// means appending it here and documenting it in DESIGN.md §Static
-// invariants.
-var suite = []*analysis.Analyzer{
-	batchops.Analyzer,
-	bitsops.Analyzer,
-	boundedgo.Analyzer,
-	compiledreplay.Analyzer,
-	determinism.Analyzer,
-	panicsafety.Analyzer,
-	softfloat.Analyzer,
-}
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	workers := flag.Int("workers", runtime.NumCPU(), "max import-independent packages analyzed in parallel")
+	cacheDir := flag.String("cache", analysis.DefaultCacheDir(), "result cache directory ('' disables caching)")
+	stats := flag.Bool("stats", false, "print cache hit/miss counts to stderr")
 	flag.Parse()
 
 	if *list {
-		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
 		}
 		return
 	}
 
 	analyzers, err := selectAnalyzers(*only)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "mixedrelvet:", err)
+		fmt.Fprintln(os.Stderr, "usage: mixedrelvet [-only name,name] [-list] [-json] [-workers n] [-cache dir] [packages...]")
+		os.Exit(2)
 	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -77,36 +75,92 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	loader := &analysis.Loader{Dir: root, Module: module}
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
-		fatal(err)
+	var cache *analysis.Cache
+	if *cacheDir != "" {
+		cache = &analysis.Cache{Dir: *cacheDir}
 	}
-	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(relativize(f))
+
+	// Warm fast path: if every package in the transitive closure has a
+	// cache entry under the current source hashes, serve the findings
+	// without parsing a single function body.
+	res, ok := analysis.TryCached(cache, root, module, patterns, analyzers, suite.Names())
+	if !ok {
+		loader := &analysis.Loader{Dir: root, Module: module}
+		pkgs, err := loader.Load(patterns...)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := analysis.Config{
+			Workers: *workers,
+			Cache:   cache,
+			Known:   suite.Names(),
+			Lookup:  loader.Lookup,
+		}
+		res, err = analysis.Run(cfg, pkgs, analyzers)
+		if err != nil {
+			printFindings(res.Findings, *jsonOut)
+			fatal(err)
+		}
 	}
-	if err != nil {
-		fatal(err)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "mixedrelvet: %d packages from cache, %d analyzed\n", res.CacheHits, res.CacheMisses)
 	}
-	if len(findings) > 0 {
+	printFindings(res.Findings, *jsonOut)
+	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
 }
 
-func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
-	if only == "" {
-		return suite, nil
+// jsonFinding is the machine-readable diagnostic shape (-json).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func printFindings(findings []analysis.Finding, asJSON bool) {
+	if !asJSON {
+		for _, f := range findings {
+			fmt.Println(relativize(f))
+		}
+		return
 	}
-	byName := make(map[string]*analysis.Analyzer, len(suite))
-	for _, a := range suite {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		f.Pos.Filename = relPath(f.Pos.Filename)
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			Package:  f.Package,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	all := suite.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
 		byName[a.Name] = a
 	}
 	var out []*analysis.Analyzer
 	for _, name := range strings.Split(only, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			return nil, fmt.Errorf("unknown analyzer %q in -only (use -list for the suite)", name)
 		}
 		out = append(out, a)
 	}
@@ -138,18 +192,24 @@ func findModule() (dir, module string, err error) {
 	}
 }
 
+// relPath shortens a path relative to the working directory when
+// possible.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
 // relativize shortens a finding's path relative to the working directory
 // when possible.
 func relativize(f analysis.Finding) string {
-	wd, err := os.Getwd()
-	if err != nil {
-		return f.String()
-	}
-	rel, err := filepath.Rel(wd, f.Pos.Filename)
-	if err != nil || strings.HasPrefix(rel, "..") {
-		return f.String()
-	}
-	f.Pos.Filename = rel
+	f.Pos.Filename = relPath(f.Pos.Filename)
 	return f.String()
 }
 

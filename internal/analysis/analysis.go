@@ -3,12 +3,32 @@
 // cmd/mixedrelvet multichecker.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
-// Pass, Diagnostic, Reportf) so the analyzers could be ported to the real
-// framework by changing imports, but the driver is built entirely on the
-// standard library (go/parser + go/types + the "source" importer): the
-// build environment has no module proxy access, and the invariants these
-// analyzers enforce are too important to leave contingent on a network
-// fetch.
+// Pass, Diagnostic, Facts, Requires) so the analyzers could be ported to
+// the real framework by changing imports, but the driver is built
+// entirely on the standard library (go/parser + go/types + the "source"
+// importer): the build environment has no module proxy access, and the
+// invariants these analyzers enforce are too important to leave
+// contingent on a network fetch.
+//
+// Beyond the per-package model of the original framework, the driver is
+// an interprocedural fact engine:
+//
+//   - analyzers export typed Facts on functions, types and packages
+//     (e.g. softfloat.UsesNativeFloat, determinism.NondetSource,
+//     hotalloc.Allocates, compiledreplay.ConsumesTrace);
+//   - packages are analyzed in topological import order, so a pass sees
+//     the facts of everything it imports — taint propagates through
+//     helpers in any package, not just the one under analysis;
+//   - once-computed per-package artifacts (the AST inspector, the
+//     intra-package call graph) are shared between analyzers through
+//     Requires;
+//   - import-independent packages run in parallel under the repo's own
+//     bounded scheduler (exec.ForEach), with diagnostics sorted into a
+//     byte-identical order at any worker count;
+//   - per-package results (diagnostics and facts) are memoized in an
+//     on-disk cache keyed by a content hash of the package's sources,
+//     its dependencies' keys, and the analyzer fingerprint, so a warm
+//     run re-analyzes nothing.
 package analysis
 
 import (
@@ -16,7 +36,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -27,11 +46,30 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the enforced invariant. The
 	// first line is used as a summary.
 	Doc string
+	// Version participates in the result-cache key: bump it whenever the
+	// analyzer's logic changes so stale cached diagnostics and facts are
+	// invalidated.
+	Version int
+	// Requires lists analyzers whose results this analyzer consumes via
+	// Pass.ResultOf. They run first on the same package. Used for shared
+	// per-package artifacts (inspect.Analyzer, callgraph.Analyzer).
+	Requires []*Analyzer
+	// FactTypes lists prototype values (pointers to the concrete fact
+	// structs) for every fact type the analyzer exports. Facts of
+	// unlisted types cannot be exported, cached, or decoded.
+	FactTypes []Fact
 	// Run applies the analyzer to one type-checked package, reporting
-	// violations through pass.Report. The returned value is unused by the
-	// driver (kept for go/analysis signature compatibility).
+	// violations through pass.Report and exporting facts through
+	// pass.ExportObjectFact / pass.ExportPackageFact. The returned value
+	// is stored in Pass.ResultOf for analyzers that Require this one.
 	Run func(*Pass) (interface{}, error)
 }
+
+// Fact is a typed, serializable datum an analyzer attaches to a function,
+// type, or package, visible to later passes over importing packages.
+// Implementations must be pointers to JSON-(de)serializable structs and
+// should implement fmt.Stringer for fact assertions in analysistest.
+type Fact interface{ AFact() }
 
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
@@ -48,6 +86,14 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
+	// ResultOf holds the results of the analyzers named in
+	// Analyzer.Requires, keyed by analyzer.
+	ResultOf map[*Analyzer]interface{}
+
+	// facts is the driver's fact accessor; directives the package's
+	// parsed //mixedrelvet: comments. Both are populated by the driver.
+	facts      *factAccess
+	directives *directiveSet
 }
 
 // Diagnostic is one reported violation.
@@ -70,89 +116,68 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
 }
 
-// allowDirective is the comment escape hatch: a declaration or statement
-// preceded by
+// Allowed reports whether node carries (or is covered by) an allow
+// directive for this pass's analyzer:
 //
 //	//mixedrelvet:allow <analyzer-name> [reason]
 //
-// is exempt from that analyzer. The reason is free text; requiring the
-// analyzer name keeps one exemption from silencing the whole suite.
-const allowDirective = "//mixedrelvet:allow"
-
-// Allowed reports whether node (or a comment group attached to it via
-// file comment maps built lazily per pass) carries an allow directive for
-// this pass's analyzer. Directives are matched against the comment group
-// immediately preceding the node's line.
+// on the line of the node or the line above it. A matched directive is
+// recorded as used; the driver reports directives that no analyzer ever
+// matched, so stale exemptions surface as diagnostics instead of
+// silently outliving the code they excused.
 func (p *Pass) Allowed(file *ast.File, node ast.Node) bool {
-	if node == nil {
+	if node == nil || p.directives == nil {
 		return false
 	}
-	nodeLine := p.Fset.Position(node.Pos()).Line
-	for _, cg := range file.Comments {
-		endLine := p.Fset.Position(cg.End()).Line
-		if endLine != nodeLine-1 && endLine != nodeLine {
-			continue
-		}
-		for _, c := range cg.List {
-			text := strings.TrimSpace(c.Text)
-			if !strings.HasPrefix(text, allowDirective) {
-				continue
-			}
-			rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
-			if name, _, _ := strings.Cut(rest, " "); name == p.Analyzer.Name {
-				return true
-			}
-		}
-	}
-	return false
+	return p.directives.allowed(p.Fset, file, node, p.Analyzer.Name)
 }
 
-// RunAnalyzers applies each analyzer to each package and returns the
-// collected diagnostics sorted by position. Analyzer run errors are
-// returned after all packages have been attempted.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	var errs []string
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Path:      pkg.Path,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d Diagnostic) {
-				findings = append(findings, Finding{
-					Analyzer: a.Name,
-					Package:  pkg.Path,
-					Pos:      pkg.Fset.Position(d.Pos),
-					Message:  d.Message,
-				})
-			}
-			if _, err := a.Run(pass); err != nil {
-				errs = append(errs, fmt.Sprintf("%s: %s: %v", a.Name, pkg.Path, err))
-			}
-		}
+// HotPath reports whether the declaration carries a
+// //mixedrelvet:hotpath directive, marking it as a root whose transitive
+// callees the hotalloc analyzer proves allocation-free. Matched
+// directives are recorded as used.
+func (p *Pass) HotPath(file *ast.File, node ast.Node) bool {
+	if node == nil || p.directives == nil {
+		return false
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	if len(errs) > 0 {
-		return findings, fmt.Errorf("analyzer errors:\n  %s", strings.Join(errs, "\n  "))
+	return p.directives.hotPath(p.Fset, file, node)
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis. The fact becomes visible to this analyzer's passes over
+// every package that (transitively) imports this one.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil || obj.Pkg() != p.Pkg {
+		return
 	}
-	return findings, nil
+	p.facts.export(p, obj, fact)
+}
+
+// ImportObjectFact copies the fact of the receiver's type attached to obj
+// into fact (a pointer), reporting whether one was found. obj may belong
+// to any already-analyzed package, including the one under analysis.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return p.facts.importObject(p.Analyzer.Name, obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.exportPackage(p, fact)
+}
+
+// ImportPackageFact copies the package fact of the receiver's type
+// attached to pkg into fact, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.importPackage(p.Analyzer.Name, pkg.Path(), fact)
 }
 
 // Finding is a resolved diagnostic ready for printing or comparison.
@@ -165,6 +190,24 @@ type Finding struct {
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// lessFinding orders findings by position then analyzer: the canonical,
+// scheduling-independent output order.
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	if a.Analyzer != b.Analyzer {
+		return a.Analyzer < b.Analyzer
+	}
+	return a.Message < b.Message
 }
 
 // Named unwraps t to a *types.Named, looking through pointers but not
@@ -209,4 +252,15 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	fn, _ := info.Uses[id].(*types.Func)
 	return fn
+}
+
+// FuncShortName renders a function as Name or (Recv).Name without
+// package qualification, the form used in diagnostics.
+func FuncShortName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		q := func(*types.Package) string { return "" }
+		return "(" + types.TypeString(sig.Recv().Type(), q) + ")." + fn.Name()
+	}
+	return fn.Name()
 }

@@ -9,10 +9,22 @@
 //	x := a + b // want `operator "\+" on fp\.Bits`
 //
 // is a regular expression that must match a diagnostic reported on the
-// same line; several quoted expectations may follow one want. Every
-// diagnostic must be matched by an expectation and vice versa — so
-// clean negative cases (allowlisted helpers, _test.go files, exempt
-// packages) are asserted simply by carrying no annotations.
+// same line; several quoted expectations may follow one want. Facts the
+// analyzer exports are asserted the same way, against the record's
+// "name: fact" rendering:
+//
+//	func scale(x float64) float64 { // want fact:`scale: usesNativeFloat`
+//
+// Every diagnostic — including the driver's directive-validation
+// diagnostics — and every fact the analyzer under test exports in a
+// requested package must be matched by an expectation and vice versa, so
+// clean negative cases (exempt helpers, _test.go files, exempt packages)
+// are asserted simply by carrying no annotations.
+//
+// Packages are analyzed by the real driver: requested packages plus
+// everything they transitively import inside the tree, in topological
+// order, with facts flowing across package boundaries exactly as in a
+// production run.
 package analysistest
 
 import (
@@ -24,6 +36,7 @@ import (
 	"testing"
 
 	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/suite"
 )
 
 // TestData returns the test's testdata directory.
@@ -36,9 +49,9 @@ func TestData(t *testing.T) string {
 	return abs
 }
 
-// Run loads the patterns from dir/src, applies the analyzer, and reports
-// any mismatch between diagnostics and // want annotations as test
-// errors.
+// Run loads the patterns from dir/src, applies the analyzer under the
+// interprocedural driver, and reports any mismatch between diagnostics
+// or exported facts and // want annotations as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
 	loader := &analysis.Loader{Dir: filepath.Join(dir, "src"), IncludeTests: true}
@@ -46,7 +59,14 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	if err != nil {
 		t.Fatalf("loading %v from %s: %v", patterns, dir, err)
 	}
-	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	cfg := analysis.Config{
+		// The full registry, so testdata may carry directives for
+		// analyzers other than the one under test without tripping the
+		// unknown-name validation.
+		Known:  suite.Names(),
+		Lookup: loader.Lookup,
+	}
+	res, err := analysis.Run(cfg, pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -55,8 +75,11 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 		file string
 		line int
 	}
-	wants := make(map[key][]*regexp.Regexp)
+	requested := make(map[string]bool, len(pkgs))
+	diagWants := make(map[key][]*regexp.Regexp)
+	factWants := make(map[key][]*regexp.Regexp)
 	for _, pkg := range pkgs {
+		requested[pkg.Path] = true
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
@@ -66,64 +89,101 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
 					}
 					k := key{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], exps...)
+					diagWants[k] = append(diagWants[k], exps.diags...)
+					factWants[k] = append(factWants[k], exps.facts...)
 				}
 			}
 		}
 	}
 
-	for _, f := range findings {
-		k := key{f.Pos.Filename, f.Pos.Line}
-		matched := false
+	match := func(wants map[key][]*regexp.Regexp, k key, text string) bool {
 		for i, re := range wants[k] {
-			if re.MatchString(f.Message) {
+			if re.MatchString(text) {
 				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
-				matched = true
-				break
+				return true
 			}
 		}
-		if !matched {
+		return false
+	}
+
+	for _, f := range res.Findings {
+		if !match(diagWants, key{f.Pos.Filename, f.Pos.Line}, f.Message) {
 			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
 		}
 	}
-	for k, res := range wants {
+	// Facts are checked for the analyzer under test in the requested
+	// packages; facts in dependency packages outside the patterns are
+	// this run's internal plumbing.
+	for _, r := range res.Facts {
+		if r.Analyzer != a.Name || !requested[r.Package] {
+			continue
+		}
+		if !match(factWants, key{r.Pos.Filename, r.Pos.Line}, r.String()) {
+			t.Errorf("%s: unasserted fact at %s:%d: %s", a.Name, r.Pos.Filename, r.Pos.Line, r)
+		}
+	}
+	for k, res := range diagWants {
 		for _, re := range res {
 			t.Errorf("%s:%d: expected diagnostic matching %q was not reported", k.file, k.line, re)
 		}
 	}
+	for k, res := range factWants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected fact matching %q was not exported", k.file, k.line, re)
+		}
+	}
 }
 
+// expectations is the parsed content of one // want comment.
+type expectations struct {
+	diags []*regexp.Regexp
+	facts []*regexp.Regexp
+}
+
+func (e expectations) empty() bool { return len(e.diags) == 0 && len(e.facts) == 0 }
+
 // parseWant extracts the quoted regular expressions from a // want
-// comment, returning nil for comments without the marker.
-func parseWant(text string) ([]*regexp.Regexp, error) {
+// comment, returning empty expectations for comments without the marker.
+// A bare quoted regexp asserts a diagnostic; a fact:"re" token asserts
+// an exported fact.
+func parseWant(text string) (expectations, error) {
+	var out expectations
 	body, ok := strings.CutPrefix(strings.TrimSpace(text), "//")
 	if !ok {
-		return nil, nil // /* */ comments carry no expectations
+		return out, nil // /* */ comments carry no expectations
 	}
 	body, ok = strings.CutPrefix(strings.TrimSpace(body), "want ")
 	if !ok {
-		return nil, nil
+		return out, nil
 	}
-	var out []*regexp.Regexp
 	rest := strings.TrimSpace(body)
 	for rest != "" {
+		fact := false
+		if cut, ok := strings.CutPrefix(rest, "fact:"); ok {
+			fact = true
+			rest = cut
+		}
 		lit, err := strconv.QuotedPrefix(rest)
 		if err != nil {
-			return nil, fmt.Errorf("malformed want expectation %q: expected a quoted regexp", rest)
+			return out, fmt.Errorf("malformed want expectation %q: expected a quoted regexp", rest)
 		}
 		unq, err := strconv.Unquote(lit)
 		if err != nil {
-			return nil, fmt.Errorf("malformed want expectation %q: %v", lit, err)
+			return out, fmt.Errorf("malformed want expectation %q: %v", lit, err)
 		}
 		re, err := regexp.Compile(unq)
 		if err != nil {
-			return nil, fmt.Errorf("bad want regexp %q: %v", unq, err)
+			return out, fmt.Errorf("bad want regexp %q: %v", unq, err)
 		}
-		out = append(out, re)
+		if fact {
+			out.facts = append(out.facts, re)
+		} else {
+			out.diags = append(out.diags, re)
+		}
 		rest = strings.TrimSpace(rest[len(lit):])
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("want comment carries no expectations")
+	if out.empty() {
+		return out, fmt.Errorf("want comment carries no expectations")
 	}
 	return out, nil
 }

@@ -5,16 +5,20 @@ import "testing"
 func TestParseWant(t *testing.T) {
 	cases := []struct {
 		text    string
-		matches []string // a probe string each parsed regexp must match
+		matches []string // a probe string each parsed diagnostic regexp must match
+		facts   []string // a probe string each parsed fact regexp must match
 		wantErr bool
 	}{
-		{text: "// ordinary comment", matches: nil},
-		{text: "// wanting is not the marker", matches: nil},
+		{text: "// ordinary comment"},
+		{text: "// wanting is not the marker"},
 		{text: "// want `a \\+ b`", matches: []string{"a + b"}},
 		{text: "// want \"first\" `second`", matches: []string{"the first one", "a second one"}},
-		{text: "/* block comments carry no expectations */", matches: nil},
+		{text: "/* block comments carry no expectations */"},
+		{text: "// want fact:`f: usesNativeFloat`", facts: []string{"f: usesNativeFloat(native)"}},
+		{text: "// want `diag` fact:`g: allocates`", matches: []string{"a diag here"}, facts: []string{"g: allocates(make)"}},
 		{text: "// want unquoted", wantErr: true},
 		{text: "// want `broken(`", wantErr: true},
+		{text: "// want fact:unquoted", wantErr: true},
 	}
 	for _, tc := range cases {
 		res, err := parseWant(tc.text)
@@ -28,13 +32,18 @@ func TestParseWant(t *testing.T) {
 			t.Errorf("parseWant(%q): %v", tc.text, err)
 			continue
 		}
-		if len(res) != len(tc.matches) {
-			t.Errorf("parseWant(%q) = %d expectations, want %d", tc.text, len(res), len(tc.matches))
+		if len(res.diags) != len(tc.matches) || len(res.facts) != len(tc.facts) {
+			t.Errorf("parseWant(%q) = %d diags/%d facts, want %d/%d", tc.text, len(res.diags), len(res.facts), len(tc.matches), len(tc.facts))
 			continue
 		}
 		for i, probe := range tc.matches {
-			if !res[i].MatchString(probe) {
-				t.Errorf("parseWant(%q)[%d] = %v does not match %q", tc.text, i, res[i], probe)
+			if !res.diags[i].MatchString(probe) {
+				t.Errorf("parseWant(%q).diags[%d] = %v does not match %q", tc.text, i, res.diags[i], probe)
+			}
+		}
+		for i, probe := range tc.facts {
+			if !res.facts[i].MatchString(probe) {
+				t.Errorf("parseWant(%q).facts[%d] = %v does not match %q", tc.text, i, res.facts[i], probe)
 			}
 		}
 	}

@@ -22,13 +22,16 @@ import (
 	"go/ast"
 
 	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/inspect"
 )
 
 // Analyzer is the batchops invariant checker.
 var Analyzer = &analysis.Analyzer{
-	Name: "batchops",
-	Doc:  "flag per-element Add/Mul/FMA loops over fp.Env in kernels; use the fp batch helpers or annotate why the scalar order is the contract",
-	Run:  run,
+	Name:     "batchops",
+	Doc:      "flag per-element Add/Mul/FMA loops over fp.Env in kernels; use the fp batch helpers or annotate why the scalar order is the contract",
+	Version:  1,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 // batchFor maps a scalar Env method to the package helpers expressing
@@ -47,49 +50,39 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	if pass.Pkg.Name() != "kernels" {
 		return nil, nil
 	}
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
+	ins := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	// One decision (diagnostic or exemption) per innermost loop.
+	decided := make(map[ast.Node]bool)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, file *ast.File, stack []ast.Node) bool {
+		if pass.InTestFile(n.Pos()) {
+			return false
 		}
-		var stack []ast.Node
-		// One decision (diagnostic or exemption) per innermost loop.
-		decided := make(map[ast.Node]bool)
-		ast.Inspect(file, func(n ast.Node) bool {
-			if n == nil {
-				stack = stack[:len(stack)-1]
-				return true
-			}
-			stack = append(stack, n)
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			helpers, ok := batchFor[sel.Sel.Name]
-			if !ok {
-				return true
-			}
-			tv, ok := pass.TypesInfo.Types[sel.X]
-			if !ok || !analysis.IsPkgType(tv.Type, "fp", "Env") {
-				return true
-			}
-			loop := innermostLoop(stack[:len(stack)-1])
-			if loop == nil || decided[loop] {
-				return true
-			}
-			decided[loop] = true
-			for _, anc := range stack {
-				if pass.Allowed(file, anc) {
-					return true
-				}
-			}
-			pass.Reportf(loop.Pos(), "loop applies scalar env.%s per element; batch it through %s, or annotate //mixedrelvet:allow batchops <reason> if the scalar order is the contract", sel.Sel.Name, helpers)
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
 			return true
-		})
-	}
+		}
+		helpers, ok := batchFor[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || !analysis.IsPkgType(tv.Type, "fp", "Env") {
+			return true
+		}
+		loop := innermostLoop(stack[:len(stack)-1])
+		if loop == nil || decided[loop] {
+			return true
+		}
+		decided[loop] = true
+		for _, anc := range stack {
+			if pass.Allowed(file, anc) {
+				return true
+			}
+		}
+		pass.Reportf(loop.Pos(), "loop applies scalar env.%s per element; batch it through %s, or annotate //mixedrelvet:allow batchops <reason> if the scalar order is the contract", sel.Sel.Name, helpers)
+		return true
+	})
 	return nil, nil
 }
 

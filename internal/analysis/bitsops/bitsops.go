@@ -17,13 +17,16 @@ import (
 	"go/token"
 
 	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/inspect"
 )
 
 // Analyzer is the bitsops invariant checker.
 var Analyzer = &analysis.Analyzer{
-	Name: "bitsops",
-	Doc:  "flag arithmetic/comparison operators on fp.Bits outside package fp; bit-pattern math is not IEEE math",
-	Run:  run,
+	Name:     "bitsops",
+	Doc:      "flag arithmetic/comparison operators on fp.Bits outside package fp; bit-pattern math is not IEEE math",
+	Version:  1,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -31,43 +34,37 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		// The soft-float implementation manipulates encodings by design.
 		return nil, nil
 	}
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
+	ins := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	types := []ast.Node{(*ast.BinaryExpr)(nil), (*ast.AssignStmt)(nil), (*ast.IncDecStmt)(nil), (*ast.UnaryExpr)(nil)}
+	ins.WithStack(types, func(n ast.Node, file *ast.File, stack []ast.Node) bool {
+		if pass.InTestFile(n.Pos()) {
+			return false
 		}
-		var stack []ast.Node
-		ast.Inspect(file, func(n ast.Node) bool {
-			if n == nil {
-				stack = stack[:len(stack)-1]
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if !flaggedOp(e.Op) || isConst(pass, e) {
 				return true
 			}
-			stack = append(stack, n)
-			switch e := n.(type) {
-			case *ast.BinaryExpr:
-				if !flaggedOp(e.Op) || isConst(pass, e) {
-					return true
-				}
-				if isBits(pass, e.X) || isBits(pass, e.Y) {
-					reportNode(pass, file, stack, e.OpPos, e.Op)
-				}
-			case *ast.AssignStmt:
-				if op, ok := flaggedAssign(e.Tok); ok && len(e.Lhs) == 1 && isBits(pass, e.Lhs[0]) {
-					reportNode(pass, file, stack, e.TokPos, op)
-				}
-			case *ast.IncDecStmt:
-				if isBits(pass, e.X) {
-					reportNode(pass, file, stack, e.TokPos, e.Tok)
-				}
-			case *ast.UnaryExpr:
-				// ^b and -b on an encoding are as meaningless as the
-				// binary forms.
-				if (e.Op == token.XOR || e.Op == token.SUB) && !isConst(pass, e) && isBits(pass, e.X) {
-					reportNode(pass, file, stack, e.OpPos, e.Op)
-				}
+			if isBits(pass, e.X) || isBits(pass, e.Y) {
+				reportNode(pass, file, stack, e.OpPos, e.Op)
 			}
-			return true
-		})
-	}
+		case *ast.AssignStmt:
+			if op, ok := flaggedAssign(e.Tok); ok && len(e.Lhs) == 1 && isBits(pass, e.Lhs[0]) {
+				reportNode(pass, file, stack, e.TokPos, op)
+			}
+		case *ast.IncDecStmt:
+			if isBits(pass, e.X) {
+				reportNode(pass, file, stack, e.TokPos, e.Tok)
+			}
+		case *ast.UnaryExpr:
+			// ^b and -b on an encoding are as meaningless as the
+			// binary forms.
+			if (e.Op == token.XOR || e.Op == token.SUB) && !isConst(pass, e) && isBits(pass, e.X) {
+				reportNode(pass, file, stack, e.OpPos, e.Op)
+			}
+		}
+		return true
+	})
 	return nil, nil
 }
 

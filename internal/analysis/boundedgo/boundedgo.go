@@ -19,42 +19,35 @@ import (
 	"strings"
 
 	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/inspect"
 )
 
 // Analyzer is the boundedgo invariant checker.
 var Analyzer = &analysis.Analyzer{
-	Name: "boundedgo",
-	Doc:  "forbid go statements outside internal/exec; all concurrency runs under the bounded deterministic scheduler",
-	Run:  run,
+	Name:     "boundedgo",
+	Doc:      "forbid go statements outside internal/exec; all concurrency runs under the bounded deterministic scheduler",
+	Version:  1,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if pass.Path == "internal/exec" || strings.HasSuffix(pass.Path, "/internal/exec") {
 		return nil, nil
 	}
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
+	ins := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	ins.WithStack([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node, file *ast.File, stack []ast.Node) bool {
+		if pass.InTestFile(n.Pos()) {
+			return false
 		}
-		var stack []ast.Node
-		ast.Inspect(file, func(n ast.Node) bool {
-			if n == nil {
-				stack = stack[:len(stack)-1]
+		g := n.(*ast.GoStmt)
+		for _, anc := range stack {
+			if pass.Allowed(file, anc) {
 				return true
 			}
-			stack = append(stack, n)
-			g, ok := n.(*ast.GoStmt)
-			if !ok {
-				return true
-			}
-			for _, anc := range stack {
-				if pass.Allowed(file, anc) {
-					return true
-				}
-			}
-			pass.Reportf(g.Go, "go statement outside internal/exec escapes the bounded deterministic scheduler; use exec.ForEach or exec.Sample")
-			return true
-		})
-	}
+		}
+		pass.Reportf(g.Go, "go statement outside internal/exec escapes the bounded deterministic scheduler; use exec.ForEach or exec.Sample")
+		return true
+	})
 	return nil, nil
 }

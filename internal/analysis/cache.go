@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheSchema invalidates every entry when the on-disk format or the
+// driver's result semantics change.
+const cacheSchema = "mixedrelvet-cache-v1"
+
+// Cache is a content-addressed on-disk store of per-package analysis
+// results. Keys fold in the package's source bytes, the cache keys of
+// its first-party dependencies (so an edit invalidates dependents, as
+// fact propagation requires), and the analyzer fingerprint (names and
+// versions); values hold the package's diagnostics and exported facts.
+// Entries are immutable — a changed input produces a different key — so
+// concurrent readers and writers need no locking beyond atomic file
+// replacement.
+type Cache struct {
+	Dir string
+}
+
+// DefaultCacheDir returns the user-level cache directory mixedrelvet
+// uses unless overridden ($MIXEDRELVET_CACHE or -cache).
+func DefaultCacheDir() string {
+	if env := os.Getenv("MIXEDRELVET_CACHE"); env != "" {
+		return env
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "mixedrelvet")
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.Dir, key[:2], key+".json")
+}
+
+func (c *Cache) load(key string) (*cacheEntry, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+func (c *Cache) store(key string, e *cacheEntry) {
+	if c == nil || key == "" {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	// Atomic publish: a concurrent reader sees either no entry or a
+	// complete one.
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+// cacheEntry is the stored result of analyzing one package.
+type cacheEntry struct {
+	Findings []cachedFinding `json:"findings,omitempty"`
+	Facts    []cachedFact    `json:"facts,omitempty"`
+}
+
+type cachedFinding struct {
+	Analyzer string `json:"a"`
+	File     string `json:"f"`
+	Offset   int    `json:"off"`
+	Line     int    `json:"l"`
+	Column   int    `json:"c"`
+	Message  string `json:"m"`
+}
+
+type cachedFact struct {
+	Analyzer string          `json:"a"`
+	Object   string          `json:"o,omitempty"`
+	Name     string          `json:"n"`
+	Type     string          `json:"t"`
+	File     string          `json:"f,omitempty"`
+	Offset   int             `json:"off,omitempty"`
+	Line     int             `json:"l,omitempty"`
+	Column   int             `json:"c,omitempty"`
+	Data     json.RawMessage `json:"d"`
+}
+
+func newCacheEntry(findings []Finding, facts map[factKey]*FactRecord) *cacheEntry {
+	e := &cacheEntry{}
+	for _, f := range findings {
+		e.Findings = append(e.Findings, cachedFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Pos.Filename,
+			Offset:   f.Pos.Offset,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Message:  f.Message,
+		})
+	}
+	for _, r := range sortedRecords(facts) {
+		typeName, data, err := encodeFact(r.Fact)
+		if err != nil {
+			continue
+		}
+		e.Facts = append(e.Facts, cachedFact{
+			Analyzer: r.Analyzer,
+			Object:   r.Object,
+			Name:     r.Name,
+			Type:     typeName,
+			File:     r.Pos.Filename,
+			Offset:   r.Pos.Offset,
+			Line:     r.Pos.Line,
+			Column:   r.Pos.Column,
+			Data:     data,
+		})
+	}
+	return e
+}
+
+// decode reconstructs the entry's findings and facts for package path.
+func (e *cacheEntry) decode(path string, reg factRegistry) ([]Finding, map[factKey]*FactRecord, error) {
+	var findings []Finding
+	for _, f := range e.Findings {
+		findings = append(findings, Finding{
+			Analyzer: f.Analyzer,
+			Package:  path,
+			Pos:      token.Position{Filename: f.File, Offset: f.Offset, Line: f.Line, Column: f.Column},
+			Message:  f.Message,
+		})
+	}
+	facts := make(map[factKey]*FactRecord, len(e.Facts))
+	for _, cf := range e.Facts {
+		fact, err := reg.decodeFact(cf.Analyzer, cf.Type, cf.Data)
+		if err != nil {
+			return nil, nil, err
+		}
+		facts[factKey{cf.Analyzer, path, cf.Object}] = &FactRecord{
+			Analyzer: cf.Analyzer,
+			Package:  path,
+			Object:   cf.Object,
+			Name:     cf.Name,
+			Pos:      token.Position{Filename: cf.File, Offset: cf.Offset, Line: cf.Line, Column: cf.Column},
+			Fact:     fact,
+		}
+	}
+	return findings, facts, nil
+}
+
+// suiteFingerprint hashes everything about the run that is not package
+// content: the schema, the toolchain, the analyzer closure (names and
+// versions), and the known-directive name set.
+func suiteFingerprint(closure []*Analyzer, known map[string]bool) string {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheSchema)
+	fmt.Fprintln(h, runtime.Version())
+	names := make([]string, 0, len(closure))
+	byName := make(map[string]*Analyzer, len(closure))
+	for _, a := range closure {
+		names = append(names, a.Name)
+		byName[a.Name] = a
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "analyzer %s v%d\n", name, byName[name].Version)
+	}
+	knownNames := make([]string, 0, len(known))
+	for name := range known {
+		knownNames = append(knownNames, name)
+	}
+	sort.Strings(knownNames)
+	fmt.Fprintf(h, "known %s\n", strings.Join(knownNames, ","))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashPackageFiles hashes the names and contents of the directory's
+// non-test Go files (the exact set the loader would assign to the
+// package, and the only files that can influence diagnostics or facts).
+func hashPackageFiles(dir string) (string, error) {
+	names, err := packageSourceFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "%s %s\n", name, hex.EncodeToString(sum[:]))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// packageSourceFiles lists the directory's non-test Go files in sorted
+// order.
+func packageSourceFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// packageCacheKey computes the unit's cache key from its source hash,
+// its dependencies' keys (already computed: dependencies run in earlier
+// waves), and the suite fingerprint. An empty key disables caching for
+// the package (e.g. unreadable sources).
+func packageCacheKey(u *unit, fingerprint string) string {
+	src, err := hashPackageFiles(u.pkg.Dir)
+	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintln(h, fingerprint)
+	fmt.Fprintln(h, u.pkg.Path)
+	fmt.Fprintln(h, src)
+	deps := make([]*unit, len(u.deps))
+	copy(deps, u.deps)
+	sort.Slice(deps, func(i, j int) bool { return deps[i].pkg.Path < deps[j].pkg.Path })
+	for _, dep := range deps {
+		if dep.key == "" {
+			return ""
+		}
+		fmt.Fprintf(h, "dep %s %s\n", dep.pkg.Path, dep.key)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TryCached attempts to serve an entire run from the cache without
+// parsing function bodies or type-checking anything: it resolves the
+// patterns to package directories, follows first-party imports from
+// ImportsOnly parses, recomputes every cache key from source hashes
+// alone, and succeeds only if every package in the transitive closure
+// has a cache entry. This is the warm-run fast path that makes a
+// no-change `make lint` near-instant.
+func TryCached(cache *Cache, dir, module string, patterns []string, analyzers []*Analyzer, known []string) (*Result, bool) {
+	if cache == nil {
+		return nil, false
+	}
+	closure, err := analyzerClosure(analyzers)
+	if err != nil {
+		return nil, false
+	}
+	knownSet := make(map[string]bool)
+	for _, name := range known {
+		knownSet[name] = true
+	}
+	for _, a := range analyzers {
+		knownSet[a.Name] = true
+	}
+	fingerprint := suiteFingerprint(closure, knownSet)
+	reg := buildFactRegistry(closure)
+
+	resolver := &Loader{Dir: dir, Module: module}
+	dirs, err := resolver.ResolveDirs(patterns...)
+	if err != nil {
+		return nil, false
+	}
+
+	type scanPkg struct {
+		path, dir string
+		imports   []string
+		key       string
+	}
+	pkgs := make(map[string]*scanPkg)
+	fset := token.NewFileSet()
+
+	var scan func(path, pkgDir string) (*scanPkg, bool)
+	scan = func(path, pkgDir string) (*scanPkg, bool) {
+		if p, ok := pkgs[path]; ok {
+			return p, p != nil
+		}
+		pkgs[path] = nil // cycle guard
+		names, err := packageSourceFiles(pkgDir)
+		if err != nil || len(names) == 0 {
+			return nil, false
+		}
+		p := &scanPkg{path: path, dir: pkgDir}
+		imports := make(map[string]bool)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(pkgDir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, false
+			}
+			for _, spec := range f.Imports {
+				if imp, err := strconv.Unquote(spec.Path.Value); err == nil {
+					imports[imp] = true
+				}
+			}
+		}
+		for imp := range imports {
+			p.imports = append(p.imports, imp)
+		}
+		sort.Strings(p.imports)
+		pkgs[path] = p
+		for _, imp := range p.imports {
+			if impDir, ok := firstPartyDir(dir, module, imp); ok {
+				if _, ok := scan(imp, impDir); !ok {
+					return nil, false
+				}
+			}
+		}
+		return p, true
+	}
+
+	requested := make([]string, 0, len(dirs))
+	for _, pkgDir := range dirs {
+		path, err := resolver.importPathFor(pkgDir)
+		if err != nil {
+			return nil, false
+		}
+		requested = append(requested, path)
+		if _, ok := scan(path, pkgDir); !ok {
+			return nil, false
+		}
+	}
+	sort.Strings(requested)
+
+	// Keys bottom-up over the import graph.
+	var keyOf func(path string, stack map[string]bool) (string, bool)
+	keyOf = func(path string, stack map[string]bool) (string, bool) {
+		p := pkgs[path]
+		if p == nil {
+			return "", false
+		}
+		if p.key != "" {
+			return p.key, true
+		}
+		if stack[path] {
+			return "", false
+		}
+		if stack == nil {
+			stack = make(map[string]bool)
+		}
+		stack[path] = true
+		defer delete(stack, path)
+		src, err := hashPackageFiles(p.dir)
+		if err != nil {
+			return "", false
+		}
+		h := sha256.New()
+		fmt.Fprintln(h, fingerprint)
+		fmt.Fprintln(h, path)
+		fmt.Fprintln(h, src)
+		for _, imp := range p.imports {
+			if _, ok := firstPartyDir(dir, module, imp); !ok {
+				continue
+			}
+			depKey, ok := keyOf(imp, stack)
+			if !ok {
+				return "", false
+			}
+			fmt.Fprintf(h, "dep %s %s\n", imp, depKey)
+		}
+		p.key = hex.EncodeToString(h.Sum(nil))
+		return p.key, true
+	}
+
+	res := &Result{}
+	paths := make([]string, 0, len(pkgs))
+	for path, p := range pkgs {
+		if p != nil {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	requestedSet := make(map[string]bool, len(requested))
+	for _, path := range requested {
+		requestedSet[path] = true
+	}
+	global := make(map[factKey]*FactRecord)
+	for _, path := range paths {
+		key, ok := keyOf(path, make(map[string]bool))
+		if !ok {
+			return nil, false
+		}
+		entry, ok := cache.load(key)
+		if !ok {
+			return nil, false
+		}
+		findings, facts, err := entry.decode(path, reg)
+		if err != nil {
+			return nil, false
+		}
+		res.CacheHits++
+		for k, r := range facts {
+			global[k] = r
+		}
+		if requestedSet[path] {
+			res.Findings = append(res.Findings, findings...)
+		}
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return lessFinding(res.Findings[i], res.Findings[j]) })
+	res.Facts = sortedRecords(global)
+	return res, true
+}
+
+// firstPartyDir resolves an import path to a directory under dir using
+// the loader's tiers (module prefix, or GOPATH-style local directory),
+// reporting whether the path is first-party.
+func firstPartyDir(dir, module, path string) (string, bool) {
+	var rel string
+	switch {
+	case module != "" && path == module:
+		rel = "."
+	case module != "":
+		rest, ok := strings.CutPrefix(path, module+"/")
+		if !ok {
+			return "", false
+		}
+		rel = rest
+	default:
+		rel = path
+	}
+	d := filepath.Join(dir, filepath.FromSlash(rel))
+	if !hasGoFiles(d) {
+		return "", false
+	}
+	return d, true
+}

@@ -9,5 +9,5 @@ import (
 
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), compiledreplay.Analyzer,
-		"rogue", "internal/inject", "internal/exec", "internal/traceir")
+		"rogue", "sly", "internal/inject", "internal/exec", "internal/traceir")
 }

@@ -1,6 +1,6 @@
 // Package exec is an allowed importer: it records and compiles the
 // golden run, so it carries no diagnostics.
-package exec
+package exec // want fact:`package: consumesTrace`
 
 import "internal/traceir"
 

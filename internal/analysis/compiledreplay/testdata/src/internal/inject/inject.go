@@ -1,6 +1,6 @@
 // Package inject is an allowed importer: it owns the compare-serving
 // discipline, so it carries no diagnostics.
-package inject
+package inject // want fact:`package: consumesTrace`
 
 import "internal/traceir"
 

@@ -1,6 +1,6 @@
 // Package traceir stands in for the real trace-IR package at the
 // guarded import path.
-package traceir
+package traceir // want fact:`package: consumesTrace`
 
 // Program is the stand-in compiled golden trace.
 type Program struct{}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "d", "report")
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer, "d", "report", "kernels", "clock")
 }

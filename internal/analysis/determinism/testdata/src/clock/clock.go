@@ -1,0 +1,13 @@
+// Package clock wraps a wall-clock read behind an innocuous-looking
+// helper. The allow directive suppresses the local diagnostic (progress
+// logging is legitimate in CLI paths), but the NondetSource fact is still
+// exported: an exemption is a claim about one context, not about every
+// caller, so deterministic-core callers are still flagged.
+package clock
+
+import "time"
+
+func Stamp() int64 { // want fact:`Stamp: nondetSource\(reads time\.Now\)`
+	//mixedrelvet:allow determinism progress logging helper, callers on hot paths are still flagged
+	return time.Now().UnixNano()
+}

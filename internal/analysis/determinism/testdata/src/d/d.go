@@ -11,7 +11,7 @@ import (
 	"report"
 )
 
-func seeds() (int64, time.Duration, time.Time) {
+func seeds() (int64, time.Duration, time.Time) { // want fact:`seeds: nondetSource\(reads time\.Now\)`
 	t0 := time.Now()            // want `wall-clock read time\.Now in deterministic code`
 	d := time.Since(t0)         // want `wall-clock read time\.Since in deterministic code`
 	return rand.Int63(), d, t0

@@ -1,0 +1,33 @@
+// Package kernels exercises Run-path enforcement: nondeterminism sources
+// wrapped in another package are invisible to a per-package analyzer (no
+// math/rand or time import appears here), but the fact engine carries the
+// taint across the boundary and down the call chain.
+package kernels
+
+import "clock"
+
+type K struct{ last int64 }
+
+func (k *K) Run(xs []float64) float64 { // want fact:`Run: nondetSource\(calls clock\.Stamp\)`
+	k.last = clock.Stamp() // want `call to clock\.Stamp is a nondeterminism source \(reads time\.Now\) on the Run path of \(\*K\)\.Run`
+	acc := 0.0
+	for _, x := range xs {
+		acc += x
+	}
+	step(k) // want `call to step is a nondeterminism source \(calls mark\) on the Run path of \(\*K\)\.Run`
+	return acc
+}
+
+func step(k *K) { // want fact:`step: nondetSource\(calls mark\)`
+	mark(k) // want `call to mark is a nondeterminism source \(calls clock\.Stamp\) on the Run path of \(\*K\)\.Run`
+}
+
+func mark(k *K) { // want fact:`mark: nondetSource\(calls clock\.Stamp\)`
+	k.last = clock.Stamp() // want `call to clock\.Stamp is a nondeterminism source \(reads time\.Now\) on the Run path of \(\*K\)\.Run`
+}
+
+// offline is not reachable from any Run method, so wrapping the
+// nondeterministic helper only earns it a fact, not a diagnostic.
+func offline() int64 { // want fact:`offline: nondetSource\(calls clock\.Stamp\)`
+	return clock.Stamp()
+}

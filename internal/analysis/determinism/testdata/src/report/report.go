@@ -2,6 +2,15 @@
 // determinism analyzer recognizes rendering sinks by this package name.
 package report
 
+import "clock"
+
+// Stamp shows report-wide enforcement: the report package renders
+// byte-diffed artifacts, so nondeterminism sources are forbidden in every
+// function here, not just on Run paths.
+func Stamp() int64 { // want fact:`Stamp: nondetSource\(calls clock\.Stamp\)`
+	return clock.Stamp() // want `call to clock\.Stamp is a nondeterminism source \(reads time\.Now\); results must be a function of the seed alone`
+}
+
 type Table struct {
 	Columns []string
 	Rows    [][]string

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The framework recognizes two comment directives, both validated by the
+// driver (misspelled verbs, unknown analyzer names, and directives that
+// never matched anything are diagnostics — see validateDirectives):
+//
+//	//mixedrelvet:allow <analyzer-name> [reason]
+//	    exempts the declaration or statement on the following (or same)
+//	    line from the named analyzer. Requiring the analyzer name keeps
+//	    one exemption from silencing the whole suite.
+//
+//	//mixedrelvet:hotpath [reason]
+//	    marks a function declaration as an allocation-free hot-path
+//	    root: the hotalloc analyzer proves nothing it (transitively)
+//	    calls allocates.
+const directivePrefix = "//mixedrelvet:"
+
+const (
+	verbAllow   = "allow"
+	verbHotPath = "hotpath"
+)
+
+// directive is one parsed //mixedrelvet: comment.
+type directive struct {
+	verb     string
+	analyzer string // for allow: the named analyzer
+	reason   string
+	pos      token.Pos
+	// groupEnd is the line on which the enclosing comment group ends; a
+	// directive covers nodes starting on groupEnd or groupEnd+1, so a
+	// directive inside a larger comment block still applies to the
+	// declaration the block precedes.
+	groupEnd int
+	// used records whether any analyzer consulted and matched this
+	// directive; unused directives are stale exemptions and are reported
+	// by the driver.
+	used bool
+}
+
+// directiveSet holds a package's parsed directives. It is populated once
+// per package by the driver before any analyzer runs; analyzers for one
+// package run sequentially, so the used flags need no locking.
+type directiveSet struct {
+	byFile map[*ast.File][]*directive
+}
+
+// parseDirectives scans the non-test files of a package for
+// //mixedrelvet: comments. Test files are skipped: every analyzer in the
+// suite ignores them, so a directive there could never be used.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{byFile: make(map[*ast.File][]*directive)}
+	for _, file := range files {
+		tf := fset.File(file.Pos())
+		if tf == nil || strings.HasSuffix(tf.Name(), "_test.go") {
+			continue
+		}
+		for _, cg := range file.Comments {
+			groupEnd := fset.Position(cg.End()).Line
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				d := &directive{verb: verb, pos: c.Pos(), groupEnd: groupEnd}
+				if verb == verbAllow {
+					d.analyzer, d.reason, _ = strings.Cut(strings.TrimSpace(args), " ")
+				} else {
+					d.reason = strings.TrimSpace(args)
+				}
+				ds.byFile[file] = append(ds.byFile[file], d)
+			}
+		}
+	}
+	return ds
+}
+
+// match finds a directive of the given verb (and analyzer, for allow)
+// whose comment group ends on the node's line or the line above, marking
+// it used.
+func (ds *directiveSet) match(fset *token.FileSet, file *ast.File, node ast.Node, verb, analyzer string) bool {
+	nodeLine := fset.Position(node.Pos()).Line
+	for _, d := range ds.byFile[file] {
+		if d.verb != verb || (verb == verbAllow && d.analyzer != analyzer) {
+			continue
+		}
+		if d.groupEnd == nodeLine || d.groupEnd == nodeLine-1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ds *directiveSet) allowed(fset *token.FileSet, file *ast.File, node ast.Node, analyzer string) bool {
+	return ds.match(fset, file, node, verbAllow, analyzer)
+}
+
+func (ds *directiveSet) hotPath(fset *token.FileSet, file *ast.File, node ast.Node) bool {
+	return ds.match(fset, file, node, verbHotPath, "")
+}
+
+// DirectivesAnalyzerName is the analyzer name under which the driver
+// reports directive-validation diagnostics.
+const DirectivesAnalyzerName = "directives"
+
+// validateDirectives reports, after every analyzer has run on the
+// package: unknown verbs, allow directives naming an analyzer outside
+// the known suite, and directives that were never matched. The unused
+// check only applies to directives whose owning analyzer actually ran
+// (restricting a run with -only must not condemn the other analyzers'
+// exemptions); hotpath directives are owned by hotalloc.
+func validateDirectives(fset *token.FileSet, ds *directiveSet, known, ran map[string]bool, report func(token.Pos, string)) {
+	var all []*directive
+	for _, list := range ds.byFile {
+		all = append(all, list...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].pos < all[j].pos })
+	for _, d := range all {
+		switch d.verb {
+		case verbAllow:
+			if !known[d.analyzer] {
+				report(d.pos, fmt.Sprintf("//mixedrelvet:allow names unknown analyzer %q (use mixedrelvet -list)", d.analyzer))
+			} else if ran[d.analyzer] && !d.used {
+				report(d.pos, fmt.Sprintf("unused //mixedrelvet:allow %s directive: it no longer exempts anything; delete it", d.analyzer))
+			}
+		case verbHotPath:
+			if ran["hotalloc"] && !d.used {
+				report(d.pos, "unused //mixedrelvet:hotpath directive: it does not precede a function declaration")
+			}
+		default:
+			report(d.pos, fmt.Sprintf("unknown mixedrelvet directive %q (known: allow, hotpath)", directivePrefix+d.verb))
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/hotalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotalloc.Analyzer, "hot", "pool")
+}

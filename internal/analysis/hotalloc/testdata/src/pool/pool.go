@@ -1,0 +1,26 @@
+// Package pool is a stand-in buffer recycler used by the hot package's
+// tests.
+package pool
+
+type Pool struct {
+	free [][]float64
+}
+
+// Get returns a recycled buffer. The refill on exhaustion is amortized
+// growth: the allow directive exempts the site, so Get carries no
+// Allocates fact and hot paths may call it.
+func (p *Pool) Get() []float64 {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	//mixedrelvet:allow hotalloc amortized refill, steady state recycles
+	return make([]float64, 64)
+}
+
+// Fresh always allocates; callers on hot paths are flagged through the
+// exported fact.
+func Fresh(n int) []float64 { // want fact:`Fresh: allocates\(make\)`
+	return make([]float64, n)
+}

@@ -80,6 +80,34 @@ func (l *Loader) init() {
 // returns the type-checked packages in deterministic (path-sorted) order.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	l.init()
+	dirs, err := l.ResolveDirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, dir := range dirs {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := l.load(path, l.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ResolveDirs expands the patterns to the sorted package directories
+// they denote, without parsing or type-checking anything. The cache's
+// warm fast path uses it to locate packages by directory alone.
+func (l *Loader) ResolveDirs(patterns ...string) ([]string, error) {
 	dirs := make(map[string]bool)
 	for _, pat := range patterns {
 		rel, recursive, err := l.patternRel(pat)
@@ -111,24 +139,34 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("walking %s: %w", pat, err)
 		}
 	}
-	var paths []string
+	out := make([]string, 0, len(dirs))
 	for dir := range dirs {
-		path, err := l.importPathFor(dir)
-		if err != nil {
-			return nil, err
-		}
-		paths = append(paths, path)
+		out = append(out, dir)
 	}
-	sort.Strings(paths)
-	var out []*Package
-	for _, path := range paths {
-		pkg, err := l.load(path, l.IncludeTests)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
-	}
+	sort.Strings(out)
 	return out, nil
+}
+
+// Lookup returns the already-loaded package for an import path, loading
+// it (without test files) on first request if it resolves to a local
+// directory. It is the driver's bridge for analyzing dependencies of the
+// requested packages: facts must exist for everything they import.
+func (l *Loader) Lookup(path string) *Package {
+	l.init()
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg
+	}
+	if !hasGoFiles(l.dirFor(path)) {
+		return nil
+	}
+	if l.Module != "" && path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+		return nil
+	}
+	pkg, err := l.load(path, false)
+	if err != nil {
+		return nil
+	}
+	return pkg
 }
 
 // patternRel converts a package pattern to a Dir-relative directory and a

@@ -19,51 +19,44 @@ import (
 	"strings"
 
 	"mixedrel/internal/analysis"
+	"mixedrel/internal/analysis/inspect"
 )
 
 // Analyzer is the panicsafety invariant checker.
 var Analyzer = &analysis.Analyzer{
-	Name: "panicsafety",
-	Doc:  "forbid recover() outside internal/exec; emulated crash/hang aborts must reach exec.Guard for DUE classification",
-	Run:  run,
+	Name:     "panicsafety",
+	Doc:      "forbid recover() outside internal/exec; emulated crash/hang aborts must reach exec.Guard for DUE classification",
+	Version:  1,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if pass.Path == "internal/exec" || strings.HasSuffix(pass.Path, "/internal/exec") {
 		return nil, nil
 	}
-	for _, file := range pass.Files {
-		if pass.InTestFile(file.Pos()) {
-			continue
+	ins := pass.ResultOf[inspect.Analyzer].(*inspect.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, file *ast.File, stack []ast.Node) bool {
+		if pass.InTestFile(n.Pos()) {
+			return false
 		}
-		var stack []ast.Node
-		ast.Inspect(file, func(n ast.Node) bool {
-			if n == nil {
-				stack = stack[:len(stack)-1]
-				return true
-			}
-			stack = append(stack, n)
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			id, ok := call.Fun.(*ast.Ident)
-			if !ok || id.Name != "recover" {
-				return true
-			}
-			// Only the builtin counts; a local function or method named
-			// "recover" cannot swallow a panic.
-			if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
-				return true
-			}
-			for _, anc := range stack {
-				if pass.Allowed(file, anc) {
-					return true
-				}
-			}
-			pass.Reportf(call.Lparen, "recover() outside internal/exec swallows emulated crash/hang aborts before exec.Guard can classify them as DUEs")
+		call := n.(*ast.CallExpr)
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "recover" {
 			return true
-		})
-	}
+		}
+		// Only the builtin counts; a local function or method named
+		// "recover" cannot swallow a panic.
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		for _, anc := range stack {
+			if pass.Allowed(file, anc) {
+				return true
+			}
+		}
+		pass.Reportf(call.Lparen, "recover() outside internal/exec swallows emulated crash/hang aborts before exec.Guard can classify them as DUEs")
+		return true
+	})
 	return nil, nil
 }

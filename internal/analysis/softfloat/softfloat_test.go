@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), softfloat.Analyzer, "kernels", "other")
+	analysistest.Run(t, analysistest.TestData(t), softfloat.Analyzer, "kernels", "other", "helpers")
 }

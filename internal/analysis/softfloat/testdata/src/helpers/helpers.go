@@ -1,0 +1,26 @@
+// Package helpers holds shared numeric utilities outside the kernels
+// package. The pre-fact, per-package softfloat analyzer was blind to
+// everything here: a kernel calling helpers.Scale from Run computed in
+// native binary64 without a single diagnostic. The module-wide engine
+// exports UsesNativeFloat facts for these functions and flags the
+// kernel-side call sites.
+package helpers
+
+// Scale computes natively; calling it from a Run path is a violation.
+func Scale(x float64) float64 { // want fact:`Scale: usesNativeFloat\(native float "\*"\)`
+	return x * 1.5
+}
+
+// Chain performs no arithmetic of its own; taint flows through the call.
+func Chain(x float64) float64 { // want fact:`Chain: usesNativeFloat\(calls Scale\)`
+	return Scale(x)
+}
+
+// Blessed is construction-time input generation. The directive is a
+// caller-independent claim that this float use is off the injected
+// datapath, so it blocks the fact and Run paths may call it.
+//
+//mixedrelvet:allow softfloat construction-time input generation
+func Blessed(x float64) float64 {
+	return x * 2
+}

@@ -1,13 +1,16 @@
 package kernels
 
-import "fp"
+import (
+	"fp"
+	"helpers"
+)
 
 type K struct {
 	n    int
 	bias float64
 }
 
-func (k *K) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+func (k *K) Run(env fp.Env, in [][]fp.Bits) []fp.Bits { // want fact:`Run: usesNativeFloat\(native float "\*"\)`
 	a := in[0]
 	out := make([]fp.Bits, len(a))
 	scale := 2 * 3.5 // constant-folded: no dynamic arithmetic happens
@@ -15,7 +18,9 @@ func (k *K) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 	y := x * scale // want `native float arithmetic "\*" in \(\*K\)\.Run`
 	y += k.bias    // want `native float arithmetic "\+" in \(\*K\)\.Run`
 	z := -y        // want `native float arithmetic "-" in \(\*K\)\.Run`
-	_ = z
+	w := helpers.Scale(z)  // want `call to helpers\.Scale uses native float arithmetic \(native float "\*"\) in \(\*K\)\.Run`
+	_ = helpers.Chain(w)   // want `call to helpers\.Chain uses native float arithmetic \(calls Scale\) in \(\*K\)\.Run`
+	_ = helpers.Blessed(w) // clean: the helper's allow directive blocks the fact
 	_ = k.runTolerance(env, a[0], a[0])
 	acc := env.FromFloat64(0)
 	for i := range a {
@@ -28,15 +33,16 @@ func (k *K) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
 
 // helper is reachable from Run, so its native arithmetic is on the
 // injected path too.
-func helper(env fp.Env, out []fp.Bits) {
+func helper(env fp.Env, out []fp.Bits) { // want fact:`helper: usesNativeFloat\(native float "/"\)`
 	v := env.ToFloat64(out[0])
 	v = v / 3 // want `native float arithmetic "/" in helper, reachable from \(\*K\)\.Run`
 	out[0] = env.FromFloat64(v)
 }
 
-// uniform is the allowlisted input-generation helper: construction-time
-// float64 is legitimate even when Run shares code with it.
-func uniform(n int, lo, hi float64) []float64 {
+// uniform is construction-time input generation: it carries a fact like
+// any other native-arithmetic function (there is no name-based allowlist
+// anymore), but nothing on a Run path calls it, so nothing is flagged.
+func uniform(n int, lo, hi float64) []float64 { // want fact:`uniform: usesNativeFloat\(native float "\+"\)`
 	xs := make([]float64, n)
 	for i := range xs {
 		xs[i] = lo + (hi-lo)*0.5
@@ -46,7 +52,7 @@ func uniform(n int, lo, hi float64) []float64 {
 
 // NewK builds inputs natively at construction time; it is not reachable
 // from Run, so nothing here is flagged.
-func NewK(n int) *K {
+func NewK(n int) *K { // want fact:`NewK: usesNativeFloat\(native float "\+"\)`
 	xs := uniform(n, 0.5, 1)
 	sum := 0.0
 	for _, x := range xs {
@@ -57,7 +63,7 @@ func NewK(n int) *K {
 
 // forward64 is a native reference implementation used only by tests and
 // post-processing; unreachable from Run, so untouched.
-func forward64(xs []float64) float64 {
+func forward64(xs []float64) float64 { // want fact:`forward64: usesNativeFloat\(native float "\+"\)`
 	acc := 0.0
 	for _, x := range xs {
 		acc += x * x
@@ -70,9 +76,9 @@ func tolerance(env fp.Env, a, b fp.Bits) float64 {
 	return env.ToFloat64(a) - env.ToFloat64(b)
 }
 
-// runTolerance sits between Run and the allowlisted tolerance helper; it
-// performs no arithmetic itself, so only the directive keeps the suite
-// quiet here.
+// runTolerance sits between Run and the exempted tolerance helper; it
+// performs no arithmetic itself, and the directive on tolerance blocks
+// the fact, so the chain stays quiet.
 func (k *K) runTolerance(env fp.Env, a, b fp.Bits) float64 {
 	return tolerance(env, a, b)
 }

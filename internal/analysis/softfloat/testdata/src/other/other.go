@@ -5,7 +5,7 @@ package other
 
 type M struct{}
 
-func (M) Run(xs []float64) float64 {
+func (M) Run(xs []float64) float64 { // want fact:`Run: usesNativeFloat\(native float "\+"\)`
 	acc := 0.0
 	for _, x := range xs {
 		acc += x * x

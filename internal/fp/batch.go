@@ -14,6 +14,7 @@ var f64Pool = sync.Pool{New: func() any { return new(f64Buf) }}
 func getF64(n int) *f64Buf {
 	b := f64Pool.Get().(*f64Buf)
 	if cap(b.s) < n {
+		//mixedrelvet:allow hotalloc amortized scratch growth, steady state reuses the pooled buffer
 		b.s = make([]float64, n)
 	}
 	b.s = b.s[:n]
@@ -227,6 +228,7 @@ func GemmFMA(env Env, out, accs, a, bt []Bits, rows, cols, k int) {
 // re-decoded each step, exactly as the scalar chain would through Bits).
 
 // DotFMA implements BatchEnv.
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) DotFMA(acc Bits, a, b []Bits) Bits {
 	switch m.f {
 	case Single:
@@ -264,6 +266,7 @@ func (m *Machine) DotFMA(acc Bits, a, b []Bits) Bits {
 }
 
 // AddN implements BatchEnv.
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) AddN(dst, a, b []Bits) {
 	switch m.f {
 	case Single:
@@ -290,6 +293,7 @@ func (m *Machine) AddN(dst, a, b []Bits) {
 }
 
 // MulN implements BatchEnv.
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) MulN(dst, a, b []Bits) {
 	switch m.f {
 	case Single:
@@ -316,6 +320,7 @@ func (m *Machine) MulN(dst, a, b []Bits) {
 }
 
 // FMAN implements BatchEnv.
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) FMAN(dst, a, b, c []Bits) {
 	switch m.f {
 	case Single:
@@ -348,6 +353,7 @@ func (m *Machine) FMAN(dst, a, b, c []Bits) {
 }
 
 // AXPY implements BatchEnv.
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) AXPY(dst []Bits, s Bits, x []Bits) {
 	switch m.f {
 	case Single:
@@ -385,6 +391,7 @@ func (m *Machine) AXPY(dst []Bits, s Bits, x []Bits) {
 // chain's own operation sequence is untouched, so every out[t] is
 // bit-identical to a standalone DotFMA over the same slices. The shared
 // vector u is decoded once per step for all four chains.
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) DotFMABlock(out []Bits, acc Bits, u, v []Bits, stride int) {
 	L := len(u)
 	t := 0
@@ -512,6 +519,16 @@ func (m *Machine) DotFMABlock(out []Bits, acc Bits, u, v []Bits, stride int) {
 // predecoding (Double decodes are free bit reinterpretations; the 16-bit
 // formats decode via table loads either way), so they run per-row
 // through DotFMABlock, which already interleaves.
+// accAt reads the single-precision accumulator seed for flat cell c, or
+// zero when no accumulators were supplied.
+func accAt(accs []Bits, cols, c int) float32 {
+	if accs == nil {
+		return 0
+	}
+	return math.Float32frombits(uint32(accs[c/cols]))
+}
+
+//mixedrelvet:hotpath vectorized softfloat inner loop
 func (m *Machine) GemmFMA(out, accs, a, bt []Bits, rows, cols, k int) {
 	n := rows * cols
 	if m.f == Single && n >= 8 {
@@ -519,12 +536,6 @@ func (m *Machine) GemmFMA(out, accs, a, bt []Bits, rows, cols, k int) {
 		da, dbt := ab.s, bb.s
 		ToFloat64N(Single, da, a[:rows*k])
 		ToFloat64N(Single, dbt, bt[:cols*k])
-		acc := func(c int) float32 {
-			if accs == nil {
-				return 0
-			}
-			return math.Float32frombits(uint32(accs[c/cols]))
-		}
 		t := 0
 		for ; t+8 <= n; t += 8 {
 			u0 := da[(t/cols)*k:][:k]
@@ -543,8 +554,8 @@ func (m *Machine) GemmFMA(out, accs, a, bt []Bits, rows, cols, k int) {
 			v5 := dbt[((t+5)%cols)*k:][:k]
 			v6 := dbt[((t+6)%cols)*k:][:k]
 			v7 := dbt[((t+7)%cols)*k:][:k]
-			x0, x1, x2, x3 := acc(t), acc(t+1), acc(t+2), acc(t+3)
-			x4, x5, x6, x7 := acc(t+4), acc(t+5), acc(t+6), acc(t+7)
+			x0, x1, x2, x3 := accAt(accs, cols, t), accAt(accs, cols, t+1), accAt(accs, cols, t+2), accAt(accs, cols, t+3)
+			x4, x5, x6, x7 := accAt(accs, cols, t+4), accAt(accs, cols, t+5), accAt(accs, cols, t+6), accAt(accs, cols, t+7)
 			for kk := 0; kk < k; kk++ {
 				x0 = float32(math.FMA(u0[kk], v0[kk], float64(x0)))
 				x1 = float32(math.FMA(u1[kk], v1[kk], float64(x1)))

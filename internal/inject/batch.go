@@ -101,6 +101,7 @@ func (e *Env) compiled() bool {
 }
 
 // DotFMA implements fp.BatchEnv.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) DotFMA(acc fp.Bits, a, b []fp.Bits) fp.Bits {
 	n := uint64(len(a))
 	if n == 0 {
@@ -133,6 +134,7 @@ func (e *Env) DotFMA(acc fp.Bits, a, b []fp.Bits) fp.Bits {
 }
 
 // AddN implements fp.BatchEnv.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) AddN(dst, a, b []fp.Bits) {
 	n := uint64(len(a))
 	if n == 0 {
@@ -161,6 +163,7 @@ func (e *Env) AddN(dst, a, b []fp.Bits) {
 }
 
 // MulN implements fp.BatchEnv.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) MulN(dst, a, b []fp.Bits) {
 	n := uint64(len(a))
 	if n == 0 {
@@ -189,6 +192,7 @@ func (e *Env) MulN(dst, a, b []fp.Bits) {
 }
 
 // FMAN implements fp.BatchEnv.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) FMAN(dst, a, b, c []fp.Bits) {
 	n := uint64(len(a))
 	if n == 0 {
@@ -221,6 +225,7 @@ func (e *Env) FMAN(dst, a, b, c []fp.Bits) {
 // DotFMABlock implements fp.BatchEnv by running the chains in order,
 // each through DotFMA's own strike/replay/bulk logic — the block shape
 // adds no new fault semantics beyond its member chains.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) DotFMABlock(out []fp.Bits, acc fp.Bits, u, v []fp.Bits, stride int) {
 	for t := range out {
 		out[t] = e.DotFMA(acc, u, v[t*stride:t*stride+len(u)])
@@ -241,6 +246,7 @@ func (e *Env) DotFMABlock(out []fp.Bits, acc fp.Bits, u, v []fp.Bits, stride int
 //     row's chains going through DotFMABlock (and so DotFMA's
 //     strike/replay/bulk logic), keeping every per-operation hook
 //     exact.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) GemmFMA(out, accs, a, bt []fp.Bits, rows, cols, k int) {
 	chains := rows * cols
 	n := uint64(chains) * uint64(k)
@@ -323,6 +329,7 @@ func (e *Env) gemmChains(out, accs, a, bt []fp.Bits, rows, cols, k, first, limit
 }
 
 // AXPY implements fp.BatchEnv.
+//mixedrelvet:hotpath batched injection inner loop
 func (e *Env) AXPY(dst []fp.Bits, s fp.Bits, x []fp.Bits) {
 	n := uint64(len(x))
 	if n == 0 {

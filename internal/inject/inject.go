@@ -532,6 +532,7 @@ func (e *Env) corrupt2(a, b fp.Bits) (fp.Bits, fp.Bits) {
 }
 
 // Add implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) Add(a, b fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpAdd)
 	if res, ok := e.replayed(hitOp, hitRes); ok {
@@ -559,6 +560,7 @@ func (e *Env) Add(a, b fp.Bits) fp.Bits {
 }
 
 // Sub implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) Sub(a, b fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpSub)
 	if res, ok := e.replayed(hitOp, hitRes); ok {
@@ -586,6 +588,7 @@ func (e *Env) Sub(a, b fp.Bits) fp.Bits {
 }
 
 // Mul implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) Mul(a, b fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpMul)
 	if res, ok := e.replayed(hitOp, hitRes); ok {
@@ -613,6 +616,7 @@ func (e *Env) Mul(a, b fp.Bits) fp.Bits {
 }
 
 // Div implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) Div(a, b fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpDiv)
 	if res, ok := e.served(fp.OpDiv, hitOp, hitRes, a, b, 0); ok {
@@ -640,6 +644,7 @@ func (e *Env) Div(a, b fp.Bits) fp.Bits {
 }
 
 // FMA implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) FMA(a, b, c fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpFMA)
 	if res, ok := e.replayed(hitOp, hitRes); ok {
@@ -677,6 +682,7 @@ func (e *Env) FMA(a, b, c fp.Bits) fp.Bits {
 }
 
 // Sqrt implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) Sqrt(a fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpSqrt)
 	if res, ok := e.served(fp.OpSqrt, hitOp, hitRes, a, 0, 0); ok {
@@ -705,6 +711,7 @@ func (e *Env) Sqrt(a fp.Bits) fp.Bits {
 }
 
 // Exp implements fp.Env.
+//mixedrelvet:hotpath per-operation injection fast path, millions of calls per campaign
 func (e *Env) Exp(a fp.Bits) fp.Bits {
 	hitOp, hitRes := e.begin(fp.OpExp)
 	if res, ok := e.served(fp.OpExp, hitOp, hitRes, a, 0, 0); ok {

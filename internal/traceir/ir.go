@@ -229,6 +229,7 @@ func (p *Program) find(c *Cursor, pos uint64) (int, bool) {
 // the fault-dependent cone (or the position left the recorded stream)
 // and must be recomputed. Unused operand slots are ignored per the
 // operation's arity.
+//mixedrelvet:hotpath compiled-trace compare-serving, one call per golden operation
 func (p *Program) ServeScalar(cur *Cursor, pos uint64, op fp.Op, a, b, c fp.Bits) (fp.Bits, bool) {
 	ri, ok := p.find(cur, pos)
 	if !ok {
@@ -311,6 +312,7 @@ func (p *Program) ServeScalar(cur *Cursor, pos uint64, op fp.Op, a, b, c fp.Bits
 // matched and acc passes through unchanged). Chains are resolved
 // against KChain regions and against chain-aligned interiors of KGemm
 // grids.
+//mixedrelvet:hotpath compiled-trace compare-serving, one call per golden operation
 func (p *Program) ChainPrefix(cur *Cursor, pos uint64, acc fp.Bits, a, b []fp.Bits) (fp.Bits, int) {
 	n := len(a)
 	if n == 0 {
@@ -393,6 +395,7 @@ func mismatch(live, rec []fp.Bits) (lo, hi int) {
 // FMAN whose dst aliases c still reads pristine accumulator inputs. A
 // false ok means the region shape did not match and the caller must
 // recompute the whole batch.
+//mixedrelvet:hotpath compiled-trace compare-serving, one call per golden operation
 func (p *Program) ServeMap(cur *Cursor, pos uint64, op fp.Op, dst, a, b, c []fp.Bits) (lo, hi int, ok bool) {
 	n := len(a)
 	ri, found := p.find(cur, pos)
@@ -437,6 +440,7 @@ func (p *Program) ServeMap(cur *Cursor, pos uint64, op fp.Op, dst, a, b, c []fp.
 // recorded results; the dirty interval [lo, hi) keeps its accumulator
 // inputs for the caller to recompute. A corrupted broadcast scalar s
 // dirties every element, reported as a full-range interval.
+//mixedrelvet:hotpath compiled-trace compare-serving, one call per golden operation
 func (p *Program) ServeAxpy(cur *Cursor, pos uint64, s fp.Bits, x, dst []fp.Bits) (lo, hi int, ok bool) {
 	n := len(x)
 	ri, found := p.find(cur, pos)
@@ -473,6 +477,7 @@ func (p *Program) ServeAxpy(cur *Cursor, pos uint64, s fp.Bits, x, dst []fp.Bits
 // injector bulk-serve everything around a struck chain. A false return
 // means the region shape did not match and the caller must recompute
 // the chains itself.
+//mixedrelvet:hotpath compiled-trace compare-serving, one call per golden operation
 func (p *Program) ServeGemm(cur *Cursor, pos uint64, out, accs, a, bt []fp.Bits, rows, cols, k, first, limit int, inner fp.Env) bool {
 	ri, found := p.find(cur, pos)
 	if !found {
