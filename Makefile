@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-smoke bench-replay
+.PHONY: build test vet lint race verify bench bench-smoke bench-replay bench-sampling
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ verify: build lint test race bench-smoke
 # scripts/bench.sh for knobs).
 bench:
 	scripts/bench.sh
+
+# bench-sampling measures only the sampling-engine benchmarks: the
+# stratified/adaptive campaign paths plus their custom metrics (samples
+# spent to the CI target, realized uniform-vs-stratified reduction).
+# Results print to stdout; use make bench for the recorded snapshot.
+bench-sampling:
+	$(GO) test -run '^$$' -bench 'StratifiedCampaign|AdaptiveCampaign|SamplingEfficiency' -benchtime 3x -benchmem -count 2 .
 
 # bench-replay measures only the injection-campaign benchmarks — the
 # subset the compiled-replay fast path accelerates — with enough

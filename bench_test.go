@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mixedrel"
+	"mixedrel/internal/stats"
 )
 
 // Every paper table and figure has a benchmark that regenerates it.
@@ -128,6 +129,86 @@ func BenchmarkBeamCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- sampling-engine benchmarks --------------------------------------
+
+// samplingBenchCampaign is the reference campaign for the sampling
+// benchmarks and the EXPERIMENTS.md comparison table: LUD(12) in
+// single precision, all three fault sites, default strata. The seed is
+// fixed so the custom metrics (samples spent, realized reduction) are
+// reproducible run to run.
+func samplingBenchCampaign(sp *mixedrel.Sampling) mixedrel.InjectionCampaign {
+	return mixedrel.InjectionCampaign{
+		Kernel: mixedrel.NewLUD(12, 1),
+		Format: mixedrel.Single,
+		Faults: 40000,
+		Seed:   7,
+		Sites: []mixedrel.Site{
+			mixedrel.SiteOperand, mixedrel.SiteMemory, mixedrel.SiteControl,
+		},
+		Sampling: sp,
+	}
+}
+
+// BenchmarkStratifiedCampaign times the stratified machinery itself on
+// a fixed proportional budget — the overhead of space construction,
+// per-stratum substreams and post-stratified assembly relative to the
+// uniform path.
+func BenchmarkStratifiedCampaign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := samplingBenchCampaign(&mixedrel.Sampling{})
+		c.Faults = 600
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveCampaign runs the adaptive campaign to a 0.01 CI
+// half-width and reports the samples it actually spent before the
+// sequential stop.
+func BenchmarkAdaptiveCampaign(b *testing.B) {
+	b.ReportAllocs()
+	var spent float64
+	for i := 0; i < b.N; i++ {
+		c := samplingBenchCampaign(&mixedrel.Sampling{Adaptive: true, CIHalfWidth: 0.01})
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.EarlyStopped {
+			b.Fatalf("adaptive campaign spent the full budget (%d samples) without converging", res.Faults)
+		}
+		spent = float64(res.Faults)
+	}
+	b.ReportMetric(spent, "samples/op")
+}
+
+// BenchmarkSamplingEfficiency reports the realized variance-reduction
+// factor: uniform samples a Wilson interval would need at the
+// stratified point estimates (the binding one of P(SDC) and P(DUE))
+// divided by what the adaptive campaign actually spent.
+func BenchmarkSamplingEfficiency(b *testing.B) {
+	const hw = 0.01
+	b.ReportAllocs()
+	var spent, reduction float64
+	for i := 0; i < b.N; i++ {
+		c := samplingBenchCampaign(&mixedrel.Sampling{Adaptive: true, CIHalfWidth: hw})
+		res, err := c.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		need := stats.WilsonSamplesFor(res.StratifiedPVF, hw, 0.95)
+		if d := stats.WilsonSamplesFor(res.StratifiedPDUE, hw, 0.95); d > need {
+			need = d
+		}
+		spent = float64(res.Faults)
+		reduction = float64(need) / spent
+	}
+	b.ReportMetric(spent, "samples/op")
+	b.ReportMetric(reduction, "xreduction/op")
 }
 
 var (

@@ -1,14 +1,18 @@
 // Command benchdiff compares two BENCH_<date>.json files produced by
 // scripts/bench.sh and prints a per-benchmark delta table. Time
 // regressions beyond a noise threshold are flagged in the rightmost
-// column; the exit status stays 0 either way (the table is a review
-// aid, not a gate — benchmark machines differ run to run).
+// column; by default the exit status stays 0 either way (the table is
+// a review aid — benchmark machines differ run to run). Pass
+// -fail-over to turn it into a gate: the exit status becomes 1 when
+// any benchmark's ns/op regresses beyond the given percentage, which
+// is what CI wants.
 //
 // Usage:
 //
 //	benchdiff                      # diff the two newest snapshots
 //	benchdiff OLD.json NEW.json
 //	benchdiff NEW.json
+//	benchdiff -fail-over 25 OLD.json NEW.json   # gate: exit 1 past 25%
 //
 // With no arguments, benchdiff scans the working directory for
 // BENCH_<date>[.<n>].json snapshots and compares the two newest. The
@@ -27,7 +31,9 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -108,9 +114,17 @@ func latestPair() (oldName, newName string, err error) {
 }
 
 func main() {
+	failOver := flag.Float64("fail-over", 0,
+		"exit with status 1 when any benchmark's ns/op regresses more than this percentage (0 = report only)")
+	flag.Parse()
+	if *failOver < 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -fail-over must be non-negative, got %g\n", *failOver)
+		os.Exit(2)
+	}
+
 	var oldArg, newArg string
-	switch len(os.Args) {
-	case 1:
+	switch args := flag.Args(); len(args) {
+	case 0:
 		var err error
 		oldArg, newArg, err = latestPair()
 		if err != nil {
@@ -120,14 +134,14 @@ func main() {
 			listOnly(newArg)
 			return
 		}
-	case 2:
+	case 1:
 		// Only one recording exists — nothing to diff against.
-		listOnly(os.Args[1])
+		listOnly(args[0])
 		return
-	case 3:
-		oldArg, newArg = os.Args[1], os.Args[2]
+	case 2:
+		oldArg, newArg = args[0], args[1]
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [[OLD.json] NEW.json]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-fail-over PCT] [[OLD.json] NEW.json]")
 		os.Exit(2)
 	}
 	oldE, err := load(oldArg)
@@ -139,25 +153,39 @@ func main() {
 		fatal(err)
 	}
 
+	fmt.Printf("benchmark comparison: %s -> %s\n", oldArg, newArg)
+	worst := diff(os.Stdout, oldE, newE)
+	if *failOver > 0 && worst > *failOver {
+		fmt.Printf("\nworst regression %.1f%% exceeds the -fail-over gate of %.1f%%\n", worst, *failOver)
+		os.Exit(1)
+	}
+}
+
+// diff renders the per-benchmark delta table to w and returns the
+// worst ns/op regression percentage (0 when nothing regressed).
+func diff(w io.Writer, oldE, newE map[string]entry) float64 {
 	names := make([]string, 0, len(newE))
 	for name := range newE {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	fmt.Printf("benchmark comparison: %s -> %s\n", oldArg, newArg)
-	fmt.Printf("%-36s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "")
+	fmt.Fprintf(w, "%-36s %14s %14s %9s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "")
 	regressions := 0
+	worst := 0.0
 	for _, name := range names {
 		n := newE[name]
 		o, ok := oldE[name]
 		if !ok {
-			fmt.Printf("%-36s %14s %14.0f %9s  new\n", name, "-", n.NsPerOp, "-")
+			fmt.Fprintf(w, "%-36s %14s %14.0f %9s  new\n", name, "-", n.NsPerOp, "-")
 			continue
 		}
 		var pct float64
 		if o.NsPerOp > 0 {
 			pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		if pct > worst {
+			worst = pct
 		}
 		flag := ""
 		if pct > regressionPct {
@@ -165,7 +193,7 @@ func main() {
 			regressions++
 		}
 		note := allocNote(o, n)
-		fmt.Printf("%-36s %14.0f %14.0f %+8.1f%%  %s%s\n", name, o.NsPerOp, n.NsPerOp, pct, flag, note)
+		fmt.Fprintf(w, "%-36s %14.0f %14.0f %+8.1f%%  %s%s\n", name, o.NsPerOp, n.NsPerOp, pct, flag, note)
 	}
 	removed := make([]string, 0)
 	for name := range oldE {
@@ -175,11 +203,12 @@ func main() {
 	}
 	sort.Strings(removed)
 	for _, name := range removed {
-		fmt.Printf("%-36s %14.0f %14s %9s  removed\n", name, oldE[name].NsPerOp, "-", "-")
+		fmt.Fprintf(w, "%-36s %14.0f %14s %9s  removed\n", name, oldE[name].NsPerOp, "-", "-")
 	}
 	if regressions > 0 {
-		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, regressionPct)
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, regressionPct)
 	}
+	return worst
 }
 
 // listOnly renders a lone snapshot that has no baseline to diff

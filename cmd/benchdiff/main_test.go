@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -35,5 +37,36 @@ func TestSortSnapshotsOrdering(t *testing.T) {
 	}
 	if got := sortSnapshots(nil); len(got) != 0 {
 		t.Errorf("empty input gave %v", got)
+	}
+}
+
+func TestDiffWorstRegression(t *testing.T) {
+	oldE := map[string]entry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 200},
+		"BenchmarkGone": {Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	newE := map[string]entry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 150}, // +50%
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 190}, // improvement
+		"BenchmarkNew": {Name: "BenchmarkNew", NsPerOp: 10},
+	}
+	var buf strings.Builder
+	worst := diff(&buf, oldE, newE)
+	if worst != 50 {
+		t.Errorf("worst regression = %v, want 50", worst)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "new", "removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// No regressions at all reports zero (improvements don't count).
+	worst = diff(io.Discard, oldE, map[string]entry{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 90},
+	})
+	if worst != 0 {
+		t.Errorf("improvement-only worst = %v, want 0", worst)
 	}
 }

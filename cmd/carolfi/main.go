@@ -18,6 +18,7 @@ import (
 
 	"mixedrel"
 	"mixedrel/internal/exec"
+	"mixedrel/internal/report"
 )
 
 func main() {
@@ -31,6 +32,9 @@ func main() {
 	compiledReplay := flag.Bool("compiled-replay", true, "serve fault-independent work from the compiled golden trace; disable to force fully interpreted execution (A/B verification, bisecting a suspected replay bug)")
 	trap := flag.Bool("trap", false, "classify NaN/Inf results produced by a fault as crash-DUEs")
 	checkpointPath := flag.String("checkpoint", "", "journal classified samples to this file and resume from it")
+	strata := flag.Int("strata", 0, "stratify the fault budget over (op-class x bit band x kernel phase) with this many phases (0 = uniform sampling)")
+	adaptive := flag.Bool("adaptive", false, "reallocate budget rounds toward high-variance strata (Neyman refinement; requires -strata)")
+	ciHalfWidth := flag.Float64("ci-halfwidth", 0, "stop early once the 95% CI on P(SDC) and P(DUE) is at most this half-width (requires -strata)")
 	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler goroutine bound for this process")
 	sampleWorkers := flag.Int("sample-workers", 1, "injection goroutines (>1 changes the sample but stays deterministic)")
@@ -55,6 +59,18 @@ func main() {
 	}
 	if *watchdog < 0 {
 		failUsage(fmt.Errorf("-watchdog must be non-negative, got %g", *watchdog))
+	}
+	if *strata < 0 {
+		failUsage(fmt.Errorf("-strata must be non-negative, got %d", *strata))
+	}
+	if *adaptive && *strata == 0 {
+		failUsage(fmt.Errorf("-adaptive requires -strata"))
+	}
+	if *ciHalfWidth != 0 && *strata == 0 {
+		failUsage(fmt.Errorf("-ci-halfwidth requires -strata"))
+	}
+	if *ciHalfWidth < 0 || *ciHalfWidth >= 0.5 {
+		failUsage(fmt.Errorf("-ci-halfwidth must be in [0, 0.5), got %g", *ciHalfWidth))
 	}
 
 	exec.SetMaxWorkers(*workers)
@@ -90,6 +106,13 @@ func main() {
 	if *checkpointPath != "" {
 		c.Checkpoint = &mixedrel.Checkpoint{Path: *checkpointPath}
 	}
+	if *strata > 0 {
+		c.Sampling = &mixedrel.Sampling{
+			Phases:      *strata,
+			Adaptive:    *adaptive,
+			CIHalfWidth: *ciHalfWidth,
+		}
+	}
 	res, err := c.Run()
 	if err != nil {
 		fail(err)
@@ -113,6 +136,17 @@ func main() {
 		fmt.Printf("DUEs    %d (crash %d, hang %d)\nP(DUE)  %.4f\n",
 			n, res.CrashDUEs, res.HangDUEs, res.PDUE)
 	}
+	if len(res.Strata) > 0 {
+		if res.EarlyStopped {
+			fmt.Printf("stopped early: CI target reached after %d samples\n", res.Faults)
+		}
+		fmt.Printf("stratified PVF    %s\n", report.FormatCI(res.StratifiedPVF, res.PVFCILow, res.PVFCIHigh))
+		fmt.Printf("stratified P(DUE) %s\n", report.FormatCI(res.StratifiedPDUE, res.PDUECILow, res.PDUECIHigh))
+		fmt.Println()
+		if err := strataTable(res).WriteASCII(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
 	for _, ab := range res.Aborted {
 		fmt.Printf("aborted sample %d (%s, replay seed %#x): %s\n",
 			ab.Index, ab.Fault, ab.Seed, ab.Panic)
@@ -132,6 +166,25 @@ func main() {
 				100*pt.TRE, pt.FIT, 100*pt.Reduction)
 		}
 	}
+}
+
+// strataTable renders the per-stratum tallies of a stratified campaign.
+func strataTable(res *mixedrel.InjectionResult) *report.Table {
+	t := &report.Table{
+		ID:      "strata",
+		Title:   "Per-stratum fault allocation and outcomes",
+		Columns: []string{"stratum", "weight", "faults", "SDCs", "DUEs", "masked", "P(SDC)"},
+	}
+	for _, s := range res.Strata {
+		p := "n/a"
+		if n := s.SDCs + s.DUEs + s.Masked; n > 0 {
+			p = fmt.Sprintf("%.3f", float64(s.SDCs)/float64(n))
+		}
+		t.AddRow(s.Desc, fmt.Sprintf("%.5f", s.Weight),
+			fmt.Sprint(s.Faults), fmt.Sprint(s.SDCs), fmt.Sprint(s.DUEs),
+			fmt.Sprint(s.Masked), p)
+	}
+	return t
 }
 
 func pickKernel(name string, size int, seed uint64) (mixedrel.Kernel, error) {

@@ -18,6 +18,7 @@ import (
 
 	"mixedrel"
 	"mixedrel/internal/exec"
+	"mixedrel/internal/report"
 )
 
 func main() {
@@ -29,6 +30,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	opScale := flag.Float64("opscale", 1e6, "paper-scale multiplier for ops at the smallest size")
 	behavioralDUE := flag.Bool("behavioral-due", false, "derive DUEs behaviorally (control-fault injection + watchdog) instead of the calibrated constant rate")
+	strata := flag.Int("strata", 0, "additionally run a stratified injection campaign per point with this many kernel phases, adding a PVF CI column (0 = off)")
+	adaptive := flag.Bool("adaptive", false, "Neyman-adaptive budget refinement for the stratified campaigns (requires -strata)")
+	ciHalfWidth := flag.Float64("ci-halfwidth", 0, "stop each stratified campaign once the 95% CI on P(SDC)/P(DUE) is at most this half-width (requires -strata)")
+	pvfFaults := flag.Int("pvf-faults", 2000, "fault budget of each per-point stratified injection campaign (with -strata)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent (size, format) campaigns (never changes the numbers)")
 	sampleWorkers := flag.Int("sample-workers", 1, "beam-trial goroutines inside one campaign (>1 changes the sample but stays deterministic)")
 	flag.Parse()
@@ -51,6 +56,21 @@ func main() {
 	}
 	if *sampleWorkers <= 0 {
 		failUsage(fmt.Errorf("-sample-workers must be positive, got %d", *sampleWorkers))
+	}
+	if *strata < 0 {
+		failUsage(fmt.Errorf("-strata must be non-negative, got %d", *strata))
+	}
+	if *adaptive && *strata == 0 {
+		failUsage(fmt.Errorf("-adaptive requires -strata"))
+	}
+	if *ciHalfWidth != 0 && *strata == 0 {
+		failUsage(fmt.Errorf("-ci-halfwidth requires -strata"))
+	}
+	if *ciHalfWidth < 0 || *ciHalfWidth >= 0.5 {
+		failUsage(fmt.Errorf("-ci-halfwidth must be in [0, 0.5), got %g", *ciHalfWidth))
+	}
+	if *pvfFaults <= 0 {
+		failUsage(fmt.Errorf("-pvf-faults must be positive, got %d", *pvfFaults))
 	}
 
 	exec.SetMaxWorkers(*workers)
@@ -76,8 +96,12 @@ func main() {
 		failUsage(err)
 	}
 
-	fmt.Printf("%-6s  %-9s  %-12s  %-12s  %-12s  %-10s\n",
+	header := fmt.Sprintf("%-6s  %-9s  %-12s  %-12s  %-12s  %-10s",
 		"size", "format", "exec time", "FIT-SDC", "FIT-DUE", "MEBF")
+	if *strata > 0 {
+		header += "  PVF [95% CI]"
+	}
+	fmt.Println(header)
 	type point struct {
 		n int
 		f mixedrel.Format
@@ -116,6 +140,25 @@ func main() {
 		lines[i] = fmt.Sprintf("%-6d  %-9v  %-12v  %-12.4g  %-12.4g  %-10.4g",
 			p.n, p.f, m.Time.Round(1e6), res.FITSDC, res.FITDUE,
 			mixedrel.MEBF(res.FITSDC, m.Time))
+		if *strata > 0 {
+			// The stratified injection campaign estimates the point's PVF
+			// directly, with an honest interval — where the beam rows
+			// above extrapolate from calibrated cross-sections.
+			ic := mixedrel.InjectionCampaign{
+				Kernel: kernel, Format: p.f, Faults: *pvfFaults, Seed: *seed,
+				Workers: *sampleWorkers,
+				Sampling: &mixedrel.Sampling{
+					Phases:      *strata,
+					Adaptive:    *adaptive,
+					CIHalfWidth: *ciHalfWidth,
+				},
+			}
+			ires, err := ic.Run()
+			if err != nil {
+				return err
+			}
+			lines[i] += "  " + report.FormatCI(ires.StratifiedPVF, ires.PVFCILow, ires.PVFCIHigh)
+		}
 		return nil
 	})
 	if err != nil {

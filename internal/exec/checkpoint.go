@@ -220,3 +220,32 @@ func SampleSeed(seed uint64, i int) uint64 {
 	}
 	return s
 }
+
+// stratumRoot decorrelates the stratified seed chain from the flat
+// per-sample chain: it is the splitmix64 golden-ratio increment, so a
+// campaign seed's stratified streams never coincide with the streams
+// the same seed produces under uniform (seed, index) addressing.
+const stratumRoot = 0x9e3779b97f4a7c15
+
+// StratumSeed derives the random-stream root of one stratum of a
+// stratified campaign. Sample j of stratum h then draws its private
+// stream from the j-th output of rng.New(StratumSeed(seed, h)) — the
+// (seed, stratum, index) analogue of SampleSeed's (seed, index)
+// addressing, with the same resume property: a sample's stream depends
+// only on its address, never on which samples already ran, on worker
+// count, or on how the adaptive allocator reached it.
+func StratumSeed(seed uint64, stratum int) uint64 {
+	return SampleSeed(seed^stratumRoot, stratum)
+}
+
+// SampleKey packs a (stratum, index) address into the journal's flat
+// integer key space: stratified campaigns record sample (h, j) under
+// key h<<32 | j. It panics when either coordinate leaves its 31/32-bit
+// field — far beyond any real campaign, but an overflow here would
+// silently alias journal records.
+func SampleKey(stratum, index int) int {
+	if stratum < 0 || index < 0 || stratum >= 1<<31 || index >= 1<<32 {
+		panic(fmt.Sprintf("exec: sample key (%d, %d) out of range", stratum, index))
+	}
+	return stratum<<32 | index
+}

@@ -142,6 +142,14 @@ type Campaign struct {
 	// equivalence tests); this switch exists for A/B verification and
 	// for bisecting a suspected replay bug, not for normal use.
 	DisableCompiledReplay bool
+	// Sampling, when non-nil, runs the campaign through the
+	// variance-reduction sampling engine (stratified.go): the fault
+	// budget is allocated over (op-class x bit band x kernel phase)
+	// strata instead of drawn uniformly, and the Result additionally
+	// carries post-stratified estimates with confidence intervals,
+	// per-stratum tallies, and — with a CIHalfWidth target — sequential
+	// early stopping.
+	Sampling *Sampling
 }
 
 // Result summarizes a campaign.
@@ -165,6 +173,23 @@ type Result struct {
 	// simulator: the campaign degrades gracefully instead of dying, and
 	// each entry carries what is needed to replay the sample alone.
 	Aborted []AbortedSample
+	// Strata holds the per-stratum tallies of a stratified campaign
+	// (Campaign.Sampling non-nil); empty for uniform campaigns.
+	Strata []StratumResult `json:",omitempty"`
+	// StratifiedPVF/StratifiedPDUE are the post-stratified estimates
+	// of P(SDC) and P(DUE) — unbiased for the same quantities as
+	// PVF/PDUE, but with the between-strata variance removed — and the
+	// CI fields their confidence intervals at Sampling.Confidence.
+	StratifiedPVF  float64 `json:",omitempty"`
+	StratifiedPDUE float64 `json:",omitempty"`
+	PVFCILow       float64 `json:",omitempty"`
+	PVFCIHigh      float64 `json:",omitempty"`
+	PDUECILow      float64 `json:",omitempty"`
+	PDUECIHigh     float64 `json:",omitempty"`
+	// EarlyStopped reports that sequential early stopping halted the
+	// campaign before the full fault budget was spent (Faults then
+	// counts the samples actually taken).
+	EarlyStopped bool `json:",omitempty"`
 }
 
 // DUEs returns the total detected-unrecoverable count.
@@ -221,6 +246,10 @@ func (c Campaign) Run() (*Result, error) {
 				break
 			}
 		}
+	}
+
+	if c.Sampling != nil {
+		return c.runStratified(runner, sites, watchdog)
 	}
 
 	runOne := func(r *rng.Rand) (sample, error) {

@@ -1,0 +1,281 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+)
+
+// This file defines the stratification of the fault space — the
+// partition the variance-reduction sampling engine (stratified.go)
+// allocates samples over. A uniform campaign draws (site, operation,
+// bit) jointly uniform; the stratified design cuts that same
+// distribution along the three axes that actually separate outcome
+// probabilities:
+//
+//   - op-class: the struck operation's kind (ADD vs FMA vs EXP ...);
+//   - bit-position band: sign / exponent / high / low mantissa — the
+//     dominant axis, since an exponent flip is almost always an SDC
+//     while a low-mantissa flip is almost always rounded away;
+//   - kernel phase: the segment of the dynamic operation stream the
+//     strike lands in (early corruptions have more time to propagate
+//     or be overwritten).
+//
+// Every stratum's weight is its exact share of the uniform design's
+// probability mass, so the post-stratified estimator targets the very
+// same P(SDC)/P(DUE) a uniform campaign estimates — strata only
+// re-route where the samples are spent.
+
+// BitBand is a half-open range [Lo, Hi) of bit positions within a
+// format's width.
+type BitBand struct {
+	Name   string
+	Lo, Hi int
+}
+
+func (b BitBand) width() int { return b.Hi - b.Lo }
+
+// DefaultBitBands partitions a format's bits into the four bands the
+// reliability literature separates: low mantissa, high mantissa,
+// exponent, and sign.
+func DefaultBitBands(f fp.Format) []BitBand {
+	m, w := f.MantBits(), f.Width()
+	return []BitBand{
+		{Name: "mant-lo", Lo: 0, Hi: m / 2},
+		{Name: "mant-hi", Lo: m / 2, Hi: m},
+		{Name: "exp", Lo: m, Hi: w - 1},
+		{Name: "sign", Lo: w - 1, Hi: w},
+	}
+}
+
+// validateBands checks that bands exactly tile [0, width): the strata
+// must partition the uniform design or the estimator would be biased.
+func validateBands(bands []BitBand, width int) error {
+	if len(bands) == 0 {
+		return fmt.Errorf("inject: no bit bands")
+	}
+	sorted := append([]BitBand(nil), bands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Lo < sorted[j].Lo })
+	at := 0
+	for _, b := range sorted {
+		if b.Lo != at || b.Hi <= b.Lo {
+			return fmt.Errorf("inject: bit bands must tile [0,%d) exactly; band %q is [%d,%d) at offset %d",
+				width, b.Name, b.Lo, b.Hi, at)
+		}
+		at = b.Hi
+	}
+	if at != width {
+		return fmt.Errorf("inject: bit bands cover [0,%d), format width is %d", at, width)
+	}
+	return nil
+}
+
+// Stratum is one cell of the fault-space partition. Lo/Hi is the
+// dynamic-index segment the stratum covers: the per-kind operation
+// index for op-fault sites, the flat input-element index for memory
+// faults, and the global operation index for control faults.
+type Stratum struct {
+	Site  Site
+	Kind  fp.Op        // op-fault sites only
+	Class ControlClass // SiteControl only
+	Phase int
+	Lo    uint64
+	Hi    uint64
+	Band  BitBand // FP bands for data sites, control-word thirds for SiteControl
+	// Weight is the stratum's share of the uniform fault-space
+	// probability mass; weights sum to 1 over a Space.
+	Weight float64
+}
+
+// Desc renders a compact stratum label, e.g. "operand/FMA/ph1/exp".
+func (s Stratum) Desc() string {
+	switch s.Site {
+	case SiteControl:
+		return fmt.Sprintf("control/%v/ph%d/%s", s.Class, s.Phase, s.Band.Name)
+	case SiteMemory:
+		return fmt.Sprintf("memory/ph%d/%s", s.Phase, s.Band.Name)
+	}
+	return fmt.Sprintf("%v/%v/ph%d/%s", s.Site, s.Kind, s.Phase, s.Band.Name)
+}
+
+// Space is a complete stratification of a configuration's fault space,
+// able to draw a uniform sample within any of its strata.
+type Space struct {
+	Strata []Stratum
+	format fp.Format
+	lens   []int
+}
+
+// Weights returns the strata weights, in stratum order.
+func (sp *Space) Weights() []float64 {
+	w := make([]float64, len(sp.Strata))
+	for i, s := range sp.Strata {
+		w[i] = s.Weight
+	}
+	return w
+}
+
+// phaseSegments cuts [0, n) into at most phases contiguous equal-share
+// segments, dropping empty ones (n < phases).
+func phaseSegments(n uint64, phases int) [][2]uint64 {
+	segs := make([][2]uint64, 0, phases)
+	p := uint64(phases)
+	for i := uint64(0); i < p; i++ {
+		lo, hi := n*i/p, n*(i+1)/p
+		if hi > lo {
+			segs = append(segs, [2]uint64{lo, hi})
+		}
+	}
+	return segs
+}
+
+// BuildSpace constructs the stratification of one campaign
+// configuration: the given fault sites, partitioned over
+// (op-class x bit band x kernel phase) for data faults and
+// (control class x phase) for control faults. The strata exactly
+// partition the uniform sampling design of Campaign.Run, with weights
+// equal to each cell's uniform probability.
+func BuildSpace(sites []Site, counts fp.OpCounts, arrayLens []int, f fp.Format, phases int, bands []BitBand) (*Space, error) {
+	if phases <= 0 {
+		return nil, fmt.Errorf("inject: stratification needs at least one phase, got %d", phases)
+	}
+	if err := validateBands(bands, f.Width()); err != nil {
+		return nil, err
+	}
+	total := counts.Total()
+	if total == 0 {
+		return nil, fmt.Errorf("inject: no dynamic operations to stratify")
+	}
+	width := float64(f.Width())
+	siteW := 1 / float64(len(sites))
+
+	sp := &Space{format: f, lens: arrayLens}
+	for _, site := range sites {
+		switch site {
+		case SiteOperation, SiteOperand:
+			for kind := fp.Op(0); int(kind) < fp.NumOps; kind++ {
+				n := counts.ByOp[kind]
+				if n == 0 {
+					continue
+				}
+				kindW := float64(n) / float64(total)
+				for phase, seg := range phaseSegments(n, phases) {
+					segW := float64(seg[1]-seg[0]) / float64(n)
+					for _, b := range bands {
+						sp.Strata = append(sp.Strata, Stratum{
+							Site: site, Kind: kind, Phase: phase,
+							Lo: seg[0], Hi: seg[1], Band: b,
+							Weight: siteW * kindW * segW * float64(b.width()) / width,
+						})
+					}
+				}
+			}
+		case SiteMemory:
+			var elems uint64
+			for _, n := range arrayLens {
+				elems += uint64(n)
+			}
+			if elems == 0 {
+				return nil, fmt.Errorf("inject: no memory elements to stratify")
+			}
+			for phase, seg := range phaseSegments(elems, phases) {
+				segW := float64(seg[1]-seg[0]) / float64(elems)
+				for _, b := range bands {
+					sp.Strata = append(sp.Strata, Stratum{
+						Site: site, Phase: phase,
+						Lo: seg[0], Hi: seg[1], Band: b,
+						Weight: siteW * segW * float64(b.width()) / width,
+					})
+				}
+			}
+		case SiteControl:
+			classW := 1 / float64(NumControlClasses)
+			for class := ControlClass(0); int(class) < NumControlClasses; class++ {
+				cbits := controlBits(class)
+				for phase, seg := range phaseSegments(total, phases) {
+					segW := float64(seg[1]-seg[0]) / float64(total)
+					for _, b := range controlBands(class) {
+						sp.Strata = append(sp.Strata, Stratum{
+							Site: site, Class: class, Phase: phase,
+							Lo: seg[0], Hi: seg[1], Band: b,
+							Weight: siteW * classW * segW * float64(b.width()) / float64(cbits),
+						})
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("inject: unknown site %v", site)
+		}
+	}
+	return sp, nil
+}
+
+// controlBits returns the control-word width of a class, matching
+// SampleControlFault's uniform bit draw.
+func controlBits(class ControlClass) int {
+	switch class {
+	case LoopControl:
+		return loopBits
+	case PointerControl:
+		return pointerBits
+	}
+	return indexBits
+}
+
+// controlBands tiles a control word's bits into thirds. The bit
+// position of a control-word flip separates outcomes as sharply as the
+// FP bands do for data faults: a low-bit index flip lands on a nearby
+// wrong element (SDC), a high-bit one lands out of range (crash DUE).
+func controlBands(class ControlClass) []BitBand {
+	w := controlBits(class)
+	return []BitBand{
+		{Name: "lo", Lo: 0, Hi: w / 3},
+		{Name: "mid", Lo: w / 3, Hi: 2 * w / 3},
+		{Name: "hi", Lo: 2 * w / 3, Hi: w},
+	}
+}
+
+// Sample draws one fault uniformly within stratum h. The conditional
+// distributions compose with the stratum weights into exactly the
+// uniform design of Campaign.Run, which is what makes the
+// post-stratified estimator target the same quantity.
+func (sp *Space) Sample(h int, r *rng.Rand) FaultSpec {
+	s := sp.Strata[h]
+	var spec FaultSpec
+	switch s.Site {
+	case SiteOperation, SiteOperand:
+		target := TargetResult
+		if s.Site == SiteOperand {
+			target = TargetOperand
+		}
+		f := OpFault{
+			Kind:       s.Kind,
+			Index:      s.Lo + r.Uint64n(s.Hi-s.Lo),
+			Bit:        s.Band.Lo + r.Intn(s.Band.width()),
+			Target:     target,
+			OperandIdx: r.Intn(3),
+		}
+		spec.Op = &f
+	case SiteMemory:
+		flat := s.Lo + r.Uint64n(s.Hi-s.Lo)
+		array := 0
+		for array < len(sp.lens) && flat >= uint64(sp.lens[array]) {
+			flat -= uint64(sp.lens[array])
+			array++
+		}
+		spec.Mem = []MemFault{{
+			Array: array, Elem: int(flat),
+			Bit: s.Band.Lo + r.Intn(s.Band.width()),
+		}}
+	case SiteControl:
+		cf := ControlFault{
+			Class: s.Class,
+			Site:  s.Lo + r.Uint64n(s.Hi-s.Lo),
+			Bit:   s.Band.Lo + r.Intn(s.Band.width()),
+		}
+		spec.Control = &cf
+	}
+	return spec
+}

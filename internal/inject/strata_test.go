@@ -1,0 +1,189 @@
+package inject
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+	"mixedrel/internal/rng"
+)
+
+func testSpace(t *testing.T, sites []Site, phases int) *Space {
+	t.Helper()
+	r := NewRunner(kernels.NewGEMM(6, 1), fp.Single, "", nil)
+	sp, err := BuildSpace(sites, r.Counts(), r.ArrayLens(), fp.Single, phases, DefaultBitBands(fp.Single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestBuildSpaceWeightsSumToOne(t *testing.T) {
+	for _, sites := range [][]Site{
+		{SiteOperand},
+		{SiteOperation, SiteMemory},
+		{SiteOperand, SiteMemory, SiteControl},
+	} {
+		for _, phases := range []int{1, 3, 5} {
+			sp := testSpace(t, sites, phases)
+			var sum float64
+			for _, s := range sp.Strata {
+				if s.Weight <= 0 {
+					t.Errorf("sites %v: stratum %s has weight %v", sites, s.Desc(), s.Weight)
+				}
+				sum += s.Weight
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("sites %v phases %d: weights sum to %v", sites, phases, sum)
+			}
+		}
+	}
+}
+
+func TestDefaultBitBandsTile(t *testing.T) {
+	for _, f := range []fp.Format{fp.Half, fp.Single, fp.Double, fp.BFloat16} {
+		bands := DefaultBitBands(f)
+		if err := validateBands(bands, f.Width()); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestValidateBandsRejects(t *testing.T) {
+	w := fp.Single.Width()
+	cases := [][]BitBand{
+		{},                              // empty
+		{{Name: "a", Lo: 0, Hi: w - 1}}, // gap at the top
+		{{Name: "a", Lo: 1, Hi: w}},     // gap at the bottom
+		{{Name: "a", Lo: 0, Hi: 20}, {Name: "b", Lo: 19, Hi: w}}, // overlap
+		{{Name: "a", Lo: 0, Hi: w}, {Name: "b", Lo: 5, Hi: 5}},   // empty band
+	}
+	for i, bands := range cases {
+		if err := validateBands(bands, w); err == nil {
+			t.Errorf("case %d: bad band set accepted", i)
+		}
+	}
+	if err := validateBands(DefaultBitBands(fp.Single), w); err != nil {
+		t.Errorf("default bands rejected: %v", err)
+	}
+}
+
+// TestSampleStaysInStratum draws repeatedly from every stratum and
+// checks each fault lands inside the stratum's cell — index segment and
+// bit band both.
+func TestSampleStaysInStratum(t *testing.T) {
+	sp := testSpace(t, []Site{SiteOperand, SiteMemory, SiteControl}, 3)
+	r := rng.New(1)
+	for h, s := range sp.Strata {
+		for trial := 0; trial < 50; trial++ {
+			spec := sp.Sample(h, r)
+			switch s.Site {
+			case SiteOperand:
+				if spec.Op == nil {
+					t.Fatalf("%s: no op fault", s.Desc())
+				}
+				if spec.Op.Kind != s.Kind || spec.Op.AnyKind {
+					t.Fatalf("%s: sampled kind %v", s.Desc(), spec.Op.Kind)
+				}
+				if spec.Op.Index < s.Lo || spec.Op.Index >= s.Hi {
+					t.Fatalf("%s: index %d outside [%d,%d)", s.Desc(), spec.Op.Index, s.Lo, s.Hi)
+				}
+				if spec.Op.Bit < s.Band.Lo || spec.Op.Bit >= s.Band.Hi {
+					t.Fatalf("%s: bit %d outside band", s.Desc(), spec.Op.Bit)
+				}
+			case SiteMemory:
+				if len(spec.Mem) != 1 {
+					t.Fatalf("%s: %d memory faults", s.Desc(), len(spec.Mem))
+				}
+				if spec.Mem[0].Bit < s.Band.Lo || spec.Mem[0].Bit >= s.Band.Hi {
+					t.Fatalf("%s: bit %d outside band", s.Desc(), spec.Mem[0].Bit)
+				}
+			case SiteControl:
+				if spec.Control == nil {
+					t.Fatalf("%s: no control fault", s.Desc())
+				}
+				if spec.Control.Class != s.Class {
+					t.Fatalf("%s: class %v", s.Desc(), spec.Control.Class)
+				}
+				if spec.Control.Site < s.Lo || spec.Control.Site >= s.Hi {
+					t.Fatalf("%s: site %d outside [%d,%d)", s.Desc(), spec.Control.Site, s.Lo, s.Hi)
+				}
+				if spec.Control.Bit < s.Band.Lo || spec.Control.Bit >= s.Band.Hi {
+					t.Fatalf("%s: control bit %d outside band [%d,%d)",
+						s.Desc(), spec.Control.Bit, s.Band.Lo, s.Band.Hi)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoryStrataCoverElements checks the flat-index decomposition:
+// memory samples across all strata must reach every (array, elem) cell
+// boundary correctly (never out of range).
+func TestMemoryStrataCoverElements(t *testing.T) {
+	r := NewRunner(kernels.NewGEMM(6, 1), fp.Single, "", nil)
+	lens := r.ArrayLens()
+	sp, err := BuildSpace([]Site{SiteMemory}, r.Counts(), lens, fp.Single, 4, DefaultBitBands(fp.Single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rng.New(2)
+	for h := range sp.Strata {
+		for trial := 0; trial < 200; trial++ {
+			spec := sp.Sample(h, rr)
+			mf := spec.Mem[0]
+			if mf.Array < 0 || mf.Array >= len(lens) {
+				t.Fatalf("array %d out of range", mf.Array)
+			}
+			if mf.Elem < 0 || mf.Elem >= lens[mf.Array] {
+				t.Fatalf("elem %d out of range for array %d (len %d)", mf.Elem, mf.Array, lens[mf.Array])
+			}
+		}
+	}
+}
+
+func TestPhaseSegments(t *testing.T) {
+	segs := phaseSegments(10, 3)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	var covered uint64
+	prev := uint64(0)
+	for _, s := range segs {
+		if s[0] != prev {
+			t.Fatalf("segments not contiguous: %v", segs)
+		}
+		covered += s[1] - s[0]
+		prev = s[1]
+	}
+	if covered != 10 {
+		t.Fatalf("segments cover %d of 10", covered)
+	}
+	// More phases than items: empty segments are dropped, coverage kept.
+	segs = phaseSegments(2, 5)
+	var n uint64
+	for _, s := range segs {
+		n += s[1] - s[0]
+	}
+	if n != 2 || len(segs) > 2 {
+		t.Fatalf("tiny-population segments %v", segs)
+	}
+}
+
+func TestBuildSpaceErrors(t *testing.T) {
+	r := NewRunner(kernels.NewGEMM(6, 1), fp.Single, "", nil)
+	if _, err := BuildSpace([]Site{SiteOperand}, r.Counts(), r.ArrayLens(), fp.Single, 0, DefaultBitBands(fp.Single)); err == nil {
+		t.Error("zero phases accepted")
+	}
+	if _, err := BuildSpace([]Site{SiteOperand}, r.Counts(), r.ArrayLens(), fp.Single, 3, []BitBand{{Name: "x", Lo: 0, Hi: 4}}); err == nil {
+		t.Error("non-tiling bands accepted")
+	}
+	if _, err := BuildSpace([]Site{SiteMemory}, r.Counts(), nil, fp.Single, 3, DefaultBitBands(fp.Single)); err == nil {
+		t.Error("memory site with no arrays accepted")
+	}
+	var empty fp.OpCounts
+	if _, err := BuildSpace([]Site{SiteOperand}, empty, r.ArrayLens(), fp.Single, 3, DefaultBitBands(fp.Single)); err == nil {
+		t.Error("empty op counts accepted")
+	}
+}

@@ -1,0 +1,383 @@
+package inject
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"mixedrel/internal/exec"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/rng"
+	"mixedrel/internal/stats"
+)
+
+// This file is the variance-reduction sampling engine: stratified and
+// adaptive (Neyman) allocation of a campaign's fault budget over the
+// Space partition of strata.go, with sequential early stopping on the
+// stratified confidence interval. See DESIGN.md "Sampling engine".
+//
+// Determinism contract: sample j of stratum h always draws its private
+// random stream from the (seed, stratum, index) address
+// rng.New(j-th draw of rng.New(exec.StratumSeed(seed, h))) — never
+// from worker scheduling, from which samples already ran, or from how
+// the adaptive allocator reached index j. Because every allocation and
+// stopping decision is a pure function of completed-round tallies, and
+// every tally is a pure function of sample addresses, a stratified
+// campaign is byte-identical at any worker count and across arbitrary
+// checkpoint interruptions.
+
+// Sampling configures the variance-reduction sampling engine on a
+// Campaign. A nil Sampling keeps the historical uniform design; a
+// non-nil one partitions the fault space into strata over
+// (op-class x bit-position band x kernel phase), allocates the fault
+// budget across them in rounds, and reports post-stratified estimates
+// with confidence intervals alongside the pooled numbers.
+type Sampling struct {
+	// Phases is the number of kernel-phase segments per stratification
+	// axis (default 3: early/mid/late).
+	Phases int
+	// Bands partitions bit positions; it must tile [0, format width)
+	// exactly. Empty defaults to DefaultBitBands (low/high mantissa,
+	// exponent, sign).
+	Bands []BitBand
+	// Confidence is the level of every interval and of the stopping
+	// rule (default 0.95).
+	Confidence float64
+	// CIHalfWidth, when positive, enables sequential early stopping:
+	// the campaign halts once the stratified interval on P(SDC) — and
+	// on P(DUE), when any DUE detector is armed — is at most this
+	// half-width. Campaign.Faults remains the hard budget.
+	CIHalfWidth float64
+	// Adaptive enables Neyman reallocation: after the first round,
+	// each round's budget is split proportionally to
+	// weight x smoothed per-stratum standard deviation, concentrating
+	// samples where the outcome is still uncertain. Strata whose own
+	// Wilson interval is already tighter than CIHalfWidth are halted
+	// (allocation score zero). Off, every round allocates
+	// proportionally to the weights.
+	Adaptive bool
+	// Round is the sample budget per allocation round (default 256).
+	Round int
+	// MinPerStratum is the first round's per-stratum floor, so every
+	// stratum is observed before any adaptive decision (default 8).
+	MinPerStratum int
+}
+
+// withDefaults fills the zero values in.
+func (s Sampling) withDefaults(f fp.Format) Sampling {
+	if s.Phases == 0 {
+		s.Phases = 3
+	}
+	if len(s.Bands) == 0 {
+		s.Bands = DefaultBitBands(f)
+	}
+	if s.Confidence == 0 {
+		s.Confidence = 0.95
+	}
+	if s.Round == 0 {
+		s.Round = 256
+	}
+	if s.MinPerStratum == 0 {
+		s.MinPerStratum = 8
+	}
+	return s
+}
+
+// validate rejects configurations that could only mislead: they are
+// errors before the campaign starts, not mid-run surprises.
+func (s Sampling) validate() error {
+	if s.Phases < 0 {
+		return fmt.Errorf("inject: sampling with %d phases", s.Phases)
+	}
+	if s.CIHalfWidth < 0 || s.CIHalfWidth >= 0.5 {
+		return fmt.Errorf("inject: CI half-width target %g out of [0, 0.5)", s.CIHalfWidth)
+	}
+	if s.Confidence < 0 || s.Confidence >= 1 {
+		return fmt.Errorf("inject: confidence %g out of (0, 1)", s.Confidence)
+	}
+	if s.Round < 0 || s.MinPerStratum < 0 {
+		return fmt.Errorf("inject: negative round size or per-stratum floor")
+	}
+	return nil
+}
+
+// StratumResult is one stratum's share of a stratified campaign.
+type StratumResult struct {
+	// Desc labels the stratum ("operand/FMA/ph1/exp").
+	Desc string
+	// Weight is the stratum's share of the uniform fault-space mass.
+	Weight float64
+	// Faults counts the samples spent here; SDCs/DUEs/Masked classify
+	// them (any shortfall is aborted samples).
+	Faults, SDCs, DUEs, Masked int
+}
+
+// stratumState accumulates one stratum's outcomes. Sample j's private
+// stream seed is the j-th output of seedSrc; seeds caches the prefix
+// drawn so far so replay diagnostics can name any sample's seed.
+type stratumState struct {
+	outs    []sample
+	seedSrc *rng.Rand
+	seeds   []uint64
+}
+
+// runStratified executes the campaign under the sampling engine. The
+// runner, resolved sites and watchdog come from Run, which validated
+// the basic campaign fields already.
+func (c Campaign) runStratified(runner *Runner, sites []Site, watchdog float64) (*Result, error) {
+	sp := c.Sampling.withDefaults(c.Format)
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	space, err := BuildSpace(sites, runner.Counts(), runner.ArrayLens(), c.Format, sp.Phases, sp.Bands)
+	if err != nil {
+		return nil, err
+	}
+	weights := space.Weights()
+	nStrata := len(space.Strata)
+
+	sts := make([]stratumState, nStrata)
+	for h := range sts {
+		sts[h].seedSrc = rng.New(exec.StratumSeed(c.Seed, h))
+	}
+
+	var journal *exec.Journal
+	var limit int64
+	if c.Checkpoint != nil {
+		journal, err = c.Checkpoint.Open()
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+		limit = int64(c.Checkpoint.Limit)
+	}
+
+	dueArmed := watchdog > 0 || c.TrapNonFinite
+	for _, s := range sites {
+		if s == SiteControl {
+			dueArmed = true
+		}
+	}
+
+	runOne := func(h int, r *rng.Rand) sample {
+		spec := space.Sample(h, r)
+		spec.Watchdog = watchdog
+		spec.TrapNonFinite = c.TrapNonFinite
+		rr, abort := runner.RunSpec(spec, c.KeepOutputs)
+		if abort != nil {
+			return sample{aborted: true, fault: spec.Desc(), panicMsg: abort.String()}
+		}
+		return sample{rr: rr}
+	}
+
+	// tallies rebuilds the per-stratum counts for one outcome class;
+	// the denominators exclude aborted samples, like the pooled PVF.
+	tallies := func(due bool) []stats.StratumCount {
+		out := make([]stats.StratumCount, nStrata)
+		for h := range sts {
+			sc := stats.StratumCount{Weight: weights[h]}
+			for _, s := range sts[h].outs {
+				if s.aborted {
+					continue
+				}
+				sc.N++
+				if (due && s.rr.Outcome.IsDUE()) || (!due && s.rr.Outcome == SDC) {
+					sc.K++
+				}
+			}
+			out[h] = sc
+		}
+		return out
+	}
+	// taken snapshots how many samples each stratum has consumed (the
+	// deficit allocator's view of the cumulative allocation so far).
+	taken := func() []int64 {
+		out := make([]int64, nStrata)
+		for h := range sts {
+			out[h] = int64(len(sts[h].outs))
+		}
+		return out
+	}
+	unitScores := make([]float64, nStrata)
+	for h := range unitScores {
+		unitScores[h] = 1
+	}
+	converged := func() bool {
+		if sp.CIHalfWidth <= 0 {
+			return false
+		}
+		if stats.StratifiedHalfWidth(tallies(false), sp.Confidence) > sp.CIHalfWidth {
+			return false
+		}
+		return !dueArmed || stats.StratifiedHalfWidth(tallies(true), sp.Confidence) <= sp.CIHalfWidth
+	}
+
+	var ran atomic.Int64
+	spent, stopped, partial := 0, false, false
+	for spent < c.Faults && !stopped && !partial {
+		roundBudget := sp.Round
+		if spent == 0 {
+			// The first round must observe every stratum: until it does,
+			// the stratified variance is +Inf (StratifiedVariance's
+			// unsampled-stratum guard) and early stopping cannot fire.
+			if cover := sp.MinPerStratum * nStrata; cover > roundBudget {
+				roundBudget = cover
+			}
+		}
+		if rest := c.Faults - spent; roundBudget > rest {
+			roundBudget = rest
+		}
+		var alloc []int
+		switch {
+		case spent == 0:
+			alloc = stats.ProportionalAlloc(weights, roundBudget, sp.MinPerStratum)
+		case sp.Adaptive:
+			sdc, due := tallies(false), tallies(true)
+			scores := make([]float64, nStrata)
+			for h := range scores {
+				if sp.CIHalfWidth > 0 &&
+					stats.WilsonHalfWidth(sdc[h].K, sdc[h].N, sp.Confidence) <= sp.CIHalfWidth &&
+					(!dueArmed || stats.WilsonHalfWidth(due[h].K, due[h].N, sp.Confidence) <= sp.CIHalfWidth) {
+					continue // stratum halted: its own interval is tight enough
+				}
+				scores[h] = sdc[h].SmoothedSigma()
+				if dueArmed {
+					if d := due[h].SmoothedSigma(); d > scores[h] {
+						scores[h] = d
+					}
+				}
+			}
+			alloc = stats.DeficitAlloc(weights, scores, taken(), roundBudget)
+		default:
+			alloc = stats.DeficitAlloc(weights, unitScores, taken(), roundBudget)
+		}
+
+		type job struct {
+			h, idx int
+			seed   uint64
+		}
+		plan := make([]job, 0, roundBudget)
+		for h, n := range alloc {
+			st := &sts[h]
+			for k := 0; k < n; k++ {
+				idx := len(st.outs) + k
+				for len(st.seeds) <= idx {
+					st.seeds = append(st.seeds, st.seedSrc.Uint64())
+				}
+				plan = append(plan, job{h: h, idx: idx, seed: st.seeds[idx]})
+			}
+		}
+		if len(plan) == 0 {
+			break
+		}
+		results := make([]sample, len(plan))
+		got := make([]bool, len(plan))
+		err := exec.ForEach(c.Workers, len(plan), func(i int) error {
+			jb := plan[i]
+			if journal != nil {
+				if raw, ok := journal.Done(exec.SampleKey(jb.h, jb.idx)); ok {
+					var rec sampleRecord
+					if err := json.Unmarshal(raw, &rec); err != nil {
+						return fmt.Errorf("inject: corrupt checkpoint record (%d,%d): %w", jb.h, jb.idx, err)
+					}
+					results[i] = rec.sample()
+					got[i] = true
+					return nil
+				}
+				if limit > 0 && ran.Add(1) > limit {
+					return nil // deterministic interruption: resume fills this in
+				}
+			}
+			s := runOne(jb.h, rng.New(jb.seed))
+			if journal != nil {
+				if err := journal.Record(exec.SampleKey(jb.h, jb.idx), s.record()); err != nil {
+					return err
+				}
+			}
+			results[i] = s
+			got[i] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := range plan {
+			if !got[i] {
+				partial = true
+			}
+		}
+		if partial {
+			break
+		}
+		// Merge in plan order — grouped by stratum, ascending index —
+		// so the aggregate never depends on scheduling.
+		for i, jb := range plan {
+			sts[jb.h].outs = append(sts[jb.h].outs, results[i])
+		}
+		spent += len(plan)
+		stopped = converged()
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if partial {
+		return nil, exec.ErrPartial
+	}
+	return c.assembleStratified(space, sts, sp, spent, stopped), nil
+}
+
+// assembleStratified folds the per-stratum outcomes into a Result, in
+// deterministic (stratum, index) order.
+func (c Campaign) assembleStratified(space *Space, sts []stratumState, sp Sampling, spent int, stopped bool) *Result {
+	res := &Result{Faults: spent, EarlyStopped: stopped}
+	for h := range sts {
+		sr := StratumResult{
+			Desc:   space.Strata[h].Desc(),
+			Weight: space.Strata[h].Weight,
+			Faults: len(sts[h].outs),
+		}
+		for idx, s := range sts[h].outs {
+			switch {
+			case s.aborted:
+				res.Aborted = append(res.Aborted, AbortedSample{
+					Index: exec.SampleKey(h, idx), Seed: sts[h].seeds[idx],
+					Fault: s.fault, Panic: s.panicMsg})
+			case s.rr.Outcome == SDC:
+				res.SDCs++
+				sr.SDCs++
+				res.RelErrs = append(res.RelErrs, s.rr.MaxRelErr)
+				if c.KeepOutputs {
+					res.Outputs = append(res.Outputs, s.rr.Output)
+				}
+			case s.rr.Outcome == CrashDUE:
+				res.CrashDUEs++
+				sr.DUEs++
+			case s.rr.Outcome == HangDUE:
+				res.HangDUEs++
+				sr.DUEs++
+			default:
+				res.Masked++
+				sr.Masked++
+			}
+		}
+		res.Strata = append(res.Strata, sr)
+	}
+	if n := res.Classified(); n > 0 {
+		res.PVF = float64(res.SDCs) / float64(n)
+		res.PDUE = float64(res.DUEs()) / float64(n)
+	}
+	sdc := make([]stats.StratumCount, len(sts))
+	due := make([]stats.StratumCount, len(sts))
+	for h, sr := range res.Strata {
+		n := int64(sr.SDCs + sr.DUEs + sr.Masked)
+		sdc[h] = stats.StratumCount{Weight: sr.Weight, N: n, K: int64(sr.SDCs)}
+		due[h] = stats.StratumCount{Weight: sr.Weight, N: n, K: int64(sr.DUEs)}
+	}
+	res.StratifiedPVF = stats.PostStratified(sdc)
+	res.PVFCILow, res.PVFCIHigh = stats.StratifiedCI(sdc, sp.Confidence)
+	res.StratifiedPDUE = stats.PostStratified(due)
+	res.PDUECILow, res.PDUECIHigh = stats.StratifiedCI(due, sp.Confidence)
+	return res
+}

@@ -1,0 +1,15 @@
+package report
+
+import "fmt"
+
+// FormatCI renders an estimate with its confidence interval for table
+// cells: "0.4213 [0.4016, 0.4410]". The vacuous interval [0, 1] — an
+// estimator not yet defined over its whole space — renders as
+// "p n/a [0, 1]" so a campaign that never covered every stratum is
+// visibly different from one that converged.
+func FormatCI(p, lo, hi float64) string {
+	if lo == 0 && hi == 1 {
+		return "n/a [0, 1]"
+	}
+	return fmt.Sprintf("%.4f [%.4f, %.4f]", p, lo, hi)
+}

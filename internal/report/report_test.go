@@ -125,3 +125,15 @@ func TestWriteCSVErrorPropagation(t *testing.T) {
 		t.Error("CSV row write error not propagated")
 	}
 }
+
+func TestFormatCI(t *testing.T) {
+	if got := FormatCI(0.42134, 0.40161, 0.44101); got != "0.4213 [0.4016, 0.4410]" {
+		t.Errorf("FormatCI = %q", got)
+	}
+	if got := FormatCI(0.5, 0, 1); got != "n/a [0, 1]" {
+		t.Errorf("vacuous FormatCI = %q", got)
+	}
+	if got := FormatCI(0, 0, 0.003); got != "0.0000 [0.0000, 0.0030]" {
+		t.Errorf("edge FormatCI = %q", got)
+	}
+}

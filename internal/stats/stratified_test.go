@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mixedrel/internal/rng"
+)
+
+func TestPostStratifiedHomogeneous(t *testing.T) {
+	// Property: when every stratum draws from the SAME Bernoulli(p),
+	// the post-stratified estimator equals the pooled estimator under
+	// proportional allocation (weights ∝ sample shares), and is close
+	// for any allocation. Simulated with the repo RNG so the test is
+	// deterministic.
+	r := rng.New(42)
+	for _, p := range []float64{0.05, 0.3, 0.7} {
+		const total = 40000
+		weights := []float64{0.4, 0.3, 0.2, 0.1}
+		alloc := ProportionalAlloc(weights, total, 0)
+		var pooledK, pooledN int64
+		strata := make([]StratumCount, len(weights))
+		for h, n := range alloc {
+			sc := StratumCount{Weight: weights[h], N: int64(n)}
+			for i := 0; i < n; i++ {
+				if r.Float64() < p {
+					sc.K++
+				}
+			}
+			pooledK += sc.K
+			pooledN += sc.N
+			strata[h] = sc
+		}
+		pooled := float64(pooledK) / float64(pooledN)
+		strat := PostStratified(strata)
+		// Under exact proportional allocation the two estimators are
+		// algebraically near-identical (they differ only through
+		// largest-remainder rounding of the allocation).
+		if math.Abs(strat-pooled) > 2e-4 {
+			t.Errorf("p=%v: post-stratified %v vs pooled %v", p, strat, pooled)
+		}
+		// And both are consistent for p.
+		if math.Abs(strat-p) > 0.02 {
+			t.Errorf("p=%v: post-stratified estimate %v off", p, strat)
+		}
+		// On homogeneous strata the stratified variance matches the
+		// binomial variance of the pooled design (no between-strata
+		// component to remove).
+		v := StratifiedVariance(strata)
+		want := pooled * (1 - pooled) / float64(pooledN)
+		if v <= 0 || math.Abs(v-want) > want/2 {
+			t.Errorf("p=%v: stratified variance %v, pooled-equivalent %v", p, v, want)
+		}
+	}
+}
+
+func TestPostStratifiedSeparated(t *testing.T) {
+	// Two deterministic strata: the estimate is the weighted mean and
+	// the variance is exactly zero — the reduction stratification buys.
+	strata := []StratumCount{
+		{Weight: 0.75, N: 100, K: 0},
+		{Weight: 0.25, N: 100, K: 100},
+	}
+	if got := PostStratified(strata); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("PostStratified = %v, want 0.25", got)
+	}
+	if v := StratifiedVariance(strata); v != 0 {
+		t.Errorf("StratifiedVariance = %v, want 0", v)
+	}
+	lo, hi := StratifiedCI(strata, 0.95)
+	if lo != 0.25 || hi != 0.25 {
+		t.Errorf("StratifiedCI = [%v,%v], want the point [0.25,0.25]", lo, hi)
+	}
+}
+
+func TestStratifiedVarianceUnsampledGuard(t *testing.T) {
+	strata := []StratumCount{
+		{Weight: 0.9, N: 50, K: 10},
+		{Weight: 0.1, N: 0, K: 0}, // never observed
+	}
+	if v := StratifiedVariance(strata); !math.IsInf(v, 1) {
+		t.Errorf("variance with unsampled stratum = %v, want +Inf", v)
+	}
+	if lo, hi := StratifiedCI(strata, 0.95); lo != 0 || hi != 1 {
+		t.Errorf("CI with unsampled stratum = [%v,%v], want vacuous [0,1]", lo, hi)
+	}
+	// Zero-weight strata are exempt: they cover no probability mass.
+	strata[1].Weight = 0
+	if v := StratifiedVariance(strata); math.IsInf(v, 1) {
+		t.Error("zero-weight unsampled stratum should not force +Inf")
+	}
+}
+
+func TestPostStratifiedEmpty(t *testing.T) {
+	if got := PostStratified(nil); got != 0 {
+		t.Errorf("PostStratified(nil) = %v", got)
+	}
+	if got := PostStratified([]StratumCount{{Weight: 1}}); got != 0 {
+		t.Errorf("PostStratified(all-empty) = %v", got)
+	}
+}
+
+func allocSum(a []int) int {
+	s := 0
+	for _, n := range a {
+		s += n
+	}
+	return s
+}
+
+func TestAllocExactBudget(t *testing.T) {
+	weights := []float64{0.5, 0.25, 0.125, 0.125}
+	for _, budget := range []int{0, 1, 7, 100, 1001} {
+		got := ProportionalAlloc(weights, budget, 0)
+		want := budget
+		if want < 0 {
+			want = 0
+		}
+		if allocSum(got) != want {
+			t.Errorf("budget %d: allocation %v sums to %d", budget, got, allocSum(got))
+		}
+	}
+	// Floors are honored when affordable...
+	a := ProportionalAlloc(weights, 100, 10)
+	for h, n := range a {
+		if n < 10 {
+			t.Errorf("floor violated: alloc[%d] = %d", h, n)
+		}
+	}
+	if allocSum(a) != 100 {
+		t.Errorf("floored allocation sums to %d", allocSum(a))
+	}
+	// ...and dropped when they exceed the budget.
+	a = ProportionalAlloc(weights, 6, 10)
+	if allocSum(a) != 6 {
+		t.Errorf("over-floored allocation sums to %d", allocSum(a))
+	}
+}
+
+func TestAllocNeymanSkew(t *testing.T) {
+	// Equal weights, one high-variance stratum: Neyman shares follow
+	// the scores.
+	weights := []float64{0.25, 0.25, 0.25, 0.25}
+	scores := []float64{0.5, 0.0, 0.0, 0.1}
+	a := Alloc(weights, scores, 600, 0)
+	if allocSum(a) != 600 {
+		t.Fatalf("allocation %v sums to %d", a, allocSum(a))
+	}
+	if a[0] != 500 || a[3] != 100 {
+		t.Errorf("Neyman allocation %v, want [500 0 0 100]", a)
+	}
+	// All-zero scores fall back to weights.
+	a = Alloc(weights, []float64{0, 0, 0, 0}, 400, 0)
+	for h, n := range a {
+		if n != 100 {
+			t.Errorf("zero-score fallback alloc[%d] = %d, want 100", h, n)
+		}
+	}
+	// Zero-weight strata never receive samples.
+	a = Alloc([]float64{0.5, 0, 0.5}, []float64{1, 1, 1}, 10, 2)
+	if a[1] != 0 {
+		t.Errorf("zero-weight stratum received %d samples", a[1])
+	}
+}
+
+func TestAllocDeterministicTies(t *testing.T) {
+	weights := []float64{0.25, 0.25, 0.25, 0.25}
+	scores := []float64{1, 1, 1, 1}
+	a := Alloc(weights, scores, 2, 0)
+	// Two leftover samples, four identical remainders: ties must break
+	// toward the lowest index, every time.
+	if a[0] != 1 || a[1] != 1 || a[2] != 0 || a[3] != 0 {
+		t.Errorf("tie-broken allocation %v, want [1 1 0 0]", a)
+	}
+	for i := 0; i < 10; i++ {
+		b := Alloc(weights, scores, 2, 0)
+		for h := range a {
+			if a[h] != b[h] {
+				t.Fatalf("allocation not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestDeficitAllocSelfCorrects(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	scores := []float64{1, 1}
+	// Stratum 0 was over-sampled earlier; the whole round should go to
+	// stratum 1 until parity.
+	a := DeficitAlloc(weights, scores, []int64{100, 0}, 60)
+	if a[0] != 0 || a[1] != 60 {
+		t.Errorf("deficit allocation %v, want [0 60]", a)
+	}
+	// Big enough budget rebalances past parity and splits the rest.
+	a = DeficitAlloc(weights, scores, []int64{100, 0}, 300)
+	if allocSum(a) != 300 {
+		t.Fatalf("allocation %v sums to %d", a, allocSum(a))
+	}
+	if a[1]-a[0] != 100 {
+		t.Errorf("deficit allocation %v does not equalize cumulative counts", a)
+	}
+	// Everyone at target: falls back to score allocation.
+	a = DeficitAlloc(weights, scores, []int64{1000, 1000}, 10)
+	if allocSum(a) != 10 {
+		t.Errorf("fallback allocation %v sums to %d", a, allocSum(a))
+	}
+}

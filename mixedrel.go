@@ -235,6 +235,25 @@ const (
 	HangDUE  = inject.HangDUE
 )
 
+// Sampling configures the variance-reduction sampling engine of an
+// InjectionCampaign: stratified allocation of the fault budget over
+// (op-class x bit band x kernel phase) strata, optional Neyman-style
+// adaptive refinement, and sequential early stopping on a confidence
+// interval target.
+type Sampling = inject.Sampling
+
+// BitBand is a half-open range of bit positions, the bit axis of a
+// stratified campaign.
+type BitBand = inject.BitBand
+
+// DefaultBitBands partitions a format's bits into low-mantissa,
+// high-mantissa, exponent, and sign bands.
+func DefaultBitBands(f Format) []BitBand { return inject.DefaultBitBands(f) }
+
+// StratumResult is one stratum's share of a stratified campaign's
+// result.
+type StratumResult = inject.StratumResult
+
 // Checkpoint makes a campaign crash-tolerant and resumable: classified
 // samples are journaled to Path and a re-run with the same
 // configuration completes only the missing ones, producing a

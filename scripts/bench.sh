@@ -40,16 +40,21 @@ echo "$raw" | awk '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = 0; bop = 0; aop = 0
+    ns = 0; bop = 0; aop = 0; extra = ""
     for (i = 3; i <= NF; i++) {
         if ($i == "ns/op")     ns  = $(i - 1)
         if ($i == "B/op")      bop = $(i - 1)
         if ($i == "allocs/op") aop = $(i - 1)
+        # Custom metrics from b.ReportMetric — the sampling-engine
+        # benchmarks report the samples a campaign spent and the
+        # realized uniform-vs-stratified reduction factor.
+        if ($i == "samples/op")    extra = extra sprintf(", \"samples_per_op\": %s", $(i - 1))
+        if ($i == "xreduction/op") extra = extra sprintf(", \"x_reduction\": %s", $(i - 1))
     }
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, $2, ns, bop, aop
+    printf "  {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", \
+        name, $2, ns, bop, aop, extra
 }
 END { print "\n]" }' > "$out_file"
 
