@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-smoke bench-replay bench-sampling
+.PHONY: build test vet lint race verify bench bench-smoke bench-replay bench-sampling bench-telemetry smoke-telemetry
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,8 @@ vet:
 
 # lint is the static-analysis gate: go vet plus mixedrelvet, the repo's
 # own invariant checker (softfloat, bitsops, batchops, determinism,
-# boundedgo, compiledreplay, panicsafety — see DESIGN.md "Static
-# invariants").
+# boundedgo, compiledreplay, panicsafety, hotalloc, telemetry — see
+# DESIGN.md "Static invariants").
 lint:
 	scripts/lint.sh
 
@@ -44,6 +44,19 @@ bench:
 # Results print to stdout; use make bench for the recorded snapshot.
 bench-sampling:
 	$(GO) test -run '^$$' -bench 'StratifiedCampaign|AdaptiveCampaign|SamplingEfficiency' -benchtime 3x -benchmem -count 2 .
+
+# smoke-telemetry proves the observe-only contract on a real campaign:
+# identical carolfi output with telemetry off and on, plus schema
+# validation of the JSONL event log (left at telemetry-smoke.jsonl for
+# CI to upload).
+smoke-telemetry:
+	scripts/smoke_telemetry.sh
+
+# bench-telemetry measures the cost of the observability stack: the
+# same campaign benchmarked with telemetry off and fully on, with the
+# ns/op delta gated (<2% by default; OVERHEAD_GATE to loosen).
+bench-telemetry:
+	scripts/bench_telemetry.sh
 
 # bench-replay measures only the injection-campaign benchmarks — the
 # subset the compiled-replay fast path accelerates — with enough

@@ -116,10 +116,16 @@ func latestPair() (oldName, newName string, err error) {
 func main() {
 	failOver := flag.Float64("fail-over", 0,
 		"exit with status 1 when any benchmark's ns/op regresses more than this percentage (0 = report only)")
+	overhead := flag.String("overhead", "",
+		"BASE=VARIANT: compare two benchmarks inside one snapshot instead of diffing snapshots (e.g. InjectionCampaign=InjectionCampaignTelemetry); the ns/op delta is gated by -fail-over")
 	flag.Parse()
 	if *failOver < 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: -fail-over must be non-negative, got %g\n", *failOver)
 		os.Exit(2)
+	}
+	if *overhead != "" {
+		runOverhead(*overhead, *failOver, flag.Args())
+		return
 	}
 
 	var oldArg, newArg string
@@ -159,6 +165,76 @@ func main() {
 		fmt.Printf("\nworst regression %.1f%% exceeds the -fail-over gate of %.1f%%\n", worst, *failOver)
 		os.Exit(1)
 	}
+}
+
+// runOverhead compares two benchmarks within one snapshot — the
+// newest in the working directory, or the one given as the single
+// argument. spec is "BASE=VARIANT"; either side may carry or omit the
+// "Benchmark" prefix the snapshots record. With -fail-over, a variant
+// slower than base by more than the gate exits 1 — this is how CI
+// bounds the telemetry-on cost of a campaign.
+func runOverhead(spec string, failOver float64, args []string) {
+	eq := -1
+	for i, r := range spec {
+		if r == '=' {
+			eq = i
+			break
+		}
+	}
+	if eq <= 0 || eq == len(spec)-1 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -overhead wants BASE=VARIANT, got %q\n", spec)
+		os.Exit(2)
+	}
+	baseName, varName := spec[:eq], spec[eq+1:]
+
+	var path string
+	switch len(args) {
+	case 0:
+		var err error
+		if _, path, err = latestPair(); err != nil {
+			fatal(err)
+		}
+	case 1:
+		path = args[0]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -overhead BASE=VARIANT [-fail-over PCT] [SNAPSHOT.json]")
+		os.Exit(2)
+	}
+	entries, err := load(path)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := findBench(entries, baseName)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	variant, err := findBench(entries, varName)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %v", path, err))
+	}
+	if base.NsPerOp <= 0 {
+		fatal(fmt.Errorf("%s: %s has non-positive ns/op", path, base.Name))
+	}
+	pct := (variant.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+	fmt.Printf("overhead in %s:\n", path)
+	fmt.Printf("%-40s %14.0f ns/op\n", base.Name, base.NsPerOp)
+	fmt.Printf("%-40s %14.0f ns/op  %+.2f%%%s\n", variant.Name, variant.NsPerOp, pct, allocNote(base, variant))
+	if failOver > 0 && pct > failOver {
+		fmt.Printf("\noverhead %.2f%% exceeds the -fail-over gate of %.2f%%\n", pct, failOver)
+		os.Exit(1)
+	}
+}
+
+// findBench resolves a benchmark by name, accepting the recorded name
+// with or without its "Benchmark" prefix.
+func findBench(entries map[string]entry, name string) (entry, error) {
+	if e, ok := entries[name]; ok {
+		return e, nil
+	}
+	if e, ok := entries["Benchmark"+name]; ok {
+		return e, nil
+	}
+	return entry{}, fmt.Errorf("no benchmark %q in snapshot", name)
 }
 
 // diff renders the per-benchmark delta table to w and returns the

@@ -40,6 +40,26 @@ func TestSortSnapshotsOrdering(t *testing.T) {
 	}
 }
 
+func TestFindBenchPrefixInsensitive(t *testing.T) {
+	entries := map[string]entry{
+		"BenchmarkInjectionCampaign":          {Name: "BenchmarkInjectionCampaign", NsPerOp: 1000},
+		"BenchmarkInjectionCampaignTelemetry": {Name: "BenchmarkInjectionCampaignTelemetry", NsPerOp: 1010},
+	}
+	for _, name := range []string{"InjectionCampaign", "BenchmarkInjectionCampaign"} {
+		e, err := findBench(entries, name)
+		if err != nil {
+			t.Errorf("findBench(%q): %v", name, err)
+			continue
+		}
+		if e.NsPerOp != 1000 {
+			t.Errorf("findBench(%q) ns/op = %v, want 1000", name, e.NsPerOp)
+		}
+	}
+	if _, err := findBench(entries, "Nope"); err == nil {
+		t.Error("findBench of a missing benchmark did not error")
+	}
+}
+
 func TestDiffWorstRegression(t *testing.T) {
 	oldE := map[string]entry{
 		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 100},

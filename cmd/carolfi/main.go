@@ -19,6 +19,7 @@ import (
 	"mixedrel"
 	"mixedrel/internal/exec"
 	"mixedrel/internal/report"
+	"mixedrel/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the raw campaign result as JSON")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "scheduler goroutine bound for this process")
 	sampleWorkers := flag.Int("sample-workers", 1, "injection goroutines (>1 changes the sample but stays deterministic)")
+	telOpts := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Validate everything up front: a bad flag must be a usage error
@@ -71,6 +73,9 @@ func main() {
 	}
 	if *ciHalfWidth < 0 || *ciHalfWidth >= 0.5 {
 		failUsage(fmt.Errorf("-ci-halfwidth must be in [0, 0.5), got %g", *ciHalfWidth))
+	}
+	if err := telOpts.Validate(); err != nil {
+		failUsage(err)
 	}
 
 	exec.SetMaxWorkers(*workers)
@@ -113,7 +118,14 @@ func main() {
 			CIHalfWidth: *ciHalfWidth,
 		}
 	}
+	stopTelemetry, err := telOpts.Start()
+	if err != nil {
+		fail(err)
+	}
 	res, err := c.Run()
+	if stopErr := stopTelemetry(); stopErr != nil && err == nil {
+		err = stopErr
+	}
 	if err != nil {
 		fail(err)
 	}

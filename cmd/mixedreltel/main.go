@@ -1,0 +1,112 @@
+// Command mixedreltel works with the JSONL telemetry event logs that
+// carolfi and sweep write with -telemetry: it validates a log against
+// the documented schema (see DESIGN.md "Telemetry") and summarizes one
+// for a quick look without pulling in jq.
+//
+// Usage:
+//
+//	mixedreltel validate FILE    exit 0 iff FILE is schema-valid
+//	mixedreltel summary FILE     per-event counts and the final counters
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"mixedrel/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		usage()
+	}
+	cmd, path := os.Args[1], os.Args[2]
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	switch cmd {
+	case "validate":
+		n, err := telemetry.ValidateJSONL(f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d events, schema-valid\n", path, n)
+	case "summary":
+		if err := summarize(f); err != nil {
+			fail(err)
+		}
+	default:
+		usage()
+	}
+}
+
+// summarize prints per-event counts in name order, then the counter
+// values of the last "counters" event — the final snapshot the CLIs
+// emit at shutdown.
+func summarize(f *os.File) error {
+	counts := make(map[string]int)
+	var finalCounters map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		event, _ := obj["event"].(string)
+		if event == "" {
+			return fmt.Errorf("line %d: missing event name", line)
+		}
+		counts[event]++
+		if event == "counters" {
+			finalCounters = obj
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%d events\n", line)
+	for _, name := range names {
+		fmt.Printf("  %-16s %d\n", name, counts[name])
+	}
+	if finalCounters != nil {
+		fmt.Println("final counters:")
+		keys := make([]string, 0, len(finalCounters))
+		for k := range finalCounters {
+			switch k {
+			case "ts", "seq", "event":
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-28s %v\n", k, finalCounters[k])
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: mixedreltel (validate|summary) FILE")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mixedreltel:", err)
+	os.Exit(1)
+}

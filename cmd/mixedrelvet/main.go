@@ -103,7 +103,12 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "mixedrelvet: %d packages from cache, %d analyzed\n", res.CacheHits, res.CacheMisses)
+		// The telemetry counters are the single source of truth: both
+		// the warm fast path and the full driver account to them, and
+		// TryCached's commit-on-success discipline keeps a cold-cache
+		// fall-through from double-counting its partial hits.
+		hits, misses := analysis.CacheStats()
+		fmt.Fprintf(os.Stderr, "mixedrelvet: %d packages from cache, %d analyzed\n", hits, misses)
 	}
 	printFindings(res.Findings, *jsonOut)
 	if len(res.Findings) > 0 {

@@ -15,10 +15,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"mixedrel"
 	"mixedrel/internal/exec"
 	"mixedrel/internal/report"
+	"mixedrel/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 	pvfFaults := flag.Int("pvf-faults", 2000, "fault budget of each per-point stratified injection campaign (with -strata)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent (size, format) campaigns (never changes the numbers)")
 	sampleWorkers := flag.Int("sample-workers", 1, "beam-trial goroutines inside one campaign (>1 changes the sample but stays deterministic)")
+	telOpts := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Validate everything — including the kernel name, which is
@@ -71,6 +74,9 @@ func main() {
 	}
 	if *pvfFaults <= 0 {
 		failUsage(fmt.Errorf("-pvf-faults must be positive, got %d", *pvfFaults))
+	}
+	if err := telOpts.Validate(); err != nil {
+		failUsage(err)
 	}
 
 	exec.SetMaxWorkers(*workers)
@@ -112,7 +118,20 @@ func main() {
 			pts = append(pts, point{n, f})
 		}
 	}
+	stopTelemetry, err := telOpts.Start()
+	if err != nil {
+		fail(err)
+	}
+	telemetry.Emit("sweep_start",
+		telemetry.KV{K: "device", V: *deviceName},
+		telemetry.KV{K: "kernel", V: *kernelName},
+		telemetry.KV{K: "points", V: len(pts)},
+		telemetry.KV{K: "trials", V: *trials},
+		telemetry.KV{K: "seed", V: *seed})
+
 	base := float64(sizes[0])
+	var done atomic.Int64
+	showProg := telemetry.ProgressActive()
 	// Each (size, format) point is an independent campaign, so the grid
 	// runs concurrently and the rows print in order afterwards.
 	lines := make([]string, len(pts))
@@ -159,8 +178,14 @@ func main() {
 			}
 			lines[i] += "  " + report.FormatCI(ires.StratifiedPVF, ires.PVFCILow, ires.PVFCIHigh)
 		}
+		if showProg {
+			telemetry.Progressf("sweep: %d/%d points", done.Add(1), len(pts))
+		}
 		return nil
 	})
+	if stopErr := stopTelemetry(); stopErr != nil && err == nil {
+		err = stopErr
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -441,6 +441,12 @@ func TryCached(cache *Cache, dir, module string, patterns []string, analyzers []
 	}
 	sort.Slice(res.Findings, func(i, j int) bool { return lessFinding(res.Findings[i], res.Findings[j]) })
 	res.Facts = sortedRecords(global)
+	// Commit the hit count to the process-wide telemetry counter only
+	// now that the whole closure served: any earlier return above falls
+	// through to the full driver, which counts those same packages
+	// itself — committing eagerly per package would double-stat every
+	// cold-cache run.
+	mCacheHits.Add(uint64(res.CacheHits))
 	return res, true
 }
 

@@ -136,8 +136,10 @@ func Run(cfg Config, requested []*Package, analyzers []*Analyzer) (*Result, erro
 			}
 			if s.hit {
 				res.CacheHits++
+				mCacheHits.Inc()
 			} else if cfg.Cache != nil {
 				res.CacheMisses++
+				mCacheMisses.Inc()
 			}
 			for k, r := range s.facts {
 				global[k] = r

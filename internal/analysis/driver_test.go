@@ -234,6 +234,74 @@ func TestTryCachedWarmPath(t *testing.T) {
 	}
 }
 
+// TestCacheTelemetryNoDoubleCount pins the commit-on-success discipline
+// of the process-wide cache counters: a cold TryCached that falls
+// through to the full driver must contribute NO hits (the driver counts
+// those packages itself), while a successful warm serve commits exactly
+// its closure. Before the fix, partially-warm fall-throughs counted the
+// cached prefix twice.
+func TestCacheTelemetryNoDoubleCount(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, nastyTree())
+	cache := &Cache{Dir: t.TempDir()}
+	analyzers := []*Analyzer{newNastyAnalyzer(1)}
+
+	hits0, misses0 := CacheStats()
+
+	// Cold fast path fails and must commit nothing.
+	if _, ok := TryCached(cache, dir, "", []string{"top"}, analyzers, nil); ok {
+		t.Fatal("TryCached succeeded on a cold cache")
+	}
+	if h, m := CacheStats(); h != hits0 || m != misses0 {
+		t.Fatalf("cold TryCached committed counters: hits %d->%d, misses %d->%d", hits0, h, misses0, m)
+	}
+
+	// The full driver populates the cache: 3 misses, 0 hits.
+	loader, pkgs := loadTree(t, dir, "top")
+	if _, err := Run(Config{Cache: cache, Lookup: loader.Lookup}, pkgs, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := CacheStats()
+	if h1 != hits0 || m1 != misses0+3 {
+		t.Fatalf("cold driver run: hits %d->%d misses %d->%d, want +0/+3", hits0, h1, misses0, m1)
+	}
+
+	// Make the cache partially warm: editing top invalidates only top,
+	// so the next TryCached finds leaf and mid cached, then falls
+	// through on top. The fall-through must leave the hit counter
+	// untouched — the driver run after it counts leaf and mid itself.
+	topPath := filepath.Join(dir, "top", "top.go")
+	src, err := os.ReadFile(topPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(topPath, append(src, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := TryCached(cache, dir, "", []string{"top"}, analyzers, nil); ok {
+		t.Fatal("TryCached succeeded with an invalidated package in the closure")
+	}
+	if h, m := CacheStats(); h != h1 || m != m1 {
+		t.Fatalf("partially-warm TryCached committed counters: hits %d->%d, misses %d->%d (the double-stat bug)", h1, h, m1, m)
+	}
+	loader, pkgs = loadTree(t, dir, "top")
+	if _, err := Run(Config{Cache: cache, Lookup: loader.Lookup}, pkgs, analyzers); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := CacheStats()
+	if h2 != h1+2 || m2 != m1+1 {
+		t.Fatalf("partially-warm driver run: hits +%d misses +%d, want +2/+1", h2-h1, m2-m1)
+	}
+
+	// A fully warm TryCached commits exactly its closure.
+	if _, ok := TryCached(cache, dir, "", []string{"top"}, analyzers, nil); !ok {
+		t.Fatal("TryCached failed on a fully warm cache")
+	}
+	if h, m := CacheStats(); h != h2+3 || m != m2 {
+		t.Fatalf("warm TryCached: hits +%d misses +%d, want +3/+0", h-h2, m-m2)
+	}
+}
+
 // TestDriverDirectiveValidation covers the three directive diagnostics:
 // unknown analyzer names, stale exemptions for analyzers that ran, and
 // unknown verbs.

@@ -15,6 +15,7 @@ import (
 	"mixedrel/internal/analysis/hotalloc"
 	"mixedrel/internal/analysis/panicsafety"
 	"mixedrel/internal/analysis/softfloat"
+	"mixedrel/internal/analysis/telemetry"
 )
 
 // Analyzers returns the full suite in canonical (name-sorted) order.
@@ -28,6 +29,7 @@ func Analyzers() []*analysis.Analyzer {
 		hotalloc.Analyzer,
 		panicsafety.Analyzer,
 		softfloat.Analyzer,
+		telemetry.Analyzer,
 	}
 }
 

@@ -1,0 +1,19 @@
+package analysis
+
+import "mixedrel/internal/telemetry"
+
+// Process-wide analysis-cache counters. Both the full driver (Run) and
+// the load-free warm path (TryCached) account here, so consumers like
+// `cmd/mixedrelvet -stats` read one source of truth regardless of which
+// path served the run. TryCached commits only on overall success: a
+// cold-cache fall-through discards its partial hit count, because the
+// full driver re-counts those same packages (see TryCached).
+var (
+	mCacheHits   = telemetry.NewCounter("analysis_cache_hits")
+	mCacheMisses = telemetry.NewCounter("analysis_cache_misses")
+)
+
+// CacheStats returns the process-wide analysis-cache hit/miss counters.
+func CacheStats() (hits, misses uint64) {
+	return mCacheHits.Load(), mCacheMisses.Load()
+}

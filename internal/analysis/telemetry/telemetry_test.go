@@ -1,0 +1,12 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/telemetry"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), telemetry.Analyzer, "app", "kernels", "report")
+}

@@ -1,0 +1,85 @@
+// Package app stands in for the engine packages where instrumentation
+// is legal: every use earns a UsesTelemetry fact so callers stay
+// checkable, and the journal and hot-path boundaries are enforced at
+// the value and call level.
+package app
+
+import (
+	"internal/exec"
+	"internal/telemetry"
+)
+
+var samples = telemetry.NewCounter("app_samples")
+
+// Stamp wraps a telemetry read behind an exported helper; the fact is
+// what lets the report package's call be caught across the boundary.
+func Stamp() int64 { // want fact:`Stamp: carriesTelemetry\(calls telemetry\.Clock\)`
+	return telemetry.Clock()
+}
+
+func observe() { // want fact:`observe: usesTelemetry\(calls telemetry\.\(\*Counter\)\.Inc\)`
+	samples.Inc() // want `call to telemetry\.\(\*Counter\)\.Inc is instrumentation in observe, reachable from hot path hotAccumulate; hot paths accumulate plain counters and flush them outside the loop`
+}
+
+func indirect() { // want fact:`indirect: usesTelemetry\(calls observe\)`
+	observe()
+}
+
+// checkpoint journals records: seed-pure arguments are fine,
+// telemetry-derived ones — direct or wrapped — are not.
+// trial instruments itself (counter writes) while computing a
+// seed-pure result: journaling that result is the engine's normal
+// pattern and is legal — only value carriers are banned.
+func trial(seed uint64) int64 { // want fact:`trial: usesTelemetry\(calls telemetry\.\(\*Counter\)\.Inc\)`
+	samples.Inc()
+	return int64(seed) * 3
+}
+
+func checkpoint(j *exec.Journal, seed uint64) { // want fact:`checkpoint: usesTelemetry\(calls telemetry\.Clock\)`
+	j.Record(seed, 42)
+	j.Record(seed, trial(seed))
+	j.Record(seed, Stamp())           // want `telemetry-derived value Stamp \(calls telemetry\.Clock\) in an argument of \(\*Journal\)\.Record; journaled state must replay from the seed alone`
+	j.Record(seed, telemetry.Clock()) // want `telemetry-derived value telemetry\.Clock in an argument of \(\*Journal\)\.Record; journaled state must replay from the seed alone`
+}
+
+//mixedrelvet:hotpath per-operation stand-in
+func hotAccumulate(xs []float64) float64 { // want fact:`hotAccumulate: usesTelemetry\(calls observe\)`
+	acc := 0.0
+	for _, x := range xs {
+		acc += x
+	}
+	observe() // want `call to observe is instrumentation \(calls telemetry\.\(\*Counter\)\.Inc\) in hot path hotAccumulate; hot paths accumulate plain counters and flush them outside the loop`
+	return acc
+}
+
+//mixedrelvet:hotpath batched stand-in: the violation sits one call down
+func hotBatch(xs []float64) { // want fact:`hotBatch: usesTelemetry\(calls flush\)`
+	for i := range xs {
+		xs[i] *= 2
+	}
+	flush() // want `call to flush is instrumentation \(calls telemetry\.\(\*Counter\)\.Add\) in hot path hotBatch; hot paths accumulate plain counters and flush them outside the loop`
+}
+
+func flush() { // want fact:`flush: usesTelemetry\(calls telemetry\.\(\*Counter\)\.Add\)`
+	samples.Add(1) // want `call to telemetry\.\(\*Counter\)\.Add is instrumentation in flush, reachable from hot path hotBatch; hot paths accumulate plain counters and flush them outside the loop`
+}
+
+// env shows the legal hot-path pattern: plain unsynchronized fields,
+// flushed by non-hot code elsewhere.
+type env struct{ ops uint64 }
+
+//mixedrelvet:hotpath clean accumulation pattern
+func (e *env) hotOp(x float64) float64 {
+	e.ops++
+	return x * x
+}
+
+// hotExempt carries an exemption: the diagnostic is suppressed at this
+// site, but the fact still taints callers (an exemption is a claim
+// about one context, not about every caller).
+//
+//mixedrelvet:hotpath exempted-instrumentation stand-in
+func hotExempt() { // want fact:`hotExempt: usesTelemetry\(calls observe\)`
+	//mixedrelvet:allow telemetry amortized flush, measured and accepted
+	observe()
+}

@@ -1,0 +1,30 @@
+// Package kernels exercises the Run-path ban: kernels may not even
+// import the instrumentation layer, and every call a Run method reaches
+// is checked — direct, wrapped locally, or wrapped in another package.
+package kernels
+
+import "internal/telemetry" // want `import of internal/telemetry in package kernels; telemetry is observe-only and must not reach deterministic results`
+
+var ops = telemetry.NewCounter("kernel_ops")
+
+type K struct{}
+
+func (k *K) Run(xs []float64) float64 { // want fact:`Run: usesTelemetry\(calls telemetry\.\(\*Counter\)\.Inc\)`
+	ops.Inc() // want `call to telemetry\.\(\*Counter\)\.Inc is instrumentation on the Run path of \(\*K\)\.Run; telemetry is observe-only and results must be a function of the seed alone`
+	acc := 0.0
+	for _, x := range xs {
+		acc += x
+	}
+	count(len(xs)) // want `call to count is instrumentation \(calls telemetry\.\(\*Counter\)\.Add\) on the Run path of \(\*K\)\.Run; telemetry is observe-only and results must be a function of the seed alone`
+	return acc
+}
+
+func count(n int) { // want fact:`count: usesTelemetry\(calls telemetry\.\(\*Counter\)\.Add\)`
+	ops.Add(uint64(n)) // want `call to telemetry\.\(\*Counter\)\.Add is instrumentation on the Run path of \(\*K\)\.Run; telemetry is observe-only and results must be a function of the seed alone`
+}
+
+// offline is not reachable from any Run method: wrapping
+// instrumentation here earns a fact, not a Run-path diagnostic.
+func offline() uint64 { // want fact:`offline: carriesTelemetry\(calls telemetry\.\(\*Counter\)\.Load\)`
+	return ops.Load()
+}

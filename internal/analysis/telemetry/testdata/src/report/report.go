@@ -1,0 +1,17 @@
+// Package report exercises the rendering ban: no telemetry import
+// appears here, but a wall-clock read wrapped in another package is
+// still caught through its exported fact.
+package report
+
+import "app"
+
+type Table struct{ rows []string }
+
+func (t *Table) Render() { // want fact:`Render: usesTelemetry\(calls app\.Stamp\)`
+	_ = app.Stamp() // want `call to app\.Stamp is instrumentation \(calls telemetry\.Clock\) in the report package; rendered artifacts must not depend on telemetry`
+}
+
+// clean rendering carries no annotations: seed-pure data is fine.
+func (t *Table) Row(s string) {
+	t.rows = append(t.rows, s)
+}

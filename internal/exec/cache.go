@@ -100,14 +100,19 @@ var cacheMap sync.Map // cacheKey -> *cacheSlot
 func Artifact(k kernels.Kernel, f fp.Format, wrapKey string, wrap func(fp.Env) fp.Env) *Artifacts {
 	kk := k.Key()
 	if kk == "" || (wrap != nil && wrapKey == "") {
+		mArtifactUncached.Inc()
 		return compute(k, f, wrap)
 	}
 	if wrap == nil {
 		wrapKey = ""
 	}
+	mArtifactLookups.Inc()
 	v, _ := cacheMap.LoadOrStore(cacheKey{kernel: kk, format: f, wrap: wrapKey}, &cacheSlot{})
 	slot := v.(*cacheSlot)
-	slot.once.Do(func() { slot.art = compute(k, f, wrap) })
+	slot.once.Do(func() {
+		mArtifactComputes.Inc()
+		slot.art = compute(k, f, wrap)
+	})
 	return slot.art
 }
 
@@ -116,6 +121,7 @@ func Artifact(k kernels.Kernel, f fp.Format, wrapKey string, wrap func(fp.Env) f
 func ResetCache() {
 	cacheMap.Range(func(key, _ any) bool {
 		cacheMap.Delete(key)
+		mArtifactEvictions.Inc()
 		return true
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"mixedrel/internal/rng"
+	"mixedrel/internal/telemetry"
 )
 
 // ErrPartial reports that a checkpointed campaign stopped before every
@@ -145,13 +146,18 @@ func (j *Journal) Record(i int, v any) error {
 	if err := j.w.WriteByte('\n'); err != nil {
 		return err
 	}
+	mJournalRecords.Inc()
 	j.pending++
 	if j.pending >= j.every {
 		j.pending = 0
 		if err := j.w.Flush(); err != nil {
 			return err
 		}
-		return j.f.Sync()
+		start := telemetry.Clock()
+		err := j.f.Sync()
+		mJournalFsyncs.Inc()
+		mJournalFsyncNs.ObserveSince(start)
+		return err
 	}
 	return nil
 }

@@ -82,6 +82,7 @@ func acquireToken() (chan struct{}, bool) {
 	case t <- struct{}{}:
 		return t, true
 	default:
+		mHelpersDenied.Inc()
 		return nil, false
 	}
 }
@@ -100,11 +101,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
+		ran := 0
 		for i := 0; i < n; i++ {
+			ran++
 			if err := fn(i); err != nil {
+				mJobs.Add(uint64(ran))
 				return err
 			}
 		}
+		mJobs.Add(uint64(ran))
 		return nil
 	}
 
@@ -117,11 +122,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	)
 	next.Store(-1)
 	worker := func() {
+		// Job counting is batched per worker: one atomic add at exit
+		// instead of one per job, so instrumentation cost stays off the
+		// per-sample path.
+		ran := 0
+		defer func() { mJobs.Add(uint64(ran)) }()
 		for !stop.Load() {
 			i := int(next.Add(1))
 			if i >= n {
 				return
 			}
+			ran++
 			if err := fn(i); err != nil {
 				errMu.Lock()
 				if i < errIdx {
@@ -141,8 +152,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 			break // pool exhausted: the caller still runs everything
 		}
 		wg.Add(1)
+		mHelpers.Add(1)
 		go func() {
 			defer func() {
+				mHelpers.Add(-1)
 				<-pool
 				wg.Done()
 			}()

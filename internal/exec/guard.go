@@ -30,6 +30,7 @@ func (a *Abort) String() string { return fmt.Sprint(a.Value) }
 func Guard(fn func()) (abort *Abort) {
 	defer func() {
 		if v := recover(); v != nil {
+			mGuardPanics.Inc()
 			abort = &Abort{Value: v, Stack: string(debug.Stack())}
 		}
 	}()

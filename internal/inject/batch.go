@@ -117,12 +117,14 @@ func (e *Env) DotFMA(acc fp.Bits, a, b []fp.Bits) fp.Bits {
 	if e.replayable() {
 		// Only the final accumulator leaves the chain, so the whole
 		// batch is one lookup of the last recorded result.
+		e.statReplayed += n
 		return e.replay[e.all-1]
 	}
 	if e.compiled() {
 		// Serve the longest operand-matching prefix of the chain and
 		// recompute only the suffix the fault's cone reaches.
 		res, served := e.prog.ChainPrefix(&e.cur, e.all-n, acc, a, b)
+		e.statServed += uint64(served)
 		if served == int(n) {
 			return res
 		}
@@ -149,10 +151,12 @@ func (e *Env) AddN(dst, a, b []fp.Bits) {
 	e.advance(fp.OpAdd, n)
 	if e.replayable() {
 		copy(dst, e.replay[e.all-n:e.all])
+		e.statReplayed += n
 		return
 	}
 	if e.compiled() {
 		if lo, hi, ok := e.prog.ServeMap(&e.cur, e.all-n, fp.OpAdd, dst, a, b, nil); ok {
+			e.statServed += n - uint64(hi-lo)
 			if lo < hi {
 				fp.AddN(e.inner, dst[lo:hi], a[lo:hi], b[lo:hi])
 			}
@@ -178,10 +182,12 @@ func (e *Env) MulN(dst, a, b []fp.Bits) {
 	e.advance(fp.OpMul, n)
 	if e.replayable() {
 		copy(dst, e.replay[e.all-n:e.all])
+		e.statReplayed += n
 		return
 	}
 	if e.compiled() {
 		if lo, hi, ok := e.prog.ServeMap(&e.cur, e.all-n, fp.OpMul, dst, a, b, nil); ok {
+			e.statServed += n - uint64(hi-lo)
 			if lo < hi {
 				fp.MulN(e.inner, dst[lo:hi], a[lo:hi], b[lo:hi])
 			}
@@ -207,12 +213,14 @@ func (e *Env) FMAN(dst, a, b, c []fp.Bits) {
 	e.advance(fp.OpFMA, n)
 	if e.replayable() {
 		copy(dst, e.replay[e.all-n:e.all])
+		e.statReplayed += n
 		return
 	}
 	if e.compiled() {
 		// ServeMap leaves dst's dirty interval untouched, so when dst
 		// aliases c the recompute below still reads pristine addends.
 		if lo, hi, ok := e.prog.ServeMap(&e.cur, e.all-n, fp.OpFMA, dst, a, b, c); ok {
+			e.statServed += n - uint64(hi-lo)
 			if lo < hi {
 				fp.FMAN(e.inner, dst[lo:hi], a[lo:hi], b[lo:hi], c[lo:hi])
 			}
@@ -307,9 +315,14 @@ func (e *Env) gemmChains(out, accs, a, bt []fp.Bits, rows, cols, k, first, limit
 		for t := first; t < limit; t++ {
 			out[t] = e.replay[pos+uint64((t-first+1)*k)-1]
 		}
+		e.statReplayed += n
 		return
 	}
 	if e.compiled() && e.prog.ServeGemm(&e.cur, pos, out, accs, a, bt, rows, cols, k, first, limit, e.inner) {
+		// Slab-granular: the program resolved the whole range, serving
+		// clean chains and recomputing dirty ones internally, so the
+		// serve counter attributes the full window to the slab path.
+		e.statServed += n
 		return
 	}
 	if first == 0 && limit == rows*cols {
@@ -344,12 +357,14 @@ func (e *Env) AXPY(dst []fp.Bits, s fp.Bits, x []fp.Bits) {
 	e.advance(fp.OpFMA, n)
 	if e.replayable() {
 		copy(dst, e.replay[e.all-n:e.all])
+		e.statReplayed += n
 		return
 	}
 	if e.compiled() {
 		// The dirty interval keeps its pristine accumulator inputs in
 		// dst; only those elements recompute.
 		if lo, hi, ok := e.prog.ServeAxpy(&e.cur, e.all-n, s, x, dst); ok {
+			e.statServed += n - uint64(hi-lo)
 			if lo < hi {
 				fp.AXPY(e.inner, dst[lo:hi], s, x[lo:hi])
 			}

@@ -11,6 +11,7 @@ import (
 	"mixedrel/internal/kernels"
 	"mixedrel/internal/rng"
 	"mixedrel/internal/stats"
+	"mixedrel/internal/telemetry"
 )
 
 // Site selects where a campaign's faults land.
@@ -248,10 +249,38 @@ func (c Campaign) Run() (*Result, error) {
 		}
 	}
 
-	if c.Sampling != nil {
-		return c.runStratified(runner, sites, watchdog)
+	// Telemetry is strictly observe-only here: events and progress
+	// describe the campaign, and nothing emitted (or any wall-clock the
+	// sink reads) flows back into sampling, classification, or the
+	// Result — enforced by the telemetry analyzer.
+	if telemetry.SinkActive() {
+		mode := "uniform"
+		switch {
+		case c.Sampling != nil:
+			mode = "stratified"
+		case c.Checkpoint != nil:
+			mode = "checkpointed"
+		}
+		telemetry.Emit("campaign_start",
+			telemetry.KV{K: "kernel", V: c.Kernel.Name()},
+			telemetry.KV{K: "format", V: c.Format.String()},
+			telemetry.KV{K: "mode", V: mode},
+			telemetry.KV{K: "faults", V: c.Faults},
+			telemetry.KV{K: "workers", V: c.Workers},
+			telemetry.KV{K: "seed", V: c.Seed},
+		)
 	}
 
+	if c.Sampling != nil {
+		res, err := c.runStratified(runner, sites, watchdog)
+		if err == nil {
+			emitCampaignEnd(res)
+		}
+		return res, err
+	}
+
+	var done atomic.Int64
+	showProg := telemetry.ProgressActive()
 	runOne := func(r *rng.Rand) (sample, error) {
 		var spec FaultSpec
 		switch site := sites[r.Intn(len(sites))]; site {
@@ -273,6 +302,9 @@ func (c Campaign) Run() (*Result, error) {
 		spec.Watchdog = watchdog
 		spec.TrapNonFinite = c.TrapNonFinite
 		rr, abort := runner.RunSpec(spec, c.KeepOutputs)
+		if showProg {
+			telemetry.Progressf("%s: %d/%d samples", c.Kernel.Name(), done.Add(1), c.Faults)
+		}
 		if abort != nil {
 			return sample{aborted: true, fault: spec.Desc(), panicMsg: abort.String()}, nil
 		}
@@ -328,7 +360,31 @@ func (c Campaign) Run() (*Result, error) {
 		res.PVF = float64(res.SDCs) / float64(n)
 		res.PDUE = float64(res.DUEs()) / float64(n)
 	}
+	if showProg {
+		telemetry.ProgressDone()
+	}
+	emitCampaignEnd(res)
 	return res, nil
+}
+
+// emitCampaignEnd writes the campaign's aggregate classification into
+// the event stream. The values are copied out of the finished Result —
+// telemetry reads the campaign, never the reverse.
+func emitCampaignEnd(res *Result) {
+	if !telemetry.SinkActive() {
+		return
+	}
+	telemetry.Emit("campaign_end",
+		telemetry.KV{K: "faults", V: res.Faults},
+		telemetry.KV{K: "masked", V: res.Masked},
+		telemetry.KV{K: "sdcs", V: res.SDCs},
+		telemetry.KV{K: "crash_dues", V: res.CrashDUEs},
+		telemetry.KV{K: "hang_dues", V: res.HangDUEs},
+		telemetry.KV{K: "aborted", V: len(res.Aborted)},
+		telemetry.KV{K: "pvf", V: res.PVF},
+		telemetry.KV{K: "pdue", V: res.PDUE},
+		telemetry.KV{K: "early_stopped", V: res.EarlyStopped},
+	)
 }
 
 // runCheckpointed executes the campaign's missing samples against the

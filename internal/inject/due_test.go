@@ -12,6 +12,7 @@ import (
 	"mixedrel/internal/fp"
 	"mixedrel/internal/kernels"
 	"mixedrel/internal/rng"
+	"mixedrel/internal/telemetry"
 )
 
 func TestDUEStrings(t *testing.T) {
@@ -364,6 +365,57 @@ func TestCampaignPanicIsolation(t *testing.T) {
 		}
 		if want := exec.SampleSeed(c.Seed, ab.Index); ab.Seed != want {
 			t.Errorf("abort %d seed %#x, want %#x", ab.Index, ab.Seed, want)
+		}
+	}
+}
+
+// snapshotCounter reads one process-wide telemetry counter by name.
+func snapshotCounter(t *testing.T, name string) uint64 {
+	t.Helper()
+	for _, mv := range telemetry.Snapshot() {
+		if mv.Name == name {
+			return mv.Value
+		}
+	}
+	t.Fatalf("counter %q not registered", name)
+	return 0
+}
+
+// TestGuardPanicCounterExactlyOnce: under a high worker count, each
+// panicking sample must increment the guard's panic counter exactly
+// once — the recover happens in exec.Guard on the worker goroutine, so
+// a sample that panics and is re-signalled through the scheduler must
+// not be double-counted. Counting dueSignal recoveries is by design
+// (see internal/exec/telemetry.go), so the campaign disables traps and
+// watchdogs: with a plainly panicking kernel the counter delta equals
+// the aborted-sample count plus the classified crash/hang DUEs (zero
+// here).
+func TestGuardPanicCounterExactlyOnce(t *testing.T) {
+	c := Campaign{
+		Kernel: panicky{kernels.NewGEMM(4, 3)}, Format: fp.Single,
+		Faults: 80, Seed: 11,
+		Sites:   []Site{SiteOperand, SiteMemory},
+		Workers: 8,
+	}
+	before := snapshotCounter(t, "exec_guard_panics")
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Aborted) == 0 {
+		t.Fatal("no aborted samples despite a panicking kernel")
+	}
+	if res.CrashDUEs != 0 || res.HangDUEs != 0 {
+		t.Fatalf("unexpected DUEs (%d crash, %d hang) in a trap-free campaign",
+			res.CrashDUEs, res.HangDUEs)
+	}
+	delta := snapshotCounter(t, "exec_guard_panics") - before
+	if got, want := delta, uint64(len(res.Aborted)); got != want {
+		t.Errorf("guard panic counter advanced %d, want exactly %d (one per aborted sample)", got, want)
+	}
+	for _, ab := range res.Aborted {
+		if want := exec.SampleSeed(c.Seed, ab.Index); ab.Seed != want {
+			t.Errorf("abort %d seed %#x, want replay seed %#x", ab.Index, ab.Seed, want)
 		}
 	}
 }

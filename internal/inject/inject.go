@@ -133,6 +133,14 @@ type Env struct {
 	// holds for any probe schedule).
 	miss uint32
 
+	// Per-run serve statistics, accumulated as plain fields (the hot
+	// path must not touch atomics or allocate — hotalloc-enforced) and
+	// flushed into the process-wide telemetry counters by the runner
+	// once per sample. Never read by classification.
+	statReplayed uint64 // operations served by replay induction
+	statServed   uint64 // operations served by compiled compare-serving
+	statBackoff  uint64 // times the scalar serve backoff tripped
+
 	// Behavioral-DUE state, armed per run by resetSpec. due gates every
 	// per-operation hook with a single branch so fault-free and
 	// data-fault-only runs pay (almost) nothing for the machinery.
@@ -233,6 +241,7 @@ func (e *Env) replayed(hitOperand, hitResult bool) (fp.Bits, bool) {
 	if uint64(len(e.replay)) < e.all || hitOperand || hitResult || e.applied != 0 {
 		return 0, false
 	}
+	e.statReplayed++
 	return e.replay[e.all-1], true
 }
 
@@ -273,9 +282,13 @@ func (e *Env) served(kind fp.Op, hitOperand, hitResult bool, a, b, c fp.Bits) (f
 	res, ok := e.prog.ServeScalar(&e.cur, e.all-1, kind, a, b, c)
 	if !ok {
 		e.miss++
+		if e.miss == scalarServeStreak {
+			e.statBackoff++
+		}
 		return 0, false
 	}
 	e.miss = 0
+	e.statServed++
 	if e.due {
 		res = e.duePost(res)
 	}
@@ -333,6 +346,9 @@ func (e *Env) reset(fault *OpFault) {
 	e.applied = 0
 	e.cur = traceir.Cursor{}
 	e.miss = 0
+	e.statReplayed = 0
+	e.statServed = 0
+	e.statBackoff = 0
 	e.due = false
 	e.ctlArmed = false
 	e.ctlPending = false

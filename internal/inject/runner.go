@@ -170,8 +170,10 @@ func (r *Runner) RunSpec(spec FaultSpec, keepOutput bool) (RunResult, *exec.Abor
 		if sig, ok := abort.Value.(dueSignal); ok {
 			// An emulated crash/hang is a classified outcome, not a
 			// simulator failure.
+			flushRunStats(sc.ienv, sig.outcome, sig.cause, false)
 			return RunResult{Outcome: sig.outcome, Cause: sig.cause, FaultApplied: true}, nil
 		}
+		flushRunStats(sc.ienv, 0, CauseNone, true)
 		return RunResult{}, abort
 	}
 	golden := r.art.Golden()
@@ -223,5 +225,6 @@ func (r *Runner) RunSpec(spec FaultSpec, keepOutput bool) (RunResult, *exec.Abor
 		res.Outcome = SDC
 		res.MaxRelErr = worst
 	}
+	flushRunStats(sc.ienv, res.Outcome, CauseNone, false)
 	return res, nil
 }

@@ -3,12 +3,14 @@ package inject
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"mixedrel/internal/exec"
 	"mixedrel/internal/fp"
 	"mixedrel/internal/rng"
 	"mixedrel/internal/stats"
+	"mixedrel/internal/telemetry"
 )
 
 // This file is the variance-reduction sampling engine: stratified and
@@ -213,8 +215,9 @@ func (c Campaign) runStratified(runner *Runner, sites []Site, watchdog float64) 
 	}
 
 	var ran atomic.Int64
-	spent, stopped, partial := 0, false, false
+	spent, stopped, partial, round := 0, false, false, 0
 	for spent < c.Faults && !stopped && !partial {
+		round++
 		roundBudget := sp.Round
 		if spent == 0 {
 			// The first round must observe every stratum: until it does,
@@ -316,6 +319,41 @@ func (c Campaign) runStratified(runner *Runner, sites []Site, watchdog float64) 
 		}
 		spent += len(plan)
 		stopped = converged()
+		// The round event and progress line trail the merge, so their
+		// content (allocation, CI trajectory, stopping decision) is a
+		// pure function of completed-round tallies — deterministic at
+		// any worker count, and observe-only: the half-widths below are
+		// recomputed for display, never fed back into the loop.
+		if telemetry.SinkActive() {
+			hwSDC := stats.StratifiedHalfWidth(tallies(false), sp.Confidence)
+			hwDUE := math.NaN()
+			if dueArmed {
+				hwDUE = stats.StratifiedHalfWidth(tallies(true), sp.Confidence)
+			}
+			telemetry.Emit("round",
+				telemetry.KV{K: "round", V: round},
+				telemetry.KV{K: "budget", V: len(plan)},
+				telemetry.KV{K: "spent", V: spent},
+				telemetry.KV{K: "alloc", V: alloc},
+				telemetry.KV{K: "sdc_half_width", V: hwSDC},
+				telemetry.KV{K: "due_half_width", V: hwDUE},
+				telemetry.KV{K: "stopped", V: stopped},
+			)
+		}
+		if telemetry.ProgressActive() {
+			telemetry.Progressf("%s: round %d, %d/%d samples",
+				c.Kernel.Name(), round, spent, c.Faults)
+		}
+	}
+	if telemetry.ProgressActive() {
+		telemetry.ProgressDone()
+	}
+	if stopped && telemetry.SinkActive() {
+		telemetry.Emit("early_stop",
+			telemetry.KV{K: "spent", V: spent},
+			telemetry.KV{K: "budget", V: c.Faults},
+			telemetry.KV{K: "rounds", V: round},
+		)
 	}
 	if journal != nil {
 		if err := journal.Close(); err != nil {
@@ -363,6 +401,16 @@ func (c Campaign) assembleStratified(space *Space, sts []stratumState, sp Sampli
 			}
 		}
 		res.Strata = append(res.Strata, sr)
+		if telemetry.SinkActive() {
+			telemetry.Emit("stratum",
+				telemetry.KV{K: "desc", V: sr.Desc},
+				telemetry.KV{K: "weight", V: sr.Weight},
+				telemetry.KV{K: "faults", V: sr.Faults},
+				telemetry.KV{K: "sdcs", V: sr.SDCs},
+				telemetry.KV{K: "dues", V: sr.DUEs},
+				telemetry.KV{K: "masked", V: sr.Masked},
+			)
+		}
 	}
 	if n := res.Classified(); n > 0 {
 		res.PVF = float64(res.SDCs) / float64(n)

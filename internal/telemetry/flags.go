@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Options carries the shared observability flags of the campaign CLIs
+// (carolfi, sweep): the JSONL event log, the live progress renderer,
+// and the pprof/runtime-trace escape hatches. None of them may change a
+// campaign's results — see the package comment.
+type Options struct {
+	// Path is the JSONL event-log destination ("" disables the sink).
+	Path string
+	// Progress requests the live stderr renderer. It is suppressed when
+	// stderr is not a terminal or Quiet is set.
+	Progress bool
+	// Quiet suppresses the live renderer even on a terminal.
+	Quiet bool
+	// PprofAddr serves net/http/pprof for the duration of the run.
+	PprofAddr string
+	// TracePath writes a runtime/trace of the run.
+	TracePath string
+}
+
+// AddFlags registers the shared observability flags on fs and returns
+// the options they fill in after fs.Parse.
+func AddFlags(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.StringVar(&o.Path, "telemetry", "", "write a JSONL telemetry event log to this file")
+	fs.BoolVar(&o.Progress, "progress", false, "render live campaign progress on stderr (suppressed when stderr is not a terminal)")
+	fs.BoolVar(&o.Quiet, "quiet", false, "suppress the live progress renderer")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the duration of the run")
+	fs.StringVar(&o.TracePath, "pprof-trace", "", "write a runtime/trace of the run to this file")
+	return o
+}
+
+// Validate rejects contradictory combinations; the caller turns the
+// error into a usage failure.
+func (o *Options) Validate() error {
+	if o.Progress && o.Quiet {
+		return fmt.Errorf("-progress and -quiet are mutually exclusive")
+	}
+	return nil
+}
+
+// Start applies the options: it enables the counters, opens the event
+// sink, attaches the progress renderer, and starts the profiling
+// servers. The returned stop function flushes a final counter snapshot
+// into the sink, tears everything down in reverse order, and reports
+// the first error (a short write to the event log must not pass
+// silently). Start cleans up after itself on error.
+func (o *Options) Start() (stop func() error, err error) {
+	var stops []func() error
+	unwind := func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	if o.Path != "" {
+		SetEnabled(true)
+		closeSink, err := OpenSink(o.Path)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, func() error {
+			EmitSnapshot()
+			return closeSink()
+		})
+	}
+	if o.Progress && !o.Quiet && IsTTY(os.Stderr) {
+		SetProgress(os.Stderr)
+		stops = append(stops, func() error {
+			ProgressDone()
+			SetProgress(nil)
+			return nil
+		})
+	}
+	if o.PprofAddr != "" {
+		stopPprof, err := StartPprof(o.PprofAddr)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		stops = append(stops, func() error { stopPprof(); return nil })
+	}
+	if o.TracePath != "" {
+		stopTrace, err := StartTrace(o.TracePath)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		stops = append(stops, stopTrace)
+	}
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

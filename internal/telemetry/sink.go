@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// KV is one event field. Values may be string, bool, int, int64,
+// uint64, float64, []int, []uint64 or []float64; anything else renders
+// through fmt as a quoted string.
+type KV struct {
+	K string
+	V any
+}
+
+// sink is the JSONL event stream. One mutex serializes writers: events
+// are emitted in arrival order (which is scheduling-dependent — that is
+// fine, telemetry is outside the determinism boundary) with a strictly
+// increasing seq so consumers can detect truncation and order within a
+// file regardless of timestamp resolution.
+var (
+	sinkMu  sync.Mutex
+	sinkW   io.Writer
+	sinkSeq uint64
+	sinkBuf []byte
+)
+
+// SetSink directs events at w (nil disables). The buffer and sequence
+// survive re-targeting; tests use this with a bytes.Buffer.
+func SetSink(w io.Writer) {
+	sinkMu.Lock()
+	sinkW = w
+	sinkMu.Unlock()
+}
+
+// OpenSink creates (truncating) the JSONL event log at path and directs
+// events at it. The returned closer detaches the sink and closes the
+// file.
+func OpenSink(path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	SetSink(f)
+	return func() error {
+		SetSink(nil)
+		return f.Close()
+	}, nil
+}
+
+// SinkActive reports whether events have somewhere to go. Callers that
+// must do work to assemble an event (gathering per-stratum slices, say)
+// should check it first; Emit itself is a cheap no-op without a sink.
+func SinkActive() bool {
+	sinkMu.Lock()
+	active := sinkW != nil
+	sinkMu.Unlock()
+	return active
+}
+
+// Emit writes one event line: a JSON object with "ts" (RFC3339Nano
+// wall-clock), "seq" (strictly increasing per process), "event", and
+// the given fields in argument order. No-op when no sink is set.
+//
+// Cost matters here: campaign-level events are charged against the <2%
+// instrumentation budget (make bench-telemetry), so the encoder avoids
+// strconv's per-rune quote scan for plain-ASCII strings and reuses a
+// per-second formatted timestamp prefix instead of re-rendering the
+// full RFC3339Nano string on every event.
+func Emit(event string, kvs ...KV) {
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if sinkW == nil {
+		return
+	}
+	sinkSeq++
+	b := sinkBuf[:0]
+	b = append(b, `{"ts":"`...)
+	b = appendTimestamp(b)
+	b = append(b, `","seq":`...)
+	b = strconv.AppendUint(b, sinkSeq, 10)
+	b = append(b, `,"event":`...)
+	b = appendString(b, event)
+	for _, kv := range kvs {
+		b = append(b, ',')
+		b = appendString(b, kv.K)
+		b = append(b, ':')
+		b = appendValue(b, kv.V)
+	}
+	b = append(b, '}', '\n')
+	sinkBuf = b
+	sinkW.Write(b)
+}
+
+// Timestamp cache, guarded by sinkMu: the date/time prefix and zone
+// suffix of an RFC3339Nano string only change once per second, so only
+// the fractional part is formatted per event.
+var (
+	tsSec    int64
+	tsPrefix []byte // "2006-01-02T15:04:05"
+	tsZone   []byte // "Z" or "±hh:mm"
+)
+
+// appendTimestamp appends the current wall clock in RFC3339Nano form.
+func appendTimestamp(b []byte) []byte {
+	//mixedrelvet:allow determinism event timestamps are observe-only; the telemetry analyzer proves events never feed campaign results
+	return appendTime(b, time.Now())
+}
+
+// appendTime renders now byte-identically to
+// now.AppendFormat(b, time.RFC3339Nano): fractional second omitted
+// when zero, trailing zeros trimmed.
+func appendTime(b []byte, now time.Time) []byte {
+	if sec := now.Unix(); sec != tsSec || tsPrefix == nil {
+		tsSec = sec
+		tsPrefix = now.AppendFormat(tsPrefix[:0], "2006-01-02T15:04:05")
+		tsZone = now.AppendFormat(tsZone[:0], "Z07:00")
+	}
+	b = append(b, tsPrefix...)
+	if ns := now.Nanosecond(); ns != 0 {
+		var frac [9]byte
+		for i := 8; i >= 0; i-- {
+			frac[i] = byte('0' + ns%10)
+			ns /= 10
+		}
+		n := 9
+		for frac[n-1] == '0' {
+			n--
+		}
+		b = append(b, '.')
+		b = append(b, frac[:n]...)
+	}
+	return append(b, tsZone...)
+}
+
+// appendString renders s as a JSON string. Plain printable ASCII with
+// nothing to escape — every event name, every field key, and almost
+// every value — appends raw between quotes; anything else takes
+// strconv's full escaping path.
+func appendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return strconv.AppendQuote(b, s)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// appendValue renders one field value as JSON.
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendString(b, x)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return appendFloat(b, x)
+	case []int:
+		b = append(b, '[')
+		for i, e := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(e), 10)
+		}
+		return append(b, ']')
+	case []uint64:
+		b = append(b, '[')
+		for i, e := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, e, 10)
+		}
+		return append(b, ']')
+	case []float64:
+		b = append(b, '[')
+		for i, e := range x {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendFloat(b, e)
+		}
+		return append(b, ']')
+	default:
+		return appendString(b, fmt.Sprint(x))
+	}
+}
+
+// appendFloat renders a float, mapping non-finite values (a CI
+// half-width before any tallies, say) to null — JSON has no NaN/Inf.
+func appendFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, f, 'g', -1, 64)
+}
+
+// EmitSnapshot dumps the full metric registry into the event stream:
+// one "counters" event carrying every counter and gauge reading as
+// fields (name-sorted), then one "histogram" event per histogram with
+// its count, total nanoseconds and log2 bucket counts. CLIs call it
+// once after a campaign so the log ends with the aggregate picture.
+func EmitSnapshot() {
+	if !SinkActive() {
+		return
+	}
+	snap := Snapshot()
+	kvs := make([]KV, len(snap))
+	for i, m := range snap {
+		kvs[i] = KV{K: m.Name, V: m.Value}
+	}
+	Emit("counters", kvs...)
+	regMu.Lock()
+	hs := append([]*Histogram(nil), histograms...)
+	regMu.Unlock()
+	for _, h := range hs {
+		Emit("histogram",
+			KV{K: "name", V: h.Name()},
+			KV{K: "count", V: h.Count()},
+			KV{K: "sum_ns", V: h.Sum()},
+			KV{K: "buckets", V: h.Buckets()},
+		)
+	}
+}

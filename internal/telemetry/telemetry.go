@@ -1,0 +1,236 @@
+// Package telemetry is the simulator's observability layer: atomic
+// counters and gauges, bounded duration histograms, a structured JSONL
+// event sink, a live stderr progress renderer, and profiling hooks
+// (net/http/pprof, runtime/trace). It is the substrate a campaign
+// server (cmd/mixedreld, ROADMAP item 1) will stream to clients.
+//
+// Determinism boundary. The campaign engine guarantees results that are
+// a pure function of the campaign seed; telemetry deliberately is not —
+// it reads wall clocks, observes scheduling, and emits events in
+// arrival order. The two coexist under one rule, enforced by the
+// `telemetry` mixedrelvet analyzer: telemetry is OBSERVE-ONLY. Any
+// package may write into it (counters, events, progress), but nothing
+// read back out of it may flow into campaign results — not into a
+// kernel's Run path, not into internal/report's rendered artifacts, and
+// not into checkpoint journals. Instrumentation on
+// //mixedrelvet:hotpath functions is restricted further: hot paths
+// accumulate plain struct fields and flush to telemetry outside the hot
+// loop, so the hotalloc guarantee (and the <2% campaign overhead
+// budget) survives.
+//
+// Counters and gauges are always live: an atomic add is cheap enough to
+// leave unconditional, and it keeps process-wide statistics (cache hit
+// rates, panic counts) available to any consumer at any time. Everything
+// that costs more — wall-clock reads, event encoding, progress
+// rendering — is gated: Clock returns 0 and Emit/Progressf return
+// immediately unless the corresponding facility was enabled.
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates the wall-clock-reading facilities (Clock, and through
+// it every histogram timing site). Counters ignore it.
+var enabled atomic.Bool
+
+// SetEnabled turns the timing facilities on or off. CLIs enable it when
+// any telemetry output (-telemetry, -progress, -pprof) is requested.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether the timing facilities are on.
+func Enabled() bool { return enabled.Load() }
+
+// Clock returns a wall-clock timestamp in nanoseconds for duration
+// measurement, or 0 when telemetry is disabled — the zero is the "do
+// not time this" sentinel ObserveSince understands, so instrumentation
+// sites pay one atomic load and no clock read on the disabled path.
+func Clock() int64 {
+	if !enabled.Load() {
+		return 0
+	}
+	//mixedrelvet:allow determinism telemetry is observe-only; the analyzer suite proves clock values never reach campaign results
+	return time.Now().UnixNano()
+}
+
+// registry holds every metric in creation order; Snapshot sorts by name
+// so rendered output never depends on init order.
+var (
+	regMu      sync.Mutex
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+)
+
+// Counter is a monotonically increasing atomic counter. Create one per
+// package with NewCounter at var-init time; Add/Inc are safe for
+// concurrent use and never allocate.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// NewCounter registers and returns a counter. name must be a valid
+// event field name (lowercase letters, digits, underscores).
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	regMu.Lock()
+	counters = append(counters, c)
+	regMu.Unlock()
+	return c
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic level with a high-water mark: Add moves the level
+// and records the peak, which is how scheduler occupancy is observed
+// without sampling.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// NewGauge registers and returns a gauge.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	regMu.Lock()
+	gauges = append(gauges, g)
+	regMu.Unlock()
+	return g
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Add moves the level by delta (negative to decrement) and updates the
+// high-water mark.
+func (g *Gauge) Add(delta int64) {
+	now := g.v.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		p := g.peak.Load()
+		if now <= p || g.peak.CompareAndSwap(p, now) {
+			return
+		}
+	}
+}
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// histBuckets is one bucket per power-of-two nanosecond magnitude:
+// bucket i counts observations with 2^(i-1) <= d < 2^i ns (bucket 0 is
+// d == 0). 64 buckets bound the histogram for any int64 duration.
+const histBuckets = 64
+
+// Histogram is a bounded log2-bucketed duration histogram. Observe is
+// one atomic add per bucket/count/sum — cheap enough for per-fsync
+// granularity, and allocation-free.
+type Histogram struct {
+	name    string
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// NewHistogram registers and returns a duration histogram (unit:
+// nanoseconds).
+func NewHistogram(name string) *Histogram {
+	h := &Histogram{name: name}
+	regMu.Lock()
+	histograms = append(histograms, h)
+	regMu.Unlock()
+	return h
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records a duration in nanoseconds (negative values clamp to
+// zero).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(uint64(ns))
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// ObserveSince records the duration since a Clock() timestamp. A zero
+// start — Clock's disabled sentinel — is a no-op, so callers need no
+// enabled check of their own.
+func (h *Histogram) ObserveSince(start int64) {
+	if start == 0 {
+		return
+	}
+	h.Observe(Clock() - start)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Buckets returns the bucket counts up to and including the last
+// non-zero bucket.
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, 0, histBuckets)
+	last := -1
+	for i := range h.buckets {
+		v := h.buckets[i].Load()
+		out = append(out, v)
+		if v != 0 {
+			last = i
+		}
+	}
+	return out[:last+1]
+}
+
+// MetricValue is one scalar metric reading in a Snapshot.
+type MetricValue struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot returns every counter and gauge reading, name-sorted; gauges
+// contribute their current level and a <name>_peak high-water entry.
+// Histograms are not flattened here — EmitSnapshot renders them as
+// structured events.
+func Snapshot() []MetricValue {
+	regMu.Lock()
+	cs := append([]*Counter(nil), counters...)
+	gs := append([]*Gauge(nil), gauges...)
+	regMu.Unlock()
+	out := make([]MetricValue, 0, len(cs)+2*len(gs))
+	for _, c := range cs {
+		out = append(out, MetricValue{Name: c.name, Value: c.Load()})
+	}
+	for _, g := range gs {
+		out = append(out, MetricValue{Name: g.name, Value: uint64(g.Load())})
+		out = append(out, MetricValue{Name: g.name + "_peak", Value: uint64(g.Peak())})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

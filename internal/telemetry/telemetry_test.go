@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	c := NewCounter("test_ctr")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := NewGauge("test_gauge")
+	g.Add(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Load(); got != 1 {
+		t.Fatalf("gauge level = %d, want 1", got)
+	}
+	if got := g.Peak(); got != 5 {
+		t.Fatalf("gauge peak = %d, want 5", got)
+	}
+
+	h := NewHistogram("test_hist")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(-7) // clamps to zero
+	if got := h.Count(); got != 4 {
+		t.Fatalf("hist count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 1001 {
+		t.Fatalf("hist sum = %d, want 1001", got)
+	}
+	b := h.Buckets()
+	// 0 and the clamped -7 land in bucket 0, 1 in bucket 1, 1000 in
+	// bucket 10 (2^9 <= 1000 < 2^10).
+	if len(b) != 11 || b[0] != 2 || b[1] != 1 || b[10] != 1 {
+		t.Fatalf("hist buckets = %v", b)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	NewCounter("test_snap_b").Inc()
+	NewCounter("test_snap_a").Add(2)
+	snap := Snapshot()
+	prev := ""
+	var sawA, sawB bool
+	for _, m := range snap {
+		if m.Name < prev {
+			t.Fatalf("snapshot not sorted: %q after %q", m.Name, prev)
+		}
+		prev = m.Name
+		switch m.Name {
+		case "test_snap_a":
+			sawA = m.Value == 2
+		case "test_snap_b":
+			sawB = m.Value == 1
+		}
+	}
+	if !sawA || !sawB {
+		t.Fatalf("snapshot missing registered counters: %v %v", sawA, sawB)
+	}
+}
+
+func TestEmitAndValidateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	SetSink(&buf)
+	defer SetSink(nil)
+
+	Emit("start", KV{K: "kernel", V: "mxm"}, KV{K: "samples", V: 50})
+	Emit("round",
+		KV{K: "alloc", V: []int{3, 2, 1}},
+		KV{K: "half_width", V: 0.25},
+		KV{K: "nan_width", V: math.NaN()},
+		KV{K: "stopped", V: false},
+	)
+	EmitSnapshot()
+
+	out := buf.String()
+	if !strings.Contains(out, `"event":"start"`) || !strings.Contains(out, `"kernel":"mxm"`) {
+		t.Fatalf("start event malformed:\n%s", out)
+	}
+	if !strings.Contains(out, `"alloc":[3,2,1]`) {
+		t.Fatalf("int slice malformed:\n%s", out)
+	}
+	if !strings.Contains(out, `"nan_width":null`) {
+		t.Fatalf("NaN must render as null:\n%s", out)
+	}
+	if !strings.Contains(out, `"event":"counters"`) {
+		t.Fatalf("snapshot missing counters event:\n%s", out)
+	}
+
+	n, err := ValidateJSONL(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("round-trip validation failed after %d events: %v", n, err)
+	}
+	if n < 3 {
+		t.Fatalf("validated %d events, want >= 3", n)
+	}
+}
+
+func TestEmitWithoutSinkIsNoop(t *testing.T) {
+	SetSink(nil)
+	if SinkActive() {
+		t.Fatal("SinkActive with nil sink")
+	}
+	Emit("ignored", KV{K: "x", V: 1}) // must not panic
+}
+
+func TestValidateJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "nope\n",
+		"missing ts":     `{"seq":1,"event":"e"}` + "\n",
+		"bad ts":         `{"ts":"yesterday","seq":1,"event":"e"}` + "\n",
+		"zero seq":       `{"ts":"2026-08-07T00:00:00Z","seq":0,"event":"e"}` + "\n",
+		"missing event":  `{"ts":"2026-08-07T00:00:00Z","seq":1}` + "\n",
+		"camelCase key":  `{"ts":"2026-08-07T00:00:00Z","seq":1,"event":"e","badKey":1}` + "\n",
+		"object value":   `{"ts":"2026-08-07T00:00:00Z","seq":1,"event":"e","f":{"x":1}}` + "\n",
+		"non-num array":  `{"ts":"2026-08-07T00:00:00Z","seq":1,"event":"e","f":["s"]}` + "\n",
+		"seq regression": `{"ts":"2026-08-07T00:00:00Z","seq":2,"event":"e"}` + "\n" + `{"ts":"2026-08-07T00:00:00Z","seq":2,"event":"e"}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}
+
+func TestClockGatedByEnabled(t *testing.T) {
+	SetEnabled(false)
+	if Clock() != 0 {
+		t.Fatal("Clock must return 0 while disabled")
+	}
+	h := NewHistogram("test_gated_hist")
+	h.ObserveSince(0) // disabled sentinel: must not record
+	if h.Count() != 0 {
+		t.Fatal("ObserveSince(0) recorded an observation")
+	}
+	SetEnabled(true)
+	defer SetEnabled(false)
+	start := Clock()
+	if start == 0 {
+		t.Fatal("Clock returned 0 while enabled")
+	}
+	h.ObserveSince(start)
+	if h.Count() != 1 {
+		t.Fatal("ObserveSince did not record while enabled")
+	}
+}
+
+func TestProgressRenderer(t *testing.T) {
+	var buf bytes.Buffer
+	SetProgress(&buf)
+	defer SetProgress(nil)
+
+	Progressf("samples %d/%d", 10, 100)
+	first := buf.String()
+	if !strings.HasPrefix(first, "\r") || !strings.Contains(first, "samples 10/100") {
+		t.Fatalf("first frame = %q", first)
+	}
+	// A frame arriving immediately after is throttled away.
+	Progressf("samples %d/%d", 11, 100)
+	if buf.String() != first {
+		t.Fatalf("second frame not throttled: %q", buf.String())
+	}
+	ProgressDone()
+	if !strings.HasSuffix(buf.String(), "\r") {
+		t.Fatalf("ProgressDone must end with a carriage return: %q", buf.String())
+	}
+
+	SetProgress(nil)
+	if ProgressActive() {
+		t.Fatal("ProgressActive with nil writer")
+	}
+	Progressf("ignored") // must not panic
+}
+
+func TestAppendTimeMatchesRFC3339Nano(t *testing.T) {
+	defer func() { tsSec, tsPrefix, tsZone = 0, nil, nil }()
+	base := time.Date(2026, 8, 7, 21, 15, 42, 0, time.UTC)
+	zones := []*time.Location{time.UTC, time.FixedZone("plus", 7*3600), time.FixedZone("minus", -(5*3600 + 30*60))}
+	nanos := []int{0, 1, 100, 123456789, 500000000, 999999999, 120000000, 7}
+	for _, loc := range zones {
+		// Reset the per-second cache when the zone changes; in the
+		// process it only ever moves forward with the wall clock.
+		tsSec, tsPrefix, tsZone = 0, nil, nil
+		for step := 0; step < 3; step++ { // repeats within a second, then across seconds
+			for _, ns := range nanos {
+				ts := base.In(loc).Add(time.Duration(step)*time.Second + time.Duration(ns))
+				got := string(appendTime(nil, ts))
+				want := ts.Format(time.RFC3339Nano)
+				if got != want {
+					t.Fatalf("appendTime(%v) = %q, want %q", ts, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendStringMatchesAppendQuote(t *testing.T) {
+	cases := []string{
+		"", "campaign_start", "MxM(12x12x12)", "a b c", "~!@#$%^&*()",
+		`back\slash`, `qu"ote`, "tab\there", "newline\n", "unicode ×", "\x00",
+	}
+	for _, s := range cases {
+		got := string(appendString(nil, s))
+		want := string(strconv.AppendQuote(nil, s))
+		if got != want {
+			t.Fatalf("appendString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ValidateJSONL checks an event log against the documented schema (see
+// DESIGN.md "Telemetry"): every line is a JSON object carrying a valid
+// RFC3339Nano "ts", a positive strictly-increasing "seq", a non-empty
+// "event" string, and only snake_case field names whose values are
+// strings, booleans, numbers, null, or arrays of numbers. It returns
+// the number of events validated; cmd/mixedreltel exposes it as the CI
+// smoke check.
+func ValidateJSONL(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := 0
+	var lastSeq uint64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		n++
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return n, fmt.Errorf("line %d: not a JSON object: %v", n, err)
+		}
+		ts, ok := obj["ts"].(string)
+		if !ok {
+			return n, fmt.Errorf("line %d: missing string \"ts\"", n)
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+			return n, fmt.Errorf("line %d: bad ts %q: %v", n, ts, err)
+		}
+		seqF, ok := obj["seq"].(float64)
+		if !ok || seqF <= 0 || seqF != float64(uint64(seqF)) {
+			return n, fmt.Errorf("line %d: \"seq\" must be a positive integer", n)
+		}
+		seq := uint64(seqF)
+		if seq <= lastSeq {
+			return n, fmt.Errorf("line %d: seq %d not greater than previous %d", n, seq, lastSeq)
+		}
+		lastSeq = seq
+		ev, ok := obj["event"].(string)
+		if !ok || ev == "" {
+			return n, fmt.Errorf("line %d: missing non-empty \"event\"", n)
+		}
+		for k, v := range obj {
+			if k == "ts" || k == "seq" || k == "event" {
+				continue
+			}
+			if !snakeCase(k) {
+				return n, fmt.Errorf("line %d: field %q is not snake_case", n, k)
+			}
+			if err := validValue(v); err != nil {
+				return n, fmt.Errorf("line %d: field %q: %v", n, k, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// snakeCase reports whether s is a lowercase identifier: [a-z0-9_]+
+// starting with a letter.
+func snakeCase(s string) bool {
+	if s == "" || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// validValue accepts the schema's value universe: scalars, null, and
+// homogeneous numeric arrays.
+func validValue(v any) error {
+	switch x := v.(type) {
+	case string, bool, float64, nil:
+		return nil
+	case []any:
+		for _, e := range x {
+			if _, ok := e.(float64); !ok {
+				return fmt.Errorf("array element %v is not a number", e)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported value type %T", v)
+	}
+}

@@ -22,12 +22,17 @@ cd "$(dirname "$0")/.."
 pattern="${BENCH_RE:-.}"
 benchtime="${BENCHTIME:-1x}"
 today="$(date +%Y%m%d)"
-out_file="BENCH_${today}.json"
+
+# BENCH_OUT redirects the snapshot to an explicit path (a scratch file
+# for one-off comparisons like scripts/bench_telemetry.sh), skipping
+# both the same-day rotation and the closing benchdiff — those only
+# make sense for the dated history in the repo root.
+out_file="${BENCH_OUT:-BENCH_${today}.json}"
 
 # A same-day rerun snapshots the existing file to the next free
 # BENCH_<date>.<n>.json before the new results take the plain name, so
 # history is never overwritten (see the naming scheme above).
-if [[ -e "$out_file" ]]; then
+if [[ -z "${BENCH_OUT:-}" && -e "$out_file" ]]; then
     n=0
     while [[ -e "BENCH_${today}.${n}.json" ]]; do n=$((n + 1)); done
     mv "$out_file" "BENCH_${today}.${n}.json"
@@ -60,6 +65,12 @@ END { print "\n]" }' > "$out_file"
 
 echo
 echo "wrote $out_file"
+
+# An explicit BENCH_OUT is a one-off recording, not part of the dated
+# history — skip the closing comparison.
+if [[ -n "${BENCH_OUT:-}" ]]; then
+    exit 0
+fi
 
 # benchdiff's zero-argument mode resolves the latest (baseline, new)
 # pair from the scheme above; with only one snapshot it lists it.

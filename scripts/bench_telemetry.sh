@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Measures the cost of the observability stack: the same injection
+# campaign is benchmarked with telemetry off (BenchmarkInjectionCampaign)
+# and fully on (BenchmarkInjectionCampaignTelemetry — counters enabled,
+# every event encoded into a discarded sink), and benchdiff -overhead
+# gates the ns/op delta. The contract is <2%: counters are always-on
+# atomic adds, hot loops accumulate plain fields, and sink work happens
+# per campaign, not per operation.
+#
+# Usage:
+#   scripts/bench_telemetry.sh                  # gate at 2%
+#   OVERHEAD_GATE=5 scripts/bench_telemetry.sh  # loosen on noisy machines
+#   BENCHTIME=5s scripts/bench_telemetry.sh     # steadier readings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+gate="${OVERHEAD_GATE:-2}"
+snapshot="$(mktemp -t bench_telemetry.XXXXXX.json)"
+trap 'rm -f "$snapshot"' EXIT
+
+BENCH_OUT="$snapshot" BENCH_RE='^BenchmarkInjectionCampaign(Telemetry)?$' \
+    BENCHTIME="${BENCHTIME:-2s}" scripts/bench.sh
+
+echo
+go run ./cmd/benchdiff -overhead InjectionCampaign=InjectionCampaignTelemetry \
+    -fail-over "$gate" "$snapshot"

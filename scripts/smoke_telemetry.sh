@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Proves the observe-only telemetry contract end to end on a real
+# campaign: the same carolfi invocation runs with telemetry off and on,
+# and the campaign output (tables, PVF, per-stratum rows) must be
+# byte-identical — instrumentation may watch the run but never steer
+# it. The JSONL event log from the telemetry-on run is then validated
+# against the documented schema (DESIGN.md "Telemetry") and summarized.
+#
+# The event log is left at $TELEMETRY_OUT (default telemetry-smoke.jsonl
+# in the repo root) so CI can upload it as an artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${TELEMETRY_OUT:-telemetry-smoke.jsonl}"
+args=(-kernel mxm -size 8 -faults 200 -strata 3 -adaptive -seed 42 -quiet)
+
+plain="$(mktemp -t carolfi_plain.XXXXXX)"
+instrumented="$(mktemp -t carolfi_telemetry.XXXXXX)"
+trap 'rm -f "$plain" "$instrumented"' EXIT
+
+echo "carolfi ${args[*]}"
+go run ./cmd/carolfi "${args[@]}" > "$plain"
+
+echo "carolfi ${args[*]} -telemetry $out"
+go run ./cmd/carolfi "${args[@]}" -telemetry "$out" > "$instrumented"
+
+if ! cmp -s "$plain" "$instrumented"; then
+    echo "FAIL: campaign output changed when telemetry was enabled" >&2
+    diff "$plain" "$instrumented" >&2 || true
+    exit 1
+fi
+echo "campaign output is byte-identical with telemetry on"
+
+echo
+go run ./cmd/mixedreltel validate "$out"
+go run ./cmd/mixedreltel summary "$out"
