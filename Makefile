@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-smoke bench-replay bench-sampling bench-telemetry smoke-telemetry
+.PHONY: build test vet lint race verify bench bench-smoke bench-replay bench-sampling bench-telemetry bench-chaos smoke-telemetry stress stress-smoke
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,8 @@ vet:
 
 # lint is the static-analysis gate: go vet plus mixedrelvet, the repo's
 # own invariant checker (softfloat, bitsops, batchops, determinism,
-# boundedgo, compiledreplay, panicsafety, hotalloc, telemetry — see
-# DESIGN.md "Static invariants").
+# boundedgo, chaos, compiledreplay, panicsafety, hotalloc, telemetry —
+# see DESIGN.md "Static invariants").
 lint:
 	scripts/lint.sh
 
@@ -57,6 +57,25 @@ smoke-telemetry:
 # ns/op delta gated (<2% by default; OVERHEAD_GATE to loosen).
 bench-telemetry:
 	scripts/bench_telemetry.sh
+
+# bench-chaos measures the cost of the checkpoint I/O seam: the same
+# checkpointed campaign against a bare in-memory filesystem and through
+# the disarmed chaos layer, with the ns/op delta gated (<1% by default;
+# OVERHEAD_GATE to loosen).
+bench-chaos:
+	scripts/bench_chaos.sh
+
+# stress is the chaos soak harness: bounded rounds of campaign ->
+# injected failure (crash kills, torn journal tails, I/O faults,
+# cancellations, kernel panics) -> resume, asserting byte-identical
+# final results, at high worker counts, under the race detector.
+stress:
+	$(GO) run -race ./cmd/mixedrelstress -rounds 50 -v
+
+# stress-smoke is the time-bounded CI variant: few rounds, same
+# scenario coverage, still under -race.
+stress-smoke:
+	$(GO) run -race ./cmd/mixedrelstress -rounds 12 -v
 
 # bench-replay measures only the injection-campaign benchmarks — the
 # subset the compiled-replay fast path accelerates — with enough

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mixedrel"
+	"mixedrel/internal/chaos"
 	"mixedrel/internal/stats"
 	"mixedrel/internal/telemetry"
 )
@@ -137,6 +138,44 @@ func BenchmarkInjectionCampaignTelemetry(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := mixedrel.InjectionCampaign{Kernel: k, Format: mixedrel.Single,
 			Faults: 50, Seed: uint64(i)}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInjectionCampaignCheckpoint is BenchmarkInjectionCampaign
+// with every sample journaled to an in-memory filesystem. In-memory on
+// purpose: a real fsync costs milliseconds and would swamp the
+// indirection cost the bench-chaos gate wants to see.
+func BenchmarkInjectionCampaignCheckpoint(b *testing.B) {
+	k := mixedrel.NewGEMM(12, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := mixedrel.InjectionCampaign{Kernel: k, Format: mixedrel.Single,
+			Faults: 50, Seed: uint64(i),
+			Checkpoint: &mixedrel.Checkpoint{Path: "bench.jsonl", FS: chaos.NewNullFS()}}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInjectionCampaignChaosOff is the same checkpointed campaign
+// with the chaos fault-injection layer in the I/O path but disarmed.
+// The pair feeds `benchdiff -overhead` (make bench-chaos), which gates
+// the seam's pure indirection cost at <1% ns/op: production campaigns
+// never link the chaos layer, but the exec.FS interface they do go
+// through must stay free.
+func BenchmarkInjectionCampaignChaosOff(b *testing.B) {
+	k := mixedrel.NewGEMM(12, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := &chaos.FS{Inner: chaos.NewNullFS(), Seed: uint64(i),
+			PWrite: 1, PSync: 1, PShortWrite: 1, Disarmed: true}
+		c := mixedrel.InjectionCampaign{Kernel: k, Format: mixedrel.Single,
+			Faults: 50, Seed: uint64(i),
+			Checkpoint: &mixedrel.Checkpoint{Path: "bench.jsonl", FS: fs}}
 		if _, err := c.Run(); err != nil {
 			b.Fatal(err)
 		}

@@ -8,13 +8,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 
 	"mixedrel"
 	"mixedrel/internal/exec"
@@ -118,6 +122,15 @@ func main() {
 			CIHalfWidth: *ciHalfWidth,
 		}
 	}
+	// SIGINT/SIGTERM cancel the campaign instead of killing the
+	// process: in-flight samples drain, the checkpoint journal (if any)
+	// is flushed and synced, and the exit reports how to resume. A
+	// second signal falls through to the default handler (hard kill).
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	c.Context = ctx
+
 	stopTelemetry, err := telOpts.Start()
 	if err != nil {
 		fail(err)
@@ -125,6 +138,9 @@ func main() {
 	res, err := c.Run()
 	if stopErr := stopTelemetry(); stopErr != nil && err == nil {
 		err = stopErr
+	}
+	if errors.Is(err, mixedrel.ErrInterrupted) {
+		failInterrupted(err, *checkpointPath)
 	}
 	if err != nil {
 		fail(err)
@@ -263,6 +279,19 @@ func pickSites(s string) ([]mixedrel.Site, error) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "carolfi:", err)
 	os.Exit(1)
+}
+
+// failInterrupted reports a signal-cancelled campaign: what is safely
+// journaled, how to resume, and the distinct exit code 3 so scripts
+// can tell a planned interruption from a failure (1) or bad usage (2).
+func failInterrupted(err error, checkpointPath string) {
+	fmt.Fprintln(os.Stderr, "carolfi:", err)
+	if checkpointPath != "" {
+		fmt.Fprintf(os.Stderr, "carolfi: resume with the same flags and -checkpoint %s\n", checkpointPath)
+	} else {
+		fmt.Fprintln(os.Stderr, "carolfi: no -checkpoint was set; a re-run starts from scratch")
+	}
+	os.Exit(3)
 }
 
 // failUsage reports a bad invocation: the error, then the flag set's

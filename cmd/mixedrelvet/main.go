@@ -12,7 +12,9 @@
 // stays under the bounded scheduler (boundedgo), emulated crash/hang
 // aborts are recovered only by the execution engine's guard
 // (panicsafety), compiled-trace serving stays behind exec/inject
-// (compiledreplay), and annotated hot paths do not allocate (hotalloc).
+// (compiledreplay), the fault-injecting checkpoint filesystem stays
+// behind the soak harness (chaos), and annotated hot paths do not
+// allocate (hotalloc).
 //
 // The driver is interprocedural: requested packages plus everything
 // they transitively import are analyzed in topological order so facts

@@ -9,13 +9,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 
 	"mixedrel"
 	"mixedrel/internal/exec"
@@ -118,6 +122,12 @@ func main() {
 			pts = append(pts, point{n, f})
 		}
 	}
+	// SIGINT/SIGTERM cancel the sweep: in-flight points drain, queued
+	// points are skipped, and the exit is the distinct interrupted code
+	// so wrappers can tell "stopped" from "failed".
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	stopTelemetry, err := telOpts.Start()
 	if err != nil {
 		fail(err)
@@ -135,7 +145,7 @@ func main() {
 	// Each (size, format) point is an independent campaign, so the grid
 	// runs concurrently and the rows print in order afterwards.
 	lines := make([]string, len(pts))
-	err = exec.ForEach(*workers, len(pts), func(i int) error {
+	err = exec.ForEachCtx(ctx, *workers, len(pts), func(i int) error {
 		p := pts[i]
 		kernel, scalePow, err := pickKernel(*kernelName, p.n, *seed)
 		if err != nil {
@@ -151,7 +161,7 @@ func main() {
 		}
 		res, err := mixedrel.BeamExperiment{
 			Mapping: m, Trials: *trials, Seed: *seed, Workers: *sampleWorkers,
-			BehavioralDUE: *behavioralDUE,
+			BehavioralDUE: *behavioralDUE, Context: ctx,
 		}.Run()
 		if err != nil {
 			return err
@@ -165,7 +175,7 @@ func main() {
 			// above extrapolate from calibrated cross-sections.
 			ic := mixedrel.InjectionCampaign{
 				Kernel: kernel, Format: p.f, Faults: *pvfFaults, Seed: *seed,
-				Workers: *sampleWorkers,
+				Workers: *sampleWorkers, Context: ctx,
 				Sampling: &mixedrel.Sampling{
 					Phases:      *strata,
 					Adaptive:    *adaptive,
@@ -187,6 +197,9 @@ func main() {
 		err = stopErr
 	}
 	if err != nil {
+		if errors.Is(err, mixedrel.ErrInterrupted) || errors.Is(err, context.Canceled) {
+			failInterrupted(err)
+		}
 		fail(err)
 	}
 	for _, l := range lines {
@@ -285,6 +298,15 @@ func parseFormats(s string, device mixedrel.Device) ([]mixedrel.Format, error) {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "sweep:", err)
 	os.Exit(1)
+}
+
+// failInterrupted reports a sweep stopped by SIGINT/SIGTERM: in-flight
+// points drained cleanly, nothing was half-written, and the exit code
+// (3) distinguishes "stopped on request" from a real failure (1).
+func failInterrupted(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	fmt.Fprintln(os.Stderr, "sweep: interrupted; the sweep is deterministic, so a re-run with the same flags reproduces every point")
+	os.Exit(3)
 }
 
 // failUsage reports a bad invocation: the error, then the flag set's

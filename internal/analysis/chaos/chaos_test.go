@@ -1,0 +1,13 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"mixedrel/internal/analysis/analysistest"
+	"mixedrel/internal/analysis/chaos"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), chaos.Analyzer,
+		"rogue", "sly", "internal/chaos", "cmd/mixedrelstress")
+}

@@ -1,0 +1,11 @@
+// Package main is the soak harness: an allowed importer, so it carries
+// no diagnostics.
+package main // want fact:`package: armsChaos`
+
+import "internal/chaos"
+
+func main() {
+	fs := chaos.New()
+	fs.Arm()
+	_ = fs.Seed
+}

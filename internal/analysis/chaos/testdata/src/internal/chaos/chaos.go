@@ -1,0 +1,14 @@
+// Package chaos stands in for the real fault-injection layer at the
+// guarded import path.
+package chaos // want fact:`package: armsChaos`
+
+// FS is the stand-in fault-injecting filesystem.
+type FS struct {
+	Seed uint64
+}
+
+// Arm is the stand-in fault-arming entry point.
+func (f *FS) Arm() {}
+
+// New hands an armed FS out (how the sly package obtains one).
+func New() *FS { return &FS{} }

@@ -1,0 +1,16 @@
+// Test files are exempt: unit tests legitimately inject faults.
+package rogue
+
+import (
+	"testing"
+
+	"internal/chaos"
+)
+
+func TestSabotage(t *testing.T) {
+	fs := chaos.New()
+	fs.Arm()
+	if Sabotage() == nil {
+		t.Fatal("nil FS")
+	}
+}

@@ -1,0 +1,14 @@
+// Package sly arms the chaos layer without ever importing it: the
+// methods ride along with the value rogue hands out, so an import-based
+// check alone never sees the breach.
+package sly // want fact:`package: armsChaos`
+
+import "rogue"
+
+// Leak arms fault injection with no import of internal/chaos anywhere
+// in the package.
+func Leak() uint64 {
+	fs := rogue.Sabotage()
+	fs.Arm()       // want `use of internal/chaos\.Arm through a value obtained from another package`
+	return fs.Seed // want `use of internal/chaos\.Seed through a value obtained from another package`
+}

@@ -10,6 +10,7 @@ import (
 	"mixedrel/internal/analysis/batchops"
 	"mixedrel/internal/analysis/bitsops"
 	"mixedrel/internal/analysis/boundedgo"
+	"mixedrel/internal/analysis/chaos"
 	"mixedrel/internal/analysis/compiledreplay"
 	"mixedrel/internal/analysis/determinism"
 	"mixedrel/internal/analysis/hotalloc"
@@ -24,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		batchops.Analyzer,
 		bitsops.Analyzer,
 		boundedgo.Analyzer,
+		chaos.Analyzer,
 		compiledreplay.Analyzer,
 		determinism.Analyzer,
 		hotalloc.Analyzer,

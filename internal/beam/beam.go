@@ -34,7 +34,9 @@
 package beam
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -125,6 +127,10 @@ type Experiment struct {
 	// (per-trial random streams regardless of Workers; byte-identical
 	// aggregates across interruptions).
 	Checkpoint *exec.Checkpoint
+	// Context, when non-nil, makes the campaign cancellable exactly like
+	// inject.Campaign.Context: in-flight trials drain, the journal (if
+	// any) is flushed and synced, and Run returns an *exec.Interrupted.
+	Context context.Context
 }
 
 // ClassCounts tallies outcomes attributed to one resource class.
@@ -148,6 +154,12 @@ type Result struct {
 	// Aborted diagnoses trials whose execution panicked inside the
 	// simulator; they are excluded from every rate denominator.
 	Aborted []inject.AbortedSample
+	// CheckpointDegraded/CheckpointError mirror inject.Result's fields:
+	// the journal hit a persistent I/O failure and checkpointing was
+	// disabled mid-campaign. Infrastructure status, not beam statistics;
+	// byte-identity comparisons clear them first.
+	CheckpointDegraded bool   `json:",omitempty"`
+	CheckpointError    string `json:",omitempty"`
 }
 
 // Classified returns how many trials produced a masked/SDC/DUE
@@ -215,14 +227,17 @@ func (e Experiment) Run() (*Result, error) {
 	perTrial := e.Workers > 1
 	if e.Checkpoint != nil {
 		perTrial = true
-		if err := e.runCheckpointed(ctx, outs); err != nil {
+		if err := e.runCheckpointed(ctx, outs, res); err != nil {
 			return nil, err
 		}
 	} else {
-		err := exec.Sample(e.Workers, e.Trials, e.Seed, func(t int, r *rng.Rand) error {
+		err := exec.SampleCtx(e.Context, e.Workers, e.Trials, e.Seed, func(t int, r *rng.Rand) error {
 			outs[t] = ctx.runTrial(r)
 			return nil
 		})
+		if isCtxErr(err) {
+			return nil, &exec.Interrupted{Journaled: -1, Cause: err}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -251,9 +266,17 @@ func (e Experiment) Run() (*Result, error) {
 	return res, nil
 }
 
+// isCtxErr reports whether err is a context cancellation or deadline —
+// the signals the campaign converts into graceful interruption.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // runCheckpointed executes the campaign's missing trials against the
-// checkpoint journal, returning exec.ErrPartial while incomplete.
-func (e Experiment) runCheckpointed(ctx *trialCtx, outs []trialOutcome) error {
+// checkpoint journal, returning exec.ErrPartial while incomplete, an
+// *exec.Interrupted after context cancellation (journal flushed), and
+// surfacing journal degradation on res.
+func (e Experiment) runCheckpointed(ctx *trialCtx, outs []trialOutcome, res *Result) error {
 	j, err := e.Checkpoint.Open()
 	if err != nil {
 		return err
@@ -262,7 +285,7 @@ func (e Experiment) runCheckpointed(ctx *trialCtx, outs []trialOutcome) error {
 
 	var ran atomic.Int64
 	limit := int64(e.Checkpoint.Limit)
-	err = exec.SampleResume(e.Workers, e.Trials, e.Seed, func(t int) bool {
+	err = exec.SampleResumeCtx(e.Context, e.Workers, e.Trials, e.Seed, func(t int) bool {
 		if _, ok := j.Done(t); ok {
 			return true
 		}
@@ -273,11 +296,25 @@ func (e Experiment) runCheckpointed(ctx *trialCtx, outs []trialOutcome) error {
 		}
 		return j.Record(t, ctx.runTrial(r).record())
 	})
+	if isCtxErr(err) {
+		if cerr := j.Close(); cerr != nil {
+			return cerr
+		}
+		journaled := j.Len()
+		if deg, _ := j.Degraded(); deg {
+			journaled = 0
+		}
+		return &exec.Interrupted{Journaled: journaled, Cause: err}
+	}
 	if err != nil {
 		return err
 	}
 	if err := j.Close(); err != nil {
 		return err
+	}
+	if deg, derr := j.Degraded(); deg {
+		res.CheckpointDegraded = true
+		res.CheckpointError = fmt.Sprint(derr)
 	}
 	for t := range outs {
 		raw, ok := j.Done(t)

@@ -1,0 +1,275 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"mixedrel/internal/exec"
+)
+
+// TestNullFSBasics: the in-memory FS honors the exec.FS contract the
+// journal relies on (append semantics, truncate-on-create, rename,
+// not-exist errors).
+func TestNullFSBasics(t *testing.T) {
+	m := NewNullFS()
+	if _, err := m.ReadFile("a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ReadFile missing: %v", err)
+	}
+	f, err := m.OpenAppend("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	// Append mode: a second handle extends, Create truncates.
+	f2, _ := m.OpenAppend("a")
+	f2.Write([]byte("two\n"))
+	f2.Close()
+	b, err := m.ReadFile("a")
+	if err != nil || string(b) != "one\ntwo\n" {
+		t.Fatalf("appended contents %q, %v", b, err)
+	}
+	f3, _ := m.Create("a")
+	f3.Write([]byte("fresh"))
+	f3.Close()
+	if b, _ := m.ReadFile("a"); string(b) != "fresh" {
+		t.Fatalf("create did not truncate: %q", b)
+	}
+	if err := m.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("rename left the old path")
+	}
+	if b, _ := m.ReadFile("b"); string(b) != "fresh" {
+		t.Fatalf("rename lost contents: %q", b)
+	}
+	m.Truncate("b", 2)
+	if b, _ := m.ReadFile("b"); string(b) != "fr" {
+		t.Fatalf("truncate: %q", b)
+	}
+	if err := m.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("b"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+// TestChaosFSDeterminism: the same seed and operation sequence injects
+// the same faults; a different seed (almost surely) does not.
+func TestChaosFSDeterminism(t *testing.T) {
+	run := func(seed uint64) []string {
+		c := &FS{Inner: NewNullFS(), Seed: seed, PWrite: 0.3, PSync: 0.3}
+		f, err := c.OpenAppend("j")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []string
+		for i := 0; i < 40; i++ {
+			if _, err := f.Write([]byte("line\n")); err != nil {
+				log = append(log, "w")
+			}
+			if err := f.Sync(); err != nil {
+				log = append(log, "s")
+			}
+		}
+		return log
+	}
+	a, b := run(7), run(7)
+	if strings.Join(a, "") != strings.Join(b, "") {
+		t.Fatalf("same seed, different faults: %v vs %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no faults injected at p=0.3")
+	}
+	if c := run(8); strings.Join(a, "") == strings.Join(c, "") {
+		t.Fatalf("different seeds, identical fault sequence %v", a)
+	}
+}
+
+// TestChaosFSDisarmed: a disarmed FS is a pure pass-through even with
+// probabilities and budget set.
+func TestChaosFSDisarmed(t *testing.T) {
+	inner := NewNullFS()
+	c := &FS{Inner: inner, Seed: 1, PWrite: 1, PSync: 1, PRename: 1,
+		POpen: 1, PShortWrite: 1, SpaceBudget: 1, Disarmed: true}
+	f, err := c.OpenAppend("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload that exceeds the budget")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("j", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Total(); got != 0 {
+		t.Fatalf("disarmed FS injected %d faults", got)
+	}
+	if b, _ := inner.ReadFile("k"); len(b) == 0 {
+		t.Fatal("disarmed write did not land")
+	}
+}
+
+// TestChaosFSShortWrite: a short write lands a prefix and reports
+// ErrInjected, leaving a torn tail the journal must handle.
+func TestChaosFSShortWrite(t *testing.T) {
+	inner := NewNullFS()
+	c := &FS{Inner: inner, Seed: 3, PShortWrite: 1}
+	f, _ := c.OpenAppend("j")
+	payload := []byte("0123456789")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error %v", err)
+	}
+	if n == 0 || n >= len(payload) {
+		t.Fatalf("short write landed %d of %d bytes", n, len(payload))
+	}
+	if b, _ := inner.ReadFile("j"); len(b) != n {
+		t.Fatalf("inner holds %d bytes, reported %d", len(b), n)
+	}
+	if c.Stats().Shorts != 1 {
+		t.Fatalf("stats %+v", c.Stats())
+	}
+}
+
+// TestChaosFSSpaceBudget: writes past the budget land the remainder
+// and fail with ErrNoSpace, persistently.
+func TestChaosFSSpaceBudget(t *testing.T) {
+	inner := NewNullFS()
+	c := &FS{Inner: inner, Seed: 1, SpaceBudget: 8}
+	f, _ := c.OpenAppend("j")
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("within-budget write: %v", err)
+	}
+	n, err := f.Write([]byte("overflow"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-budget write: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("over-budget write landed %d bytes past a full budget", n)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("no-space not persistent: %v", err)
+	}
+	if c.Stats().Space != 2 {
+		t.Fatalf("stats %+v", c.Stats())
+	}
+}
+
+// TestChaosFSOnOp: the hook observes every operation in order.
+func TestChaosFSOnOp(t *testing.T) {
+	var seen []int64
+	c := &FS{Inner: NewNullFS(), OnOp: func(n int64, op Op) { seen = append(seen, n) }}
+	f, _ := c.OpenAppend("j")
+	f.Write([]byte("a"))
+	f.Sync()
+	c.Rename("j", "k")
+	for i, n := range seen {
+		if n != int64(i+1) {
+			t.Fatalf("op numbers %v not sequential", seen)
+		}
+	}
+	// One Write draws twice (short-write, then full-write decision), so
+	// the sequence is open, short, write, sync, rename.
+	if len(seen) != 5 {
+		t.Fatalf("observed %d ops, want 5 (%v)", len(seen), seen)
+	}
+}
+
+// TestJournalDegradesUnderChaos: a checkpoint backed by an
+// always-failing FS degrades instead of failing the campaign's Record
+// calls, and reports the state.
+func TestJournalDegradesUnderChaos(t *testing.T) {
+	ck := exec.Checkpoint{
+		Path:         "j",
+		Every:        1,
+		Retries:      -1,
+		RetryBackoff: -1,
+		FS:           &FS{Inner: NewNullFS(), Seed: 1, PSync: 1},
+	}
+	j, err := ck.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Record(i, i); err != nil {
+			t.Fatalf("Record(%d) surfaced an I/O error: %v", i, err)
+		}
+	}
+	if deg, derr := j.Degraded(); !deg || !errors.Is(derr, ErrInjected) {
+		t.Fatalf("degraded=%v err=%v", deg, derr)
+	}
+	// In-memory view still complete: the campaign can aggregate.
+	for i := 0; i < 3; i++ {
+		if _, ok := j.Done(i); !ok {
+			t.Fatalf("record %d lost from the in-memory map", i)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close after degrade: %v", err)
+	}
+}
+
+// TestJournalRecoversFromTransientChaos: with retries enabled, a
+// sub-persistent fault rate is absorbed and every record becomes
+// durable.
+func TestJournalRecoversFromTransientChaos(t *testing.T) {
+	inner := NewNullFS()
+	cfs := &FS{Inner: inner, Seed: 11, PSync: 0.3, PWrite: 0.2, PShortWrite: 0.2}
+	ck := exec.Checkpoint{Path: "j", Every: 1, Retries: 8, RetryBackoff: -1, FS: cfs}
+	j, err := ck.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := j.Record(i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if deg, derr := j.Degraded(); deg {
+		t.Fatalf("journal degraded under transient faults: %v", derr)
+	}
+	if cfs.Stats().Total() == 0 {
+		t.Fatal("no faults injected; test proves nothing")
+	}
+	// Reload through a clean FS: every record must have survived,
+	// including any duplicated by torn-tail rewrites.
+	j2, err := exec.Checkpoint{Path: "j", FS: inner}.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != n {
+		t.Fatalf("reloaded %d of %d records", j2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		raw, ok := j2.Done(i)
+		if !ok {
+			t.Fatalf("record %d missing after reload", i)
+		}
+		if want := []byte("null"); i*i == 0 && string(raw) == string(want) {
+			t.Fatalf("record %d decoded to null", i)
+		}
+	}
+}

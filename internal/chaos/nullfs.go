@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"mixedrel/internal/exec"
+)
+
+// NullFS is an in-memory exec.FS: files are byte slices in a map, Sync
+// is free, and nothing touches the real disk. It serves two roles —
+// the persistent "disk" underneath a soak round's chaos FS (so a round
+// can kill and resume a campaign hundreds of times without filesystem
+// overhead or cleanup), and the backing store of the bench-chaos gate
+// (where a real fsync would swamp the sub-1% seam cost being measured).
+// It is safe for concurrent use.
+type NullFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewNullFS returns an empty in-memory filesystem.
+func NewNullFS() *NullFS {
+	return &NullFS{files: make(map[string][]byte)}
+}
+
+// Bytes returns a copy of path's current contents and whether it
+// exists — the soak harness's window into what "survived the crash".
+func (m *NullFS) Bytes(path string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// Truncate cuts path down to n bytes if it is longer — the soak
+// harness's torn-tail injector, simulating a kill mid-write below even
+// the chaos FS (damage the journal bytes directly).
+func (m *NullFS) Truncate(path string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.files[path]; ok && len(b) > n {
+		m.files[path] = b[:n]
+	}
+}
+
+func (m *NullFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("nullfs: %s: %w", path, os.ErrNotExist)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *NullFS) MkdirAll(path string, perm os.FileMode) error { return nil }
+
+func (m *NullFS) OpenAppend(path string) (exec.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		m.files[path] = nil
+	}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *NullFS) Create(path string) (exec.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = nil
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *NullFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("nullfs: rename %s: %w", oldpath, os.ErrNotExist)
+	}
+	m.files[newpath] = b
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *NullFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("nullfs: remove %s: %w", path, os.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// memFile is an append handle into a NullFS entry. A handle left open
+// across a Create of the same path keeps appending to the new entry —
+// close enough to POSIX for the journal, which never does that.
+type memFile struct {
+	fs     *NullFS
+	path   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("nullfs: write to closed file %s", f.path)
+	}
+	f.fs.files[f.path] = append(f.fs.files[f.path], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error { return nil }
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

@@ -1,0 +1,38 @@
+package chaos
+
+import (
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// Panicky wraps a kernel with a tripwire that panics whenever its
+// inputs were corrupted — the soak harness's stand-in for a simulator
+// bug surfacing in some samples of a campaign. Memory-fault samples
+// trip it (their inputs are mutated before Run); operand- and
+// operation-fault samples pass through and classify normally, so a
+// panicky campaign exercises exec.Guard's abort isolation and the
+// aborted-sample accounting in the same run that produces real
+// classifications.
+//
+// Key returns "" to opt out of the fault-free artifact cache: the
+// wrapper must re-run its golden (which passes — inputs are pristine
+// there) rather than share cached artifacts with the clean kernel.
+type Panicky struct{ Kernel kernels.Kernel }
+
+func (p Panicky) Name() string { return p.Kernel.Name() + "+panicky" }
+
+func (p Panicky) Key() string { return "" }
+
+func (p Panicky) Inputs(f fp.Format) [][]fp.Bits { return p.Kernel.Inputs(f) }
+
+func (p Panicky) Run(env fp.Env, in [][]fp.Bits) []fp.Bits {
+	pristine := p.Kernel.Inputs(env.Format())
+	for a := range in {
+		for i := range in[a] {
+			if in[a][i] != pristine[a][i] {
+				panic("chaos: panicky kernel saw corrupted input")
+			}
+		}
+	}
+	return p.Kernel.Run(env, in)
+}

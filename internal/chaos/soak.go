@@ -1,0 +1,313 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"mixedrel/internal/exec"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/inject"
+	"mixedrel/internal/kernels"
+	"mixedrel/internal/rng"
+)
+
+// Config parameterizes a soak run. The zero value is not runnable; use
+// DefaultConfig for the standard harness shape.
+type Config struct {
+	// Kernel is the workload under campaign (DefaultConfig: a small
+	// GEMM — big enough to classify interestingly, small enough that a
+	// round's hundreds of campaign invocations stay fast).
+	Kernel kernels.Kernel
+	Format fp.Format
+	// Faults is the per-campaign fault budget.
+	Faults int
+	// Rounds is how many independent chaos rounds to run.
+	Rounds int
+	// Seed addresses everything: round scenarios, campaign seeds,
+	// fault-injection decisions, kill points.
+	Seed uint64
+	// Workers is the campaign worker count (high by default: the soak
+	// exists to catch interleaving bugs, so it wants real concurrency).
+	Workers int
+	// Log, when non-nil, receives one line per round.
+	Log io.Writer
+}
+
+// DefaultConfig is the standard soak shape used by cmd/mixedrelstress.
+func DefaultConfig() Config {
+	return Config{
+		Kernel:  kernels.NewGEMM(8, 1),
+		Format:  fp.Single,
+		Faults:  48,
+		Rounds:  20,
+		Seed:    1,
+		Workers: 8,
+	}
+}
+
+// Result aggregates what a soak run survived.
+type Result struct {
+	// Rounds completed; Attempts is the total number of campaign
+	// invocations across them (each round resumes until complete).
+	Rounds, Attempts int
+	// Kills counts invocations stopped by a deterministic interruption
+	// (Checkpoint.Limit, i.e. a simulated crash); Cancels counts
+	// context cancellations; Degraded counts campaigns that finished
+	// with checkpointing disabled by injected I/O failure; Truncations
+	// counts journals whose tail was torn off between invocations.
+	Kills, Cancels, Degraded, Truncations int
+	// FaultsInjected is the total number of I/O faults the chaos FS
+	// raised across all rounds.
+	FaultsInjected int64
+	// AbortedSamples counts samples isolated by exec.Guard across all
+	// final results (panicky-kernel rounds produce them by design).
+	AbortedSamples int
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%d rounds, %d attempts: %d kills, %d cancels, %d truncations, %d degraded, %d io faults, %d aborted samples",
+		r.Rounds, r.Attempts, r.Kills, r.Cancels, r.Truncations, r.Degraded, r.FaultsInjected, r.AbortedSamples)
+}
+
+// Soak runs cfg.Rounds chaos rounds. Each round fixes one campaign
+// configuration, computes its reference result with a clean
+// uninterrupted run, then executes the same campaign under injected
+// adversity — simulated crashes (deterministic Limit kills), torn
+// journal tails, transient and persistent checkpoint I/O failures,
+// context cancellations, and Guard-isolated kernel panics — resuming
+// from the surviving journal until the campaign completes. A round
+// passes only if the final result is byte-identical to the reference
+// (modulo the CheckpointDegraded/CheckpointError infrastructure flags)
+// and every sample is accounted for. The first failing round aborts
+// the soak with a replayable diagnosis (round index + config seed).
+func Soak(cfg Config) (*Result, error) {
+	if cfg.Kernel == nil || cfg.Faults <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("chaos: underspecified soak config")
+	}
+	if cfg.Workers <= 1 {
+		cfg.Workers = 2 // per-sample streams: the mode checkpoints resume in
+	}
+	res := &Result{}
+	for round := 0; round < cfg.Rounds; round++ {
+		rr := rng.New(cfg.Seed ^ uint64(round)*0x9e3779b97f4a7c15)
+		if err := runRound(cfg, round, rr, res); err != nil {
+			return res, fmt.Errorf("chaos: round %d (soak seed %d): %w", round, cfg.Seed, err)
+		}
+		res.Rounds++
+	}
+	return res, nil
+}
+
+// Round scenarios. Every scenario also mixes in Limit kills where noted,
+// so resume paths are always exercised.
+const (
+	scenarioKill    = iota // Limit kills + occasional torn-tail truncation
+	scenarioIO             // short writes, write/sync/rename faults, retries
+	scenarioNoSpace        // byte budget exhausts: journal must degrade
+	scenarioCancel         // context cancelled mid-campaign, then resumed
+	scenarioPanic          // panicky kernel: Guard-isolated sample aborts
+	numScenarios
+)
+
+func scenarioName(s int) string {
+	switch s {
+	case scenarioKill:
+		return "kill"
+	case scenarioIO:
+		return "io"
+	case scenarioNoSpace:
+		return "nospace"
+	case scenarioCancel:
+		return "cancel"
+	case scenarioPanic:
+		return "panic"
+	}
+	return "scenario?"
+}
+
+func runRound(cfg Config, round int, rr *rng.Rand, res *Result) error {
+	scenario := rr.Intn(numScenarios)
+
+	base := inject.Campaign{
+		Kernel:  cfg.Kernel,
+		Format:  cfg.Format,
+		Faults:  cfg.Faults,
+		Seed:    rr.Uint64(),
+		Workers: cfg.Workers,
+		Sites:   []inject.Site{inject.SiteOperand, inject.SiteMemory},
+	}
+	switch {
+	case scenario == scenarioPanic:
+		// Memory faults trip the panicky tripwire; operand faults
+		// classify normally, so the round mixes aborts and real outcomes.
+		base.Kernel = Panicky{cfg.Kernel}
+	case rr.Intn(3) == 0:
+		// A third of non-panic rounds add control faults, arming the
+		// watchdog and the Guard DUE paths under chaos.
+		base.Sites = append(base.Sites, inject.SiteControl)
+	}
+
+	ref, err := base.Run()
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	want, err := normalize(ref)
+	if err != nil {
+		return err
+	}
+
+	disk := NewNullFS()
+	const path = "soak.jsonl"
+	maxAttempts := 60 + 4*cfg.Faults
+	attempts, kills, cancels, truncs := 0, 0, 0, 0
+	var degraded bool
+	var injected int64
+	var final *inject.Result
+
+	for final == nil {
+		if attempts++; attempts > maxAttempts {
+			return fmt.Errorf("no convergence after %d attempts (scenario %s)", maxAttempts, scenarioName(scenario))
+		}
+		c := base
+		ck := exec.Checkpoint{
+			Path:         path,
+			Every:        1 + rr.Intn(4),
+			FS:           disk,
+			RetryBackoff: -1, // injected faults are not worth sleeping on
+		}
+		var cancel context.CancelFunc
+
+		switch scenario {
+		case scenarioKill, scenarioPanic:
+			ck.Limit = 1 + rr.Intn(1+cfg.Faults/3)
+		case scenarioIO:
+			ck.Limit = 1 + rr.Intn(1+cfg.Faults/2)
+			ck.FS = &FS{
+				Inner:       disk,
+				Seed:        rr.Uint64(),
+				PWrite:      0.05,
+				PShortWrite: 0.20,
+				PSync:       0.10,
+				PRename:     0.30,
+			}
+		case scenarioNoSpace:
+			// A budget well below the journal's full size: the journal
+			// must degrade, and the campaign must still complete.
+			ck.FS = &FS{
+				Inner:       disk,
+				Seed:        rr.Uint64(),
+				SpaceBudget: int64(64 + rr.Intn(512)),
+			}
+			ck.Retries = -1
+		case scenarioCancel:
+			// Fire the cancellation a growing number of I/O operations
+			// into the run, so early attempts interrupt and later ones
+			// are guaranteed to complete.
+			fireAt := int64(2 + 3*attempts + rr.Intn(8))
+			ctx, cfn := context.WithCancel(context.Background())
+			cancel = cfn
+			ck.Every = 1
+			ck.FS = &FS{Inner: disk, OnOp: func(n int64, _ Op) {
+				if n == fireAt {
+					cfn()
+				}
+			}}
+			c.Context = ctx
+		}
+		c.Checkpoint = &ck
+
+		got, err := c.Run()
+		if cancel != nil {
+			cancel()
+		}
+		if cfs, ok := ck.FS.(*FS); ok {
+			injected += cfs.Stats().Total()
+		}
+		switch {
+		case err == nil:
+			final = got
+		case errors.Is(err, exec.ErrPartial):
+			kills++
+			if rr.Intn(3) == 0 {
+				// Simulated kill mid-write: tear bytes off the journal
+				// tail. Torn records simply re-run on resume.
+				if b, ok := disk.Bytes(path); ok && len(b) > 0 {
+					disk.Truncate(path, len(b)-rr.Intn(min(len(b), 20)+1))
+					truncs++
+				}
+			}
+		case errors.Is(err, exec.ErrInterrupted):
+			var in *exec.Interrupted
+			if !errors.As(err, &in) {
+				return fmt.Errorf("ErrInterrupted not an *exec.Interrupted: %v", err)
+			}
+			if in.Journaled < 0 {
+				return fmt.Errorf("checkpointed interruption lost its journal count: %v", err)
+			}
+			cancels++
+		default:
+			return fmt.Errorf("attempt %d (scenario %s): %w", attempts, scenarioName(scenario), err)
+		}
+	}
+
+	if final.CheckpointDegraded {
+		degraded = true
+	}
+	if scenario == scenarioNoSpace && !final.CheckpointDegraded {
+		return fmt.Errorf("nospace round finished undegraded (budget never hit?)")
+	}
+	if scenario == scenarioPanic && len(final.Aborted) == 0 {
+		return fmt.Errorf("panic round produced no Guard-isolated aborts")
+	}
+	// Zero unaccounted samples: every sample is classified or aborted.
+	if got := final.SDCs + final.Masked + final.CrashDUEs + final.HangDUEs + len(final.Aborted); got != final.Faults {
+		return fmt.Errorf("sample accounting: %d classified+aborted of %d faults", got, final.Faults)
+	}
+	have, err := normalize(final)
+	if err != nil {
+		return err
+	}
+	if have != want {
+		return fmt.Errorf("scenario %s: final result diverges from reference after %d attempts\n got: %s\nwant: %s",
+			scenarioName(scenario), attempts, have, want)
+	}
+
+	res.Attempts += attempts
+	res.Kills += kills
+	res.Cancels += cancels
+	res.Truncations += truncs
+	res.FaultsInjected += injected
+	res.AbortedSamples += len(final.Aborted)
+	if degraded {
+		res.Degraded++
+	}
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "round %d: scenario=%s attempts=%d kills=%d cancels=%d truncations=%d iofaults=%d degraded=%v aborted=%d ok\n",
+			round, scenarioName(scenario), attempts, kills, cancels, truncs, injected, degraded, len(final.Aborted))
+	}
+	return nil
+}
+
+// normalize renders a campaign result for byte-identity comparison,
+// clearing the infrastructure-status fields that legitimately differ
+// between a clean run and a chaos-degraded one.
+func normalize(r *inject.Result) (string, error) {
+	cp := *r
+	cp.CheckpointDegraded = false
+	cp.CheckpointError = ""
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return "", fmt.Errorf("chaos: encoding result: %w", err)
+	}
+	return string(b), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

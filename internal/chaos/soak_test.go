@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// TestSoakBounded: a short soak across all scenarios must pass; this is
+// the in-tree guarantee that `make stress` starts from green. The full
+// harness (cmd/mixedrelstress) runs many more rounds.
+func TestSoakBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rounds = 12
+	if testing.Short() {
+		cfg.Rounds = 5
+	}
+	var log strings.Builder
+	cfg.Log = &log
+	res, err := Soak(cfg)
+	if err != nil {
+		t.Fatalf("%v\nlog so far:\n%s", err, log.String())
+	}
+	if res.Rounds != cfg.Rounds {
+		t.Fatalf("completed %d of %d rounds", res.Rounds, cfg.Rounds)
+	}
+	// The soak only means something if adversity actually happened.
+	if res.Kills+res.Cancels == 0 {
+		t.Fatalf("no interruptions across %d rounds:\n%s", res.Rounds, log.String())
+	}
+	if res.Attempts <= res.Rounds {
+		t.Fatalf("%d attempts over %d rounds: nothing resumed", res.Attempts, res.Rounds)
+	}
+}
+
+// TestSoakDeterministicScenarios: the same seed replays the same rounds
+// (the property that makes a soak failure debuggable).
+func TestSoakDeterministicScenarios(t *testing.T) {
+	run := func() string {
+		cfg := DefaultConfig()
+		cfg.Rounds = 4
+		cfg.Faults = 24
+		cfg.Seed = 42
+		var log strings.Builder
+		cfg.Log = &log
+		if _, err := Soak(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return log.String()
+	}
+	a, b := run(), run()
+	// Cancel rounds race the context against the drain, so attempt
+	// counts can differ; scenario selection and pass/fail must not.
+	trim := func(s string) []string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if i := strings.Index(line, " attempts="); i >= 0 {
+				out = append(out, line[:i])
+			}
+		}
+		return out
+	}
+	ta, tb := trim(a), trim(b)
+	if strings.Join(ta, ";") != strings.Join(tb, ";") {
+		t.Fatalf("scenario sequence not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSoakRejectsUnderspecifiedConfig.
+func TestSoakRejectsUnderspecifiedConfig(t *testing.T) {
+	if _, err := Soak(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Soak(Config{Kernel: kernels.NewGEMM(4, 1), Format: fp.Single, Faults: 10}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+// TestPanickyGolden: the tripwire kernel must pass its fault-free run
+// (pristine inputs) — otherwise every campaign would die in the golden
+// phase instead of isolating per-sample aborts.
+func TestPanickyGolden(t *testing.T) {
+	k := Panicky{kernels.NewGEMM(4, 1)}
+	if k.Key() != "" {
+		t.Fatalf("panicky kernel advertises cache key %q", k.Key())
+	}
+	env := fp.NewMachine(fp.Single)
+	out := k.Run(env, k.Inputs(fp.Single))
+	if len(out) == 0 {
+		t.Fatal("golden run produced no output")
+	}
+}

@@ -1,14 +1,16 @@
 package exec
 
 import (
-	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"mixedrel/internal/rng"
 	"mixedrel/internal/telemetry"
@@ -21,6 +23,45 @@ import (
 // result byte-identical to an uninterrupted run.
 var ErrPartial = errors.New("exec: campaign incomplete; re-run with the same checkpoint to resume")
 
+// ErrInterrupted is the errors.Is target of *Interrupted: a campaign
+// stopped by context cancellation after a graceful drain.
+var ErrInterrupted = errors.New("exec: campaign interrupted")
+
+// Interrupted reports a campaign that was cancelled (context done)
+// after a graceful drain: in-flight samples finished, the checkpoint
+// journal — when there was one — was flushed and synced, and nothing
+// was left half-written. errors.Is(err, ErrInterrupted) matches it.
+type Interrupted struct {
+	// Journaled is the number of classified samples safely in the
+	// journal at interruption, or -1 when the campaign had no
+	// checkpoint (nothing to resume from).
+	Journaled int
+	// Cause is the context error that stopped the campaign
+	// (context.Canceled or context.DeadlineExceeded).
+	Cause error
+}
+
+func (e *Interrupted) Error() string {
+	if e.Journaled < 0 {
+		return fmt.Sprintf("exec: campaign interrupted (%v); no checkpoint to resume from", e.Cause)
+	}
+	return fmt.Sprintf("exec: campaign interrupted (%v); %d samples journaled, re-run with the same checkpoint to resume", e.Cause, e.Journaled)
+}
+
+func (e *Interrupted) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrInterrupted) true for any *Interrupted.
+func (e *Interrupted) Is(target error) bool { return target == ErrInterrupted }
+
+// DefaultRetries and DefaultRetryBackoff are the journal's transient
+// I/O failure policy: a failed flush/sync is retried this many times,
+// sleeping backoff, 2*backoff, 4*backoff ... between attempts, before
+// the journal declares the failure persistent and degrades.
+const (
+	DefaultRetries      = 3
+	DefaultRetryBackoff = 5 * time.Millisecond
+)
+
 // Checkpoint configures crash-tolerant, resumable campaign execution.
 // A checkpointed campaign writes each classified sample to an
 // append-only JSONL journal at Path; a later run with the same
@@ -29,6 +70,13 @@ var ErrPartial = errors.New("exec: campaign incomplete; re-run with the same che
 // (seed, index) alone — never from which samples already ran — the
 // final aggregate is byte-identical whether the campaign ran in one
 // pass or was interrupted and resumed arbitrarily many times.
+//
+// Journal I/O failures are survivable: transient errors are retried
+// with bounded backoff, and persistent failure (ENOSPC, a dead disk)
+// flips the journal into degraded mode — checkpointing stops, loudly
+// (telemetry counters, Journal.Degraded, the campaign result's
+// CheckpointDegraded flag), but the campaign itself completes in
+// memory rather than aborting.
 type Checkpoint struct {
 	// Path is the journal file. It is created on first use and appended
 	// to on resume; delete it to restart a campaign from scratch.
@@ -41,10 +89,35 @@ type Checkpoint struct {
 	// classifies before returning ErrPartial — a deterministic
 	// interruption point, used by resume tests and incremental runs.
 	Limit int
+	// Retries bounds how many times a failed journal flush/sync is
+	// retried before the journal degrades (0 = DefaultRetries;
+	// negative = no retries).
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling on
+	// each subsequent attempt (0 = DefaultRetryBackoff; negative = no
+	// sleep, for harnesses that inject persistent failures on purpose).
+	RetryBackoff time.Duration
+	// FS overrides the filesystem the journal talks to (nil = the real
+	// one). The only non-OS implementation is internal/chaos's
+	// fault-injecting layer; the chaos analyzer keeps it out of
+	// production binaries.
+	FS FS
+}
+
+func (c Checkpoint) fs() FS {
+	if c.FS != nil {
+		return c.FS
+	}
+	return osFS{}
 }
 
 // Open loads the journal at c.Path (tolerating a torn tail line from a
-// crashed writer) and opens it for appending.
+// crashed writer) and opens it for appending. When damaged lines are
+// found, the journal is first compacted: the surviving records are
+// rewritten to a scratch file which is renamed over the original, so
+// repeated crashes cannot accrete garbage. Compaction is best-effort —
+// on any error the original journal is appended to as-is (damaged
+// lines are skipped on every load anyway).
 func (c Checkpoint) Open() (*Journal, error) {
 	if c.Path == "" {
 		return nil, fmt.Errorf("exec: checkpoint with empty path")
@@ -53,16 +126,38 @@ func (c Checkpoint) Open() (*Journal, error) {
 	if every <= 0 {
 		every = 64
 	}
+	retries := c.Retries
+	switch {
+	case retries == 0:
+		retries = DefaultRetries
+	case retries < 0:
+		retries = 0
+	}
+	backoff := c.RetryBackoff
+	switch {
+	case backoff == 0:
+		backoff = DefaultRetryBackoff
+	case backoff < 0:
+		backoff = 0
+	}
+	fsys := c.fs()
 	if dir := filepath.Dir(c.Path); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	j := &Journal{done: make(map[int]json.RawMessage), every: every}
-	data, err := os.ReadFile(c.Path)
+	j := &Journal{
+		fs: fsys, path: c.Path,
+		done:    make(map[int]json.RawMessage),
+		every:   every,
+		retries: retries, backoff: backoff,
+		sleep: time.Sleep,
+	}
+	data, err := fsys.ReadFile(c.Path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
+	damaged := 0
 	for _, line := range bytes.Split(data, []byte("\n")) {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
@@ -71,23 +166,25 @@ func (c Checkpoint) Open() (*Journal, error) {
 		if json.Unmarshal(line, &jl) != nil {
 			// A torn line from a crash mid-write: the sample it would
 			// have recorded simply re-runs on resume.
+			damaged++
 			continue
 		}
 		j.done[jl.I] = jl.V
 	}
-	f, err := os.OpenFile(c.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	compacted := false
+	if damaged > 0 {
+		compacted = j.compact()
+	}
+	f, err := fsys.OpenAppend(c.Path)
 	if err != nil {
 		return nil, err
 	}
 	j.f = f
-	j.w = bufio.NewWriter(f)
-	if len(data) > 0 && data[len(data)-1] != '\n' {
-		// Terminate a torn tail so appended records start on their own
-		// line instead of merging into the damaged one.
-		if _, err := j.w.WriteString("\n"); err != nil {
-			f.Close()
-			return nil, err
-		}
+	if !compacted && len(data) > 0 && data[len(data)-1] != '\n' {
+		// A torn tail without a newline: terminate it on the first
+		// flush so appended records start on their own line instead of
+		// merging into the damaged one.
+		j.needTerm = true
 	}
 	return j, nil
 }
@@ -101,14 +198,34 @@ type journalLine struct {
 
 // Journal is an append-only JSONL record of classified samples. It is
 // safe for concurrent Record calls from campaign workers.
+//
+// I/O failure semantics: Record and Close never fail the campaign on
+// I/O errors. A failed flush/sync is retried (bounded, with backoff);
+// if the failure is persistent the journal degrades — the file handle
+// is abandoned, subsequent records stay in memory only, and Degraded
+// reports the state so campaigns can surface it. Degradation trades
+// resumability for completion: the in-flight campaign still finishes
+// and aggregates correctly, it just cannot crash-resume past the last
+// durable record.
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	done    map[int]json.RawMessage
-	pending int
-	every   int
-	closed  bool
+	mu   sync.Mutex
+	fs   FS
+	path string
+	f    File
+	// buf accumulates encoded lines between flushes; needTerm records
+	// that the file may end mid-line (a torn tail from a crashed writer
+	// or a short write), so the next flush starts with a newline.
+	buf      []byte
+	needTerm bool
+	done     map[int]json.RawMessage
+	pending  int
+	every    int
+	retries  int
+	backoff  time.Duration
+	sleep    func(time.Duration)
+	closed   bool
+	degraded bool
+	degErr   error
 }
 
 // Done returns sample i's journaled outcome, if present.
@@ -126,8 +243,27 @@ func (j *Journal) Len() int {
 	return len(j.done)
 }
 
+// Degraded reports whether the journal abandoned persistence after a
+// persistent I/O failure, and the error that tripped it.
+func (j *Journal) Degraded() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded, j.degErr
+}
+
+// setSleep replaces the retry-backoff sleeper (test hook: the backoff
+// schedule is asserted without waiting it out).
+func (j *Journal) setSleep(fn func(time.Duration)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sleep = fn
+}
+
 // Record journals sample i's classified outcome, flushing and syncing
-// every Every records so a crash loses at most the unsynced tail.
+// every Every records so a crash loses at most the unsynced tail. It
+// returns an error only for unencodable values; I/O failures go
+// through the retry-then-degrade policy instead of failing the
+// campaign.
 func (j *Journal) Record(i int, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
@@ -140,29 +276,23 @@ func (j *Journal) Record(i int, v any) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.done[i] = raw
-	if _, err := j.w.Write(line); err != nil {
-		return err
-	}
-	if err := j.w.WriteByte('\n'); err != nil {
-		return err
-	}
 	mJournalRecords.Inc()
+	if j.degraded {
+		return nil
+	}
+	j.buf = append(j.buf, line...)
+	j.buf = append(j.buf, '\n')
 	j.pending++
 	if j.pending >= j.every {
 		j.pending = 0
-		if err := j.w.Flush(); err != nil {
-			return err
-		}
-		start := telemetry.Clock()
-		err := j.f.Sync()
-		mJournalFsyncs.Inc()
-		mJournalFsyncNs.ObserveSince(start)
-		return err
+		j.flushLocked()
 	}
 	return nil
 }
 
 // Close flushes, syncs, and closes the journal. Safe to call twice.
+// Like Record, it absorbs I/O failure into degraded mode: callers that
+// care inspect Degraded afterwards.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -170,15 +300,147 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	j.closed = true
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
+	if j.degraded {
+		return nil
 	}
+	j.flushLocked()
+	if j.degraded {
+		return nil
+	}
+	if err := j.f.Close(); err != nil {
+		j.degradeLocked(err)
+	}
+	return nil
+}
+
+// flushLocked writes the buffered lines and syncs, retrying transient
+// failures with exponential backoff and degrading the journal after
+// persistent ones. The retry strategy is torn-tail aware: after any
+// failed write the file may end mid-line, so the next attempt first
+// emits a newline terminator and then rewrites the entire buffer.
+// Records whose lines made it to disk before the tear are written
+// twice — harmless, since reload keeps the last value per index and
+// skips unparsable fragments.
+func (j *Journal) flushLocked() {
+	var err error
+	for attempt := 0; attempt <= j.retries; attempt++ {
+		if attempt > 0 {
+			mJournalRetries.Inc()
+			if j.backoff > 0 {
+				j.sleep(j.backoff << (attempt - 1))
+			}
+		}
+		if err = j.tryFlushLocked(); err == nil {
+			return
+		}
+		mJournalIOErrors.Inc()
+	}
+	j.degradeLocked(err)
+}
+
+// tryFlushLocked is one write-and-sync attempt.
+func (j *Journal) tryFlushLocked() error {
+	if len(j.buf) > 0 || j.needTerm {
+		payload := j.buf
+		if j.needTerm {
+			payload = make([]byte, 0, len(j.buf)+1)
+			payload = append(payload, '\n')
+			payload = append(payload, j.buf...)
+		}
+		n, err := j.f.Write(payload)
+		if err != nil {
+			if n > 0 {
+				// A short write left a (possibly) torn tail; the next
+				// attempt must start on a fresh line.
+				j.needTerm = true
+			}
+			return err
+		}
+		j.buf = j.buf[:0]
+		j.needTerm = false
+	}
+	start := telemetry.Clock()
 	if err := j.f.Sync(); err != nil {
-		j.f.Close()
 		return err
 	}
-	return j.f.Close()
+	mJournalFsyncs.Inc()
+	mJournalFsyncNs.ObserveSince(start)
+	return nil
+}
+
+// degradeLocked abandons persistence: the file handle is closed
+// (best-effort), buffered-but-unwritten lines are dropped from the
+// write path (their records remain in the in-memory map, so the
+// current invocation still aggregates them), and the journal reports
+// itself degraded. Loud by design — the counter, the campaign result
+// flag, and the CLI warning all hang off this state — but never fatal.
+func (j *Journal) degradeLocked(err error) {
+	if j.degraded {
+		return
+	}
+	j.degraded = true
+	j.degErr = err
+	j.buf = nil
+	mJournalDegraded.Inc()
+	if j.f != nil {
+		j.f.Close()
+	}
+}
+
+// compact rewrites the surviving records to a scratch file and renames
+// it over the journal, dropping damaged lines accumulated by earlier
+// crashes. Records are written in ascending index order so the
+// compacted journal's bytes are a pure function of its contents. Any
+// failure leaves the original journal in place (reload skips damage
+// anyway); reports success.
+func (j *Journal) compact() bool {
+	tmp := j.path + ".compact"
+	f, err := j.fs.Create(tmp)
+	if err != nil {
+		mJournalCompactErrors.Inc()
+		return false
+	}
+	keys := make([]int, 0, len(j.done))
+	for i := range j.done {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	var buf []byte
+	for _, i := range keys {
+		line, err := json.Marshal(journalLine{I: i, V: j.done[i]})
+		if err != nil {
+			continue
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	write := func() error {
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+		return f.Sync()
+	}
+	if err := write(); err != nil {
+		f.Close()
+		j.fs.Remove(tmp)
+		mJournalCompactErrors.Inc()
+		return false
+	}
+	if err := f.Close(); err != nil {
+		j.fs.Remove(tmp)
+		mJournalCompactErrors.Inc()
+		return false
+	}
+	// A kill between the record rewrite above and this rename leaves
+	// only the orphan scratch file: the original journal is untouched
+	// and the next Open simply compacts again.
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		j.fs.Remove(tmp)
+		mJournalCompactErrors.Inc()
+		return false
+	}
+	mJournalCompactions.Inc()
+	return true
 }
 
 // SampleResume is the checkpointing variant of Sample: item i always
@@ -190,6 +452,15 @@ func (j *Journal) Close() error {
 // byte-identically: re-running item i in a later process re-creates the
 // exact stream it would have had in the first.
 func SampleResume(workers, n int, seed uint64, skip func(i int) bool, fn func(i int, r *rng.Rand) error) error {
+	return SampleResumeCtx(nil, workers, n, seed, skip, fn)
+}
+
+// SampleResumeCtx is SampleResume under a context: cancellation stops
+// dispatching new items, lets in-flight items finish (so their journal
+// records are whole), and returns ctx.Err(). Because item streams are
+// (seed, i)-addressed, a cancelled invocation resumes exactly like a
+// crashed one — minus the torn tail. A nil ctx is SampleResume.
+func SampleResumeCtx(ctx context.Context, workers, n int, seed uint64, skip func(i int) bool, fn func(i int, r *rng.Rand) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -205,14 +476,22 @@ func SampleResume(workers, n int, seed uint64, skip func(i int) bool, fn func(i 
 		return fn(i, rng.New(seeds[i]))
 	}
 	if workers <= 1 {
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
 		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				mCancelledJobs.Add(uint64(n - i))
+				return ctx.Err()
+			}
 			if err := run(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return ForEach(workers, n, run)
+	return forEach(ctx, workers, n, run)
 }
 
 // SampleSeed returns the per-item stream seed item i receives in

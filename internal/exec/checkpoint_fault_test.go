@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file tests the journal's failure policy through a scripted fake
+// FS: transient errors retry, persistent errors degrade (never failing
+// the campaign), short writes leave recoverable torn tails, and failed
+// compactions fall back to appending. The richer randomized coverage
+// lives in internal/chaos; these tests pin the exact policy edges.
+
+var errScripted = errors.New("scripted I/O failure")
+
+// fakeFS is an in-memory exec.FS whose next operations can be scripted
+// to fail. Counters are guarded by mu; the journal serializes its I/O,
+// so the scripting needs no more than that.
+type fakeFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	// failWrites/failSyncs make the next N of each operation fail.
+	failWrites, failSyncs int
+	// shortWrites makes the next N writes land half their payload and
+	// fail (a torn tail).
+	shortWrites int
+	// failCreates/failRenames script the compaction path.
+	failCreates, failRenames int
+	writes, syncs            int
+}
+
+func newFakeFS() *fakeFS { return &fakeFS{files: make(map[string][]byte)} }
+
+func (m *fakeFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *fakeFS) MkdirAll(path string, perm os.FileMode) error { return nil }
+
+func (m *fakeFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		m.files[path] = nil
+	}
+	return &fakeFile{fs: m, path: path}, nil
+}
+
+func (m *fakeFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failCreates > 0 {
+		m.failCreates--
+		return nil, errScripted
+	}
+	m.files[path] = nil
+	return &fakeFile{fs: m, path: path}, nil
+}
+
+func (m *fakeFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failRenames > 0 {
+		m.failRenames--
+		return errScripted
+	}
+	b, ok := m.files[oldpath]
+	if !ok {
+		return os.ErrNotExist
+	}
+	m.files[newpath] = b
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *fakeFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+	return nil
+}
+
+type fakeFile struct {
+	fs   *fakeFS
+	path string
+}
+
+func (f *fakeFile) Write(p []byte) (int, error) {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writes++
+	if m.shortWrites > 0 {
+		m.shortWrites--
+		n := len(p) / 2
+		m.files[f.path] = append(m.files[f.path], p[:n]...)
+		return n, fmt.Errorf("short write: %w", errScripted)
+	}
+	if m.failWrites > 0 {
+		m.failWrites--
+		return 0, errScripted
+	}
+	m.files[f.path] = append(m.files[f.path], p...)
+	return len(p), nil
+}
+
+func (f *fakeFile) Sync() error {
+	m := f.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncs++
+	if m.failSyncs > 0 {
+		m.failSyncs--
+		return errScripted
+	}
+	return nil
+}
+
+func (f *fakeFile) Close() error { return nil }
+
+// openOn opens a journal on fs with a tight flush cadence, no backoff
+// sleeps, and the given retry budget.
+func openOn(t *testing.T, fs FS, retries int) *Journal {
+	t.Helper()
+	j, err := Checkpoint{Path: "j", Every: 1, Retries: retries, RetryBackoff: -1, FS: fs}.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestJournalRetriesTransientSyncFailure: two scripted sync failures
+// are inside a 3-retry budget; the journal must not degrade and the
+// record must be durable.
+func TestJournalRetriesTransientSyncFailure(t *testing.T) {
+	fs := newFakeFS()
+	fs.failSyncs = 2
+	j := openOn(t, fs, 3)
+	if err := j.Record(0, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if deg, derr := j.Degraded(); deg {
+		t.Fatalf("degraded on a transient failure: %v", derr)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openOn(t, fs, 0)
+	defer j2.Close()
+	if _, ok := j2.Done(0); !ok {
+		t.Fatal("record lost despite successful retry")
+	}
+}
+
+// TestJournalDegradesOnPersistentWriteFailure: failures outlasting the
+// retry budget degrade the journal; Record and Close keep succeeding
+// and the in-memory map stays complete.
+func TestJournalDegradesOnPersistentWriteFailure(t *testing.T) {
+	fs := newFakeFS()
+	fs.failWrites = 1000
+	j := openOn(t, fs, 2)
+	for i := 0; i < 5; i++ {
+		if err := j.Record(i, i); err != nil {
+			t.Fatalf("Record(%d) after degrade: %v", i, err)
+		}
+	}
+	deg, derr := j.Degraded()
+	if !deg || !errors.Is(derr, errScripted) {
+		t.Fatalf("degraded=%v err=%v", deg, derr)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := j.Done(i); !ok {
+			t.Fatalf("in-memory record %d lost", i)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close of a degraded journal: %v", err)
+	}
+	if fs.writes > 4 {
+		// 1 attempt + 2 retries, then degraded: no further I/O.
+		t.Fatalf("degraded journal kept writing (%d writes)", fs.writes)
+	}
+}
+
+// TestJournalShortWriteRecovers: a short write tears a line; the retry
+// newline-terminates and rewrites, and reload sees every record exactly
+// once (duplicates collapse by index).
+func TestJournalShortWriteRecovers(t *testing.T) {
+	fs := newFakeFS()
+	j := openOn(t, fs, 3)
+	if err := j.Record(0, "first"); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	fs.shortWrites = 1
+	fs.mu.Unlock()
+	if err := j.Record(1, "second"); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := j.Degraded(); deg {
+		t.Fatal("degraded on a recoverable short write")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("j")
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Fatalf("journal does not end on a line boundary: %q", data)
+	}
+	j2 := openOn(t, fs, 0)
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reloaded %d records, want 2 (journal: %q)", j2.Len(), data)
+	}
+	if raw, _ := j2.Done(1); string(raw) != `"second"` {
+		t.Fatalf("record 1 = %s", raw)
+	}
+}
+
+// TestJournalErrorThenRecover: a journal that degraded in one
+// invocation resumes cleanly in the next (fresh handle, healthy disk):
+// only the unsynced tail is lost, never previously durable records.
+func TestJournalErrorThenRecover(t *testing.T) {
+	fs := newFakeFS()
+	j := openOn(t, fs, 0)
+	if err := j.Record(0, "durable"); err != nil {
+		t.Fatal(err)
+	}
+	fs.mu.Lock()
+	fs.failWrites = 1000 // disk dies now
+	fs.mu.Unlock()
+	if err := j.Record(1, "lost"); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := j.Degraded(); !deg {
+		t.Fatal("not degraded")
+	}
+	j.Close()
+
+	fs.mu.Lock()
+	fs.failWrites = 0 // disk recovers before the next invocation
+	fs.mu.Unlock()
+	j2 := openOn(t, fs, 0)
+	if j2.Len() != 1 {
+		t.Fatalf("resume sees %d records, want just the durable one", j2.Len())
+	}
+	if _, ok := j2.Done(0); !ok {
+		t.Fatal("durable record lost")
+	}
+	if err := j2.Record(1, "rewritten"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := j2.Degraded(); deg {
+		t.Fatal("fresh journal degraded on a healthy disk")
+	}
+	j3 := openOn(t, fs, 0)
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Fatalf("final journal holds %d records, want 2", j3.Len())
+	}
+}
+
+// TestJournalCompactionFailureFallsBack: damaged lines trigger
+// compaction at Open; when the scratch create or the rename fails, the
+// journal must still open and append to the original file.
+func TestJournalCompactionFailureFallsBack(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		script func(*fakeFS)
+	}{
+		{"create-fails", func(m *fakeFS) { m.failCreates = 1 }},
+		{"rename-fails", func(m *fakeFS) { m.failRenames = 1 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := newFakeFS()
+			fs.files["j"] = []byte(`{"i":0,"v":"ok"}` + "\n" + `{"i":1,"v":tor`)
+			tc.script(fs)
+			j := openOn(t, fs, 0)
+			if j.Len() != 1 {
+				t.Fatalf("loaded %d records", j.Len())
+			}
+			if err := j.Record(1, "redone"); err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := fs.files["j.compact"]; ok {
+				t.Fatal("failed compaction left its scratch file")
+			}
+			j2 := openOn(t, fs, 0)
+			defer j2.Close()
+			if j2.Len() != 2 {
+				t.Fatalf("reload after fallback: %d records", j2.Len())
+			}
+		})
+	}
+}
+
+// TestJournalCompactionRewrites: a successful compaction drops the
+// damaged line and leaves only whole records on disk.
+func TestJournalCompactionRewrites(t *testing.T) {
+	fs := newFakeFS()
+	fs.files["j"] = []byte(`{"i":3,"v":7}` + "\n" + "garbage-line\n" + `{"i":1,"v":5}` + "\n")
+	j := openOn(t, fs, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("j")
+	want := `{"i":1,"v":5}` + "\n" + `{"i":3,"v":7}` + "\n"
+	if string(data) != want {
+		t.Fatalf("compacted journal:\n%q\nwant:\n%q", data, want)
+	}
+}
+
+// TestJournalRetryBackoffSchedule: the sleeps between retries follow
+// the doubling schedule off the configured base.
+func TestJournalRetryBackoffSchedule(t *testing.T) {
+	fs := newFakeFS()
+	fs.failSyncs = 3
+	j, err := Checkpoint{Path: "j", Every: 1, Retries: 3, RetryBackoff: time.Millisecond, FS: fs}.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	j.setSleep(func(d time.Duration) { slept = append(slept, d) })
+	if err := j.Record(0, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+	if deg, _ := j.Degraded(); deg {
+		t.Fatal("degraded inside the retry budget")
+	}
+}

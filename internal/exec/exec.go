@@ -26,6 +26,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -94,8 +95,40 @@ func acquireToken() (chan struct{}, bool) {
 // error among jobs that ran is returned. fn must be safe for concurrent
 // invocation when workers > 1.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return forEach(nil, workers, n, fn)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is done, no new job
+// starts — in-flight jobs drain to completion, so every job either ran
+// fully or not at all — and ctx.Err() is returned (job errors that
+// happened before cancellation win). A nil ctx is ForEach. The
+// cancellation check is a non-blocking channel read per job dispatch,
+// nothing per-operation, so campaigns pay for cancellability only at
+// sample granularity.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return forEach(ctx, workers, n, fn)
+}
+
+// cancelled is the non-blocking poll of a context's done channel.
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	if workers > n {
 		workers = n
@@ -103,6 +136,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		ran := 0
 		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				mJobs.Add(uint64(ran))
+				mCancelledJobs.Add(uint64(n - i))
+				return ctx.Err()
+			}
 			ran++
 			if err := fn(i); err != nil {
 				mJobs.Add(uint64(ran))
@@ -115,7 +153,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 
 	var (
 		next     atomic.Int64
+		ranTotal atomic.Int64
 		stop     atomic.Bool
+		ctxStop  atomic.Bool
 		errMu    sync.Mutex
 		errIdx   = n
 		firstErr error
@@ -126,8 +166,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		// instead of one per job, so instrumentation cost stays off the
 		// per-sample path.
 		ran := 0
-		defer func() { mJobs.Add(uint64(ran)) }()
+		defer func() {
+			mJobs.Add(uint64(ran))
+			ranTotal.Add(int64(ran))
+		}()
 		for !stop.Load() {
+			if cancelled(done) {
+				ctxStop.Store(true)
+				stop.Store(true)
+				return
+			}
 			i := int(next.Add(1))
 			if i >= n {
 				return
@@ -164,7 +212,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	worker()
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if ctxStop.Load() {
+		if skipped := int64(n) - ranTotal.Load(); skipped > 0 {
+			mCancelledJobs.Add(uint64(skipped))
+		}
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Sample runs fn(0..n-1), handing each call a deterministic random
@@ -175,12 +232,30 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // but a different (equally valid) sample than sequential mode. The mode
 // depends only on workers, never on pool occupancy.
 func Sample(workers, n int, seed uint64, fn func(i int, r *rng.Rand) error) error {
+	return SampleCtx(nil, workers, n, seed, fn)
+}
+
+// SampleCtx is Sample under a context: cancellation stops dispatching
+// new items (in-flight items drain) and returns ctx.Err(). The
+// sequential single-stream mode cannot resume a half-threaded stream,
+// so an interrupted sequential sample is simply abandoned — campaigns
+// that need resumable interruption checkpoint with per-item streams
+// (SampleResumeCtx). A nil ctx is Sample.
+func SampleCtx(ctx context.Context, workers, n int, seed uint64, fn func(i int, r *rng.Rand) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if workers <= 1 {
+		var done <-chan struct{}
+		if ctx != nil {
+			done = ctx.Done()
+		}
 		r := rng.New(seed)
 		for i := 0; i < n; i++ {
+			if cancelled(done) {
+				mCancelledJobs.Add(uint64(n - i))
+				return ctx.Err()
+			}
 			if err := fn(i, r); err != nil {
 				return err
 			}
@@ -192,7 +267,7 @@ func Sample(workers, n int, seed uint64, fn func(i int, r *rng.Rand) error) erro
 	for i := range seeds {
 		seeds[i] = master.Uint64()
 	}
-	return ForEach(workers, n, func(i int) error {
+	return forEach(ctx, workers, n, func(i int) error {
 		return fn(i, rng.New(seeds[i]))
 	})
 }

@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the checkpoint I/O seam: every filesystem operation the
+// Checkpoint/Journal machinery performs goes through one of these
+// methods. Production code always uses the package-os implementation
+// (a nil Checkpoint.FS); the only other implementation lives in
+// internal/chaos, which injects deterministic write/sync/rename
+// failures for the soak harness. The chaos mixedrelvet analyzer proves
+// that no production binary can link the fault-injecting layer — the
+// seam exists so the journal's error handling can be exercised, not so
+// callers can redirect campaign state.
+type FS interface {
+	// ReadFile loads the whole journal, returning os.ErrNotExist-
+	// compatible errors for a journal that does not exist yet.
+	ReadFile(path string) ([]byte, error)
+	// MkdirAll creates the journal's parent directories.
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenAppend opens path for appending, creating it if needed.
+	OpenAppend(path string) (File, error)
+	// Create truncates-or-creates path for writing (compaction scratch).
+	Create(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath (journal
+	// compaction commits through here).
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (compaction scratch cleanup; best-effort).
+	Remove(path string) error
+}
+
+// File is the journal's handle: sequential appends plus a durability
+// barrier. A short write (n < len(p) with a non-nil error) may leave a
+// torn tail on disk — exactly what a crash does — and the journal's
+// retry path is designed to recover from it.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS, delegating straight to package os.
+type osFS struct{}
+
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}

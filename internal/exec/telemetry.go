@@ -36,6 +36,20 @@ var (
 	mJournalRecords = telemetry.NewCounter("checkpoint_records")
 	mJournalFsyncs  = telemetry.NewCounter("checkpoint_fsyncs")
 	mJournalFsyncNs = telemetry.NewHistogram("checkpoint_fsync_ns")
+	// Journal failure-policy counters: I/O errors observed on
+	// flush/sync attempts, retries spent on them, journals that gave up
+	// and degraded (checkpointing disabled, campaign continues), and
+	// torn-line compactions (attempted rewrites and their failures).
+	mJournalIOErrors      = telemetry.NewCounter("checkpoint_io_errors")
+	mJournalRetries       = telemetry.NewCounter("checkpoint_retries")
+	mJournalDegraded      = telemetry.NewCounter("checkpoint_degraded")
+	mJournalCompactions   = telemetry.NewCounter("checkpoint_compactions")
+	mJournalCompactErrors = telemetry.NewCounter("checkpoint_compact_errors")
+
+	// mCancelledJobs counts jobs skipped by context cancellation — the
+	// graceful-drain signal: work that was planned but never started
+	// because the campaign's context fired first.
+	mCancelledJobs = telemetry.NewCounter("exec_cancelled_jobs")
 
 	// mGuardPanics counts panics recovered by Guard. This includes the
 	// injector's intentional behavioral-DUE control panics (watchdog,

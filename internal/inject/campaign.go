@@ -1,7 +1,9 @@
 package inject
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -151,6 +153,14 @@ type Campaign struct {
 	// per-stratum tallies, and — with a CIHalfWidth target — sequential
 	// early stopping.
 	Sampling *Sampling
+	// Context, when non-nil, makes the campaign cancellable: once the
+	// context is done, no new sample starts, in-flight samples drain to
+	// completion, the checkpoint journal (if any) is flushed and
+	// synced, and Run returns an *exec.Interrupted error
+	// (errors.Is(err, exec.ErrInterrupted)) carrying how many samples
+	// are safely journaled. Re-running the same checkpointed campaign
+	// resumes byte-identically, exactly as after a crash.
+	Context context.Context
 }
 
 // Result summarizes a campaign.
@@ -191,6 +201,16 @@ type Result struct {
 	// campaign before the full fault budget was spent (Faults then
 	// counts the samples actually taken).
 	EarlyStopped bool `json:",omitempty"`
+	// CheckpointDegraded reports that the checkpoint journal hit a
+	// persistent I/O failure mid-campaign and checkpointing was
+	// disabled (see exec.Journal): the classification above is complete
+	// and correct, but a crash before the next successful full run
+	// resumes only from the last durable record. CheckpointError is the
+	// rendered failure. These are infrastructure status, not campaign
+	// statistics — byte-identity contracts compare results with them
+	// cleared.
+	CheckpointDegraded bool   `json:",omitempty"`
+	CheckpointError    string `json:",omitempty"`
 }
 
 // DUEs returns the total detected-unrecoverable count.
@@ -316,11 +336,11 @@ func (c Campaign) Run() (*Result, error) {
 	perSample := c.Workers > 1
 	if c.Checkpoint != nil {
 		perSample = true
-		if err := c.runCheckpointed(runOne, outcomes); err != nil {
+		if err := c.runCheckpointed(runOne, outcomes, res); err != nil {
 			return nil, err
 		}
 	} else {
-		err := exec.Sample(c.Workers, c.Faults, c.Seed, func(i int, r *rng.Rand) error {
+		err := exec.SampleCtx(c.Context, c.Workers, c.Faults, c.Seed, func(i int, r *rng.Rand) error {
 			s, err := runOne(r)
 			if err != nil {
 				return err
@@ -328,6 +348,9 @@ func (c Campaign) Run() (*Result, error) {
 			outcomes[i] = s
 			return nil
 		})
+		if isCtxErr(err) {
+			return nil, &exec.Interrupted{Journaled: -1, Cause: err}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -387,11 +410,20 @@ func emitCampaignEnd(res *Result) {
 	)
 }
 
+// isCtxErr reports whether err is a context cancellation or deadline —
+// the signals the campaign converts into graceful interruption.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // runCheckpointed executes the campaign's missing samples against the
 // checkpoint journal, always with per-sample random streams so resumed
 // samples are identical to first-run ones. It returns exec.ErrPartial
-// when the journal is still incomplete (Checkpoint.Limit reached).
-func (c Campaign) runCheckpointed(runOne func(*rng.Rand) (sample, error), outcomes []sample) error {
+// when the journal is still incomplete (Checkpoint.Limit reached), an
+// *exec.Interrupted after a context cancellation (journal flushed, no
+// half-written state), and surfaces journal degradation — persistent
+// I/O failure downgraded to in-memory completion — on res.
+func (c Campaign) runCheckpointed(runOne func(*rng.Rand) (sample, error), outcomes []sample, res *Result) error {
 	j, err := c.Checkpoint.Open()
 	if err != nil {
 		return err
@@ -400,7 +432,7 @@ func (c Campaign) runCheckpointed(runOne func(*rng.Rand) (sample, error), outcom
 
 	var ran atomic.Int64
 	limit := int64(c.Checkpoint.Limit)
-	err = exec.SampleResume(c.Workers, c.Faults, c.Seed, func(i int) bool {
+	err = exec.SampleResumeCtx(c.Context, c.Workers, c.Faults, c.Seed, func(i int) bool {
 		if _, ok := j.Done(i); ok {
 			return true
 		}
@@ -415,11 +447,28 @@ func (c Campaign) runCheckpointed(runOne func(*rng.Rand) (sample, error), outcom
 		}
 		return j.Record(i, s.record())
 	})
+	if isCtxErr(err) {
+		// Graceful interruption: the drain finished every in-flight
+		// sample, so closing here leaves a whole, synced journal — the
+		// resume hint in the error is honest.
+		if cerr := j.Close(); cerr != nil {
+			return cerr
+		}
+		journaled := j.Len()
+		if deg, _ := j.Degraded(); deg {
+			journaled = 0 // nothing past the last durable flush is promised
+		}
+		return &exec.Interrupted{Journaled: journaled, Cause: err}
+	}
 	if err != nil {
 		return err
 	}
 	if err := j.Close(); err != nil {
 		return err
+	}
+	if deg, derr := j.Degraded(); deg {
+		res.CheckpointDegraded = true
+		res.CheckpointError = fmt.Sprint(derr)
 	}
 	for i := range outcomes {
 		raw, ok := j.Done(i)

@@ -1,0 +1,130 @@
+package inject
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"mixedrel/internal/exec"
+	"mixedrel/internal/fp"
+	"mixedrel/internal/kernels"
+)
+
+// TestCampaignCancelledWithoutCheckpoint: cancellation of an
+// uncheckpointed campaign returns *exec.Interrupted with no resume
+// point (Journaled -1).
+func TestCampaignCancelledWithoutCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Campaign{
+		Kernel: kernels.NewGEMM(4, 1), Format: fp.Single,
+		Faults: 20, Seed: 1, Workers: 2, Context: ctx,
+	}
+	_, err := c.Run()
+	if !errors.Is(err, exec.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	var in *exec.Interrupted
+	if !errors.As(err, &in) {
+		t.Fatalf("err %T is not *exec.Interrupted", err)
+	}
+	if in.Journaled != -1 {
+		t.Fatalf("Journaled = %d, want -1 (no checkpoint)", in.Journaled)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("Interrupted does not unwrap to the context error")
+	}
+
+	// Sequential mode takes the other cancellation path.
+	c.Workers = 1
+	if _, err := c.Run(); !errors.Is(err, exec.ErrInterrupted) {
+		t.Fatalf("sequential err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestCheckpointedCampaignCancelThenResume: a cancelled checkpointed
+// campaign reports a non-negative journaled count, and re-running
+// without the cancelled context completes byte-identically to an
+// uninterrupted reference.
+func TestCheckpointedCampaignCancelThenResume(t *testing.T) {
+	base := Campaign{
+		Kernel: kernels.NewGEMM(4, 2), Format: fp.Single,
+		Faults: 30, Seed: 7, Workers: 2,
+	}
+	ref, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(ref)
+
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := base
+	c.Context = ctx
+	c.Checkpoint = &exec.Checkpoint{Path: path, Every: 1}
+	_, err = c.Run()
+	var in *exec.Interrupted
+	if !errors.As(err, &in) {
+		t.Fatalf("err = %v, want *exec.Interrupted", err)
+	}
+	if in.Journaled < 0 {
+		t.Fatalf("checkpointed interruption reports Journaled %d", in.Journaled)
+	}
+
+	c.Context = nil
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointDegraded || res.CheckpointError != "" {
+		t.Fatalf("clean resume flagged degraded: %+v", res)
+	}
+	gotJSON, _ := json.Marshal(res)
+	if string(gotJSON) != string(refJSON) {
+		t.Fatalf("resumed result diverges:\n got %s\nwant %s", gotJSON, refJSON)
+	}
+}
+
+// TestStratifiedCampaignCancelThenResume: the stratified round loop
+// honors cancellation with the same Interrupted contract and resumes
+// byte-identically.
+func TestStratifiedCampaignCancelThenResume(t *testing.T) {
+	base := Campaign{
+		Kernel: kernels.NewGEMM(4, 3), Format: fp.Single,
+		Faults: 40, Seed: 9, Workers: 2,
+		Sampling: &Sampling{Round: 16, MinPerStratum: 1},
+	}
+	ref, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(ref)
+
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := base
+	c.Context = ctx
+	c.Checkpoint = &exec.Checkpoint{Path: path, Every: 1}
+	_, err = c.Run()
+	var in *exec.Interrupted
+	if !errors.As(err, &in) {
+		t.Fatalf("err = %v, want *exec.Interrupted", err)
+	}
+	if in.Journaled < 0 {
+		t.Fatalf("stratified interruption reports Journaled %d", in.Journaled)
+	}
+
+	c.Context = nil
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(res)
+	if string(gotJSON) != string(refJSON) {
+		t.Fatalf("resumed stratified result diverges:\n got %s\nwant %s", gotJSON, refJSON)
+	}
+}

@@ -275,7 +275,7 @@ func (c Campaign) runStratified(runner *Runner, sites []Site, watchdog float64) 
 		}
 		results := make([]sample, len(plan))
 		got := make([]bool, len(plan))
-		err := exec.ForEach(c.Workers, len(plan), func(i int) error {
+		err := exec.ForEachCtx(c.Context, c.Workers, len(plan), func(i int) error {
 			jb := plan[i]
 			if journal != nil {
 				if raw, ok := journal.Done(exec.SampleKey(jb.h, jb.idx)); ok {
@@ -301,6 +301,22 @@ func (c Campaign) runStratified(runner *Runner, sites []Site, watchdog float64) 
 			got[i] = true
 			return nil
 		})
+		if isCtxErr(err) {
+			// Cancellation between or inside rounds: in-flight samples
+			// drained and were journaled whole, so close the journal
+			// (flushing the tail) and report an honest resume point.
+			journaled := -1
+			if journal != nil {
+				if cerr := journal.Close(); cerr != nil {
+					return nil, cerr
+				}
+				journaled = journal.Len()
+				if deg, _ := journal.Degraded(); deg {
+					journaled = 0
+				}
+			}
+			return nil, &exec.Interrupted{Journaled: journaled, Cause: err}
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -355,15 +371,23 @@ func (c Campaign) runStratified(runner *Runner, sites []Site, watchdog float64) 
 			telemetry.KV{K: "rounds", V: round},
 		)
 	}
+	degraded := false
+	var degErr error
 	if journal != nil {
 		if err := journal.Close(); err != nil {
 			return nil, err
 		}
+		degraded, degErr = journal.Degraded()
 	}
 	if partial {
 		return nil, exec.ErrPartial
 	}
-	return c.assembleStratified(space, sts, sp, spent, stopped), nil
+	res := c.assembleStratified(space, sts, sp, spent, stopped)
+	if degraded {
+		res.CheckpointDegraded = true
+		res.CheckpointError = fmt.Sprint(degErr)
+	}
+	return res, nil
 }
 
 // assembleStratified folds the per-stratum outcomes into a Result, in

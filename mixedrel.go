@@ -266,6 +266,16 @@ type Checkpoint = exec.Checkpoint
 // re-run the same campaign to resume.
 var ErrPartialCampaign = exec.ErrPartial
 
+// ErrInterrupted is the errors.Is target for campaigns stopped by
+// context cancellation (InjectionCampaign.Context /
+// BeamExperiment.Context): in-flight samples drained, the checkpoint
+// journal — when there was one — was flushed and synced. The concrete
+// error is an *Interrupted carrying the journaled-sample count.
+var ErrInterrupted = exec.ErrInterrupted
+
+// Interrupted is the concrete error of a cancelled campaign.
+type Interrupted = exec.Interrupted
+
 // NewTMR wraps any kernel in triple modular redundancy with bitwise
 // majority voting.
 func NewTMR(inner Kernel) Kernel { return mitigate.NewTMR(inner) }

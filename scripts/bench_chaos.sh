@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Measures the cost of the checkpoint I/O seam: the same checkpointed
+# injection campaign is benchmarked writing straight to an in-memory
+# filesystem (BenchmarkInjectionCampaignCheckpoint) and through the
+# disarmed chaos fault-injection layer
+# (BenchmarkInjectionCampaignChaosOff), and benchdiff -overhead gates
+# the ns/op delta. The contract is <1%: the exec.FS interface exists so
+# the soak harness can inject failures, and production campaigns — which
+# never link the chaos layer at all — must not pay for that seam beyond
+# interface-call indirection.
+#
+# Usage:
+#   scripts/bench_chaos.sh                  # gate at 1%
+#   OVERHEAD_GATE=3 scripts/bench_chaos.sh  # loosen on noisy machines
+#   BENCHTIME=5s scripts/bench_chaos.sh     # steadier readings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+gate="${OVERHEAD_GATE:-1}"
+snapshot="$(mktemp -t bench_chaos.XXXXXX.json)"
+trap 'rm -f "$snapshot"' EXIT
+
+BENCH_OUT="$snapshot" BENCH_RE='^BenchmarkInjectionCampaign(Checkpoint|ChaosOff)$' \
+    BENCHTIME="${BENCHTIME:-2s}" scripts/bench.sh
+
+echo
+go run ./cmd/benchdiff -overhead InjectionCampaignCheckpoint=InjectionCampaignChaosOff \
+    -fail-over "$gate" "$snapshot"
